@@ -1,0 +1,42 @@
+//! Criterion benchmarks comparing the three fault-simulation algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsiq_fault::deductive::DeductiveSimulator;
+use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::serial::SerialSimulator;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_netlist::library;
+use lsiq_sim::pattern::{Pattern, PatternSet};
+use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn random_patterns(width: usize, count: usize, seed: u64) -> PatternSet {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Pattern::from_bits((0..width).map(|_| rng.next_bool(0.5))))
+        .collect()
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    let patterns = random_patterns(circuit.primary_inputs().len(), 64, 7);
+    let mut group = c.benchmark_group("fault_sim_alu4_64_patterns");
+    group.bench_with_input(BenchmarkId::new("serial", universe.len()), &(), |b, _| {
+        b.iter(|| {
+            SerialSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("ppsfp", universe.len()), &(), |b, _| {
+        b.iter(|| PpsfpSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
+    });
+    group.bench_with_input(BenchmarkId::new("deductive", universe.len()), &(), |b, _| {
+        b.iter(|| {
+            DeductiveSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the production-line Monte-Carlo: lot generation
+//! (model and physical pipelines) and wafer testing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_manufacturing::defect::DefectModel;
+use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
+use lsiq_manufacturing::tester::WaferTester;
+use lsiq_netlist::library;
+use lsiq_sim::pattern::{Pattern, PatternSet};
+use std::hint::black_box;
+
+fn bench_lot_simulation(c: &mut Criterion) {
+    let model_config = ModelLotConfig {
+        chips: 1_000,
+        yield_fraction: 0.07,
+        n0: 8.0,
+        fault_universe_size: 10_000,
+        seed: 1,
+    };
+    c.bench_function("model_lot_1000_chips", |b| {
+        b.iter(|| ChipLot::from_model(black_box(&model_config)))
+    });
+
+    let physical_config = PhysicalLotConfig {
+        chips: 1_000,
+        defect_model: DefectModel::for_target_yield(0.07, 1.0).expect("valid"),
+        extra_faults_per_defect: 2.0,
+        fault_universe_size: 10_000,
+        seed: 1,
+    };
+    c.bench_function("physical_lot_1000_chips", |b| {
+        b.iter(|| ChipLot::from_physical(black_box(&physical_config)))
+    });
+
+    // Wafer test of a lot against a precomputed dictionary.
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    let patterns: PatternSet = (0..256).map(|v| Pattern::from_integer(v * 5 + 1, 10)).collect();
+    let list = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+    let dictionary = FaultDictionary::from_fault_list(&list);
+    let lot = ChipLot::from_model(&ModelLotConfig {
+        chips: 1_000,
+        yield_fraction: 0.07,
+        n0: 8.0,
+        fault_universe_size: universe.len(),
+        seed: 3,
+    });
+    c.bench_function("wafer_test_1000_chips", |b| {
+        b.iter(|| WaferTester::new(&dictionary).test_lot(black_box(&lot)))
+    });
+}
+
+criterion_group!(benches, bench_lot_simulation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmarks for the analytic quality model: reject-rate
+//! evaluation, required-coverage solving and n0 estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsiq_core::chip_test::ChipTestTable;
+use lsiq_core::coverage_requirement::required_fault_coverage;
+use lsiq_core::estimate::N0Estimator;
+use lsiq_core::params::{FaultCoverage, ModelParams, RejectRate, Yield};
+use lsiq_core::reject::field_reject_rate;
+use std::hint::black_box;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let params = ModelParams::new(Yield::new(0.07).expect("valid"), 8.0).expect("valid");
+    let coverage = FaultCoverage::new(0.8).expect("valid");
+    c.bench_function("reject_rate_eq8", |b| {
+        b.iter(|| field_reject_rate(black_box(&params), black_box(coverage)))
+    });
+
+    let target = RejectRate::new(0.001).expect("valid");
+    c.bench_function("required_coverage_solve", |b| {
+        b.iter(|| required_fault_coverage(black_box(&params), black_box(target)).expect("solves"))
+    });
+
+    let table = ChipTestTable::paper_table_1();
+    let chip_yield = Yield::new(0.07).expect("valid");
+    c.bench_function("n0_estimation_table1", |b| {
+        b.iter(|| {
+            N0Estimator::default()
+                .estimate(black_box(&table), black_box(chip_yield))
+                .expect("estimates")
+        })
+    });
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

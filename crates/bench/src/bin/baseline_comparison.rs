@@ -1,0 +1,67 @@
+//! Baseline comparison: required coverage versus yield for the paper's model
+//! (n0 = 4 and 8) against the Wadsack and Williams–Brown formulas at a
+//! 1-in-1000 field reject target.
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin baseline_comparison`
+
+use lsiq_bench::print_series;
+use lsiq_core::baseline::{WadsackModel, WilliamsBrownModel};
+use lsiq_core::coverage_requirement::required_coverage_at_yield;
+use lsiq_core::params::{RejectRate, Yield};
+
+fn main() {
+    println!("Baseline comparison — required coverage at r = 0.001\n");
+    let target = RejectRate::new(0.001).expect("valid reject rate");
+    let yields: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+
+    for n0 in [4.0, 8.0] {
+        let points: Vec<(f64, f64)> = yields
+            .iter()
+            .map(|&y| {
+                let coverage = required_coverage_at_yield(
+                    n0,
+                    target,
+                    Yield::new(y).expect("valid"),
+                )
+                .expect("solves");
+                (y, coverage.value())
+            })
+            .collect();
+        print_series(
+            &format!("this paper, n0 = {n0}"),
+            "yield y",
+            "required coverage f",
+            &points,
+        );
+    }
+
+    let wadsack: Vec<(f64, f64)> = yields
+        .iter()
+        .map(|&y| {
+            let coverage = WadsackModel::new(Yield::new(y).expect("valid"))
+                .required_fault_coverage(target)
+                .expect("valid");
+            (y, coverage.value())
+        })
+        .collect();
+    print_series("Wadsack (1978)", "yield y", "required coverage f", &wadsack);
+
+    let williams_brown: Vec<(f64, f64)> = yields
+        .iter()
+        .map(|&y| {
+            let coverage = WilliamsBrownModel::new(Yield::new(y).expect("valid"))
+                .required_fault_coverage(target)
+                .expect("valid");
+            (y, coverage.value())
+        })
+        .collect();
+    print_series(
+        "Williams-Brown (1981)",
+        "yield y",
+        "required coverage f",
+        &williams_brown,
+    );
+
+    println!("Expectation: both baselines sit near 99-100% across the LSI yield range,");
+    println!("while the paper's model relaxes sharply as n0 grows.");
+}

@@ -1,0 +1,57 @@
+//! Section 7 worked example: estimate n0 from Table 1, derive the required
+//! fault coverage for 1 percent and 0.1 percent field reject rates, and
+//! compare with the Wadsack and Williams–Brown baselines.
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin example_section7`
+
+use lsiq_core::baseline::{WadsackModel, WilliamsBrownModel};
+use lsiq_core::chip_test::ChipTestTable;
+use lsiq_core::coverage_requirement::required_fault_coverage;
+use lsiq_core::estimate::N0Estimator;
+use lsiq_core::params::{ModelParams, RejectRate, Yield};
+
+fn main() {
+    let table = ChipTestTable::paper_table_1();
+    let chip_yield = Yield::new(0.07).expect("valid yield");
+    let estimate = N0Estimator::default()
+        .estimate(&table, chip_yield)
+        .expect("estimation succeeds");
+
+    println!("=== Section 7 worked example ===");
+    println!("chip: ~25,000 transistors, yield ~ 7%, 277 chips tested\n");
+    println!("n0 estimation:");
+    println!("  curve fit        : n0 = {:.1}   (paper: 8)", estimate.curve_fit_n0);
+    println!(
+        "  origin slope     : P'(0) = {:.1} (paper: 0.41/0.05 = 8.2)",
+        estimate.origin_slope
+    );
+    println!(
+        "  slope / (1 - y)  : n0 = {:.1}   (paper: 8.2/0.93 = 8.8)",
+        estimate.slope_n0
+    );
+    println!();
+
+    let params = ModelParams::new(chip_yield, 8.0).expect("valid parameters");
+    println!("required single-stuck-at coverage (n0 = 8, y = 0.07):");
+    println!("  target r   | this model | Wadsack [5] | Williams-Brown");
+    for target in [0.01, 0.001] {
+        let reject = RejectRate::new(target).expect("valid reject rate");
+        let ours = required_fault_coverage(&params, reject).expect("solves");
+        let wadsack = WadsackModel::new(chip_yield)
+            .required_fault_coverage(reject)
+            .expect("valid");
+        let williams_brown = WilliamsBrownModel::new(chip_yield)
+            .required_fault_coverage(reject)
+            .expect("valid");
+        println!(
+            "  {:>10.3} | {:>9.1}% | {:>10.1}% | {:>13.1}%",
+            target,
+            ours.percent(),
+            wadsack.percent(),
+            williams_brown.percent()
+        );
+    }
+    println!();
+    println!("paper: this model needs about 80% (r = 0.01) and 95% (r = 0.001);");
+    println!("       the Wadsack formula demands 99% and 99.9%, \"almost unachievable\".");
+}

@@ -1,0 +1,29 @@
+//! Figure 1: field reject rate versus fault coverage for yields of 80 and
+//! 20 percent, each at n0 = 2 and n0 = 10.
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin fig1`
+
+use lsiq_bench::print_series;
+use lsiq_core::params::{ModelParams, Yield};
+use lsiq_core::reject::reject_rate_curve;
+
+fn main() {
+    println!("Reproduction of Fig. 1 — field reject rate r(f)\n");
+    for (yield_fraction, n0) in [(0.80, 2.0), (0.80, 10.0), (0.20, 2.0), (0.20, 10.0)] {
+        let params = ModelParams::new(
+            Yield::new(yield_fraction).expect("valid yield"),
+            n0,
+        )
+        .expect("valid parameters");
+        let curve = reject_rate_curve(&params, 51);
+        print_series(
+            &format!("y = {yield_fraction}, n0 = {n0}"),
+            "fault coverage f",
+            "field reject r",
+            &curve,
+        );
+    }
+    println!("Paper reference points (Section 4): at r <= 0.005,");
+    println!("  y = 0.80 needs f ~ 0.95 (n0 = 2) or ~0.38 (n0 = 10);");
+    println!("  y = 0.20 needs f ~ 0.99 (n0 = 2) or ~0.63 (n0 = 10).");
+}

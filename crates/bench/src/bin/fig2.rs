@@ -1,0 +1,26 @@
+//! Figure 2: fault coverage required for a field reject rate of 1-in-100, as
+//! a function of yield, for n0 = 1..12.
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin fig2`
+
+use lsiq_bench::print_series;
+use lsiq_core::coverage_requirement::requirement_curve;
+use lsiq_core::params::RejectRate;
+
+fn main() {
+    println!("Reproduction of Fig. 2 — required coverage for r = 0.01\n");
+    let target = RejectRate::new(0.01).expect("valid reject rate");
+    for n0 in 1..=12 {
+        let curve = requirement_curve(n0 as f64, target, 41).expect("valid n0");
+        let points: Vec<(f64, f64)> = curve
+            .iter()
+            .map(|point| (point.yield_fraction, point.required_coverage))
+            .collect();
+        print_series(
+            &format!("n0 = {n0}"),
+            "yield y",
+            "required coverage f",
+            &points,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 4: fault coverage required for a field reject rate of 1-in-1000, as
+//! a function of yield, for n0 = 1..12, with the paper's spot check
+//! (y = 0.3, n0 = 8 → f ≈ 0.85).
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin fig4`
+
+use lsiq_bench::print_series;
+use lsiq_core::coverage_requirement::{required_coverage_at_yield, requirement_curve};
+use lsiq_core::params::{RejectRate, Yield};
+
+fn main() {
+    println!("Reproduction of Fig. 4 — required coverage for r = 0.001\n");
+    let target = RejectRate::new(0.001).expect("valid reject rate");
+    for n0 in 1..=12 {
+        let curve = requirement_curve(n0 as f64, target, 41).expect("valid n0");
+        let points: Vec<(f64, f64)> = curve
+            .iter()
+            .map(|point| (point.yield_fraction, point.required_coverage))
+            .collect();
+        print_series(
+            &format!("n0 = {n0}"),
+            "yield y",
+            "required coverage f",
+            &points,
+        );
+    }
+    let spot = required_coverage_at_yield(
+        8.0,
+        target,
+        Yield::new(0.3).expect("valid yield"),
+    )
+    .expect("solves");
+    println!(
+        "Spot check (paper, Section 6): y = 0.3, n0 = 8 -> f = {:.1}% (paper: about 85%)",
+        spot.percent()
+    );
+}

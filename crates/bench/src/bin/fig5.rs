@@ -1,0 +1,68 @@
+//! Figure 5: determination of n0 — the P(f) family for n0 = 1..12 overlaid
+//! with experimental cumulative-reject points, both the paper's Table 1 and a
+//! freshly simulated 277-chip lot at ~7 percent yield.
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin fig5`
+
+use lsiq_bench::{print_series, run_line_experiment};
+use lsiq_core::chip_test::ChipTestTable;
+use lsiq_core::detection::rejected_fraction_curve;
+use lsiq_core::estimate::N0Estimator;
+use lsiq_core::params::{ModelParams, Yield};
+
+fn main() {
+    println!("Reproduction of Fig. 5 — determination of n0\n");
+
+    // The theoretical family P(f) for y = 0.07 and n0 = 1..12.
+    let chip_yield = Yield::new(0.07).expect("valid yield");
+    for n0 in 1..=12 {
+        let params = ModelParams::new(chip_yield, n0 as f64).expect("valid parameters");
+        print_series(
+            &format!("P(f) for n0 = {n0}"),
+            "fault coverage f",
+            "fraction rejected",
+            &rejected_fraction_curve(&params, 21),
+        );
+    }
+
+    // Experimental points 1: the paper's own Table 1.
+    let paper = ChipTestTable::paper_table_1();
+    print_series(
+        "experimental points (paper Table 1, 277 chips)",
+        "fault coverage f",
+        "fraction rejected",
+        &paper.fractions(),
+    );
+    let paper_estimate = N0Estimator::default()
+        .estimate(&paper, chip_yield)
+        .expect("estimation succeeds");
+    println!(
+        "paper data: best-fit n0 = {:.1} (paper: 8), slope n0 = {:.1} (paper: 8.8)\n",
+        paper_estimate.curve_fit_n0, paper_estimate.slope_n0
+    );
+
+    // Experimental points 2: a fresh 277-chip lot from the simulated line
+    // with ground-truth n0 = 8 and yield 7 percent.
+    let line = run_line_experiment(277, 0.07, 8.0, 11, false);
+    print_series(
+        "experimental points (simulated lot, 277 chips, true n0 = 8)",
+        "fault coverage f",
+        "fraction rejected",
+        &line.experiment.coverage_vs_fraction(),
+    );
+    let simulated_table = ChipTestTable::from_fractions(
+        &line.experiment.coverage_vs_fraction(),
+        line.experiment.total_chips(),
+    )
+    .expect("valid table");
+    let simulated_estimate = N0Estimator::default()
+        .estimate(
+            &simulated_table,
+            Yield::new(line.observed_yield.clamp(0.001, 0.999)).expect("valid"),
+        )
+        .expect("estimation succeeds");
+    println!(
+        "simulated lot: observed y = {:.3}, observed n0 = {:.1}, best-fit n0 = {:.1}",
+        line.observed_yield, line.observed_n0, simulated_estimate.curve_fit_n0
+    );
+}

@@ -1,0 +1,68 @@
+//! Table 1: result of chip test — 277 chips, yield ≈ 0.07, cumulative chips
+//! failed at ten fault-coverage checkpoints.
+//!
+//! Prints the paper's published table and then regenerates the same table
+//! from the simulated production line (LSI-class device, random pattern set,
+//! 277-chip lot with ground-truth n0 = 8).
+//!
+//! Run with: `cargo run --release -p lsiq-bench --bin table1`
+
+use lsiq_bench::run_line_experiment;
+use lsiq_core::chip_test::ChipTestTable;
+
+fn main() {
+    println!("=== Paper Table 1 (published data) ===");
+    println!("Yield ~= 0.07");
+    println!("{}", ChipTestTable::paper_table_1().to_table());
+
+    println!("=== Regenerated Table 1 (simulated production line) ===");
+    let line = run_line_experiment(277, 0.07, 8.0, 1981, false);
+    println!(
+        "device: {} gates (~{} transistors), {} stuck-at faults",
+        line.circuit.gate_count(),
+        line.circuit.transistor_estimate(),
+        line.universe_size
+    );
+    println!(
+        "pattern set: {} patterns, final coverage {:.1}%",
+        line.suite.patterns.len(),
+        line.suite.coverage() * 100.0
+    );
+    println!(
+        "lot: 277 chips, observed yield {:.2}, observed n0 {:.1}",
+        line.observed_yield, line.observed_n0
+    );
+    println!();
+
+    // Down-sample the full-resolution experiment at the paper's coverage
+    // checkpoints (5, 8, 10, ... 65 percent).  The random pattern set ramps
+    // its coverage much faster than the 1981 functional sequence did (a
+    // single random vector already detects a third of the faults of a
+    // combinational LSI block), so the first row that *reaches* a checkpoint
+    // may sit well above it; the actual coverage of the reported row is
+    // printed so the (coverage, fraction-failed) pairs remain faithful.
+    let checkpoints = [0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.36, 0.45, 0.50, 0.65];
+    println!("Fault Coverage (percent) | Cumulative Chips Failed | Cumulative Fraction");
+    println!("-------------------------|-------------------------|--------------------");
+    let mut last_reported = f64::NEG_INFINITY;
+    for &target in &checkpoints {
+        // First experiment row whose coverage reaches the checkpoint.
+        if let Some(row) = line
+            .experiment
+            .rows()
+            .iter()
+            .find(|row| row.fault_coverage >= target)
+        {
+            if row.fault_coverage <= last_reported {
+                continue;
+            }
+            last_reported = row.fault_coverage;
+            println!(
+                "{:>24.1} | {:>23} | {:>19.2}",
+                row.fault_coverage * 100.0,
+                row.chips_failed,
+                row.fraction_failed
+            );
+        }
+    }
+}

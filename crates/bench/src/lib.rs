@@ -1,0 +1,124 @@
+//! Shared helpers for the reproduction harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! the helpers here keep their output format consistent and centralise the
+//! slightly expensive "build a chip, a pattern suite and a tested lot"
+//! pipeline several experiments share.
+
+use lsiq_fault::coverage::CoverageCurve;
+use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_manufacturing::experiment::RejectExperiment;
+use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
+use lsiq_manufacturing::tester::WaferTester;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_netlist::library::{lsi_class, LsiClassConfig};
+use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
+
+/// Prints a named `(x, y)` series in a gnuplot-friendly two-column layout.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    println!("# {title}");
+    println!("# {x_label:>12}  {y_label:>12}");
+    for (x, y) in points {
+        println!("{x:>14.6}  {y:>12.6}");
+    }
+    println!();
+}
+
+/// The circuit every production-line reproduction uses: an LSI-class
+/// composite.  The transistor target is reduced from the paper's 25 000 to
+/// keep the harness runtime in seconds; pass `full = true` for the
+/// full-size device.
+pub fn reproduction_circuit(full: bool) -> Circuit {
+    let target = if full { 25_000 } else { 10_000 };
+    lsi_class(LsiClassConfig {
+        target_transistors: target,
+        seed: 1981,
+    })
+}
+
+/// A production-line experiment bundle: the device, its fault universe, the
+/// ordered pattern suite, and the tested lot's reject table.
+pub struct LineExperiment {
+    /// The device under test.
+    pub circuit: Circuit,
+    /// Size of the uncollapsed fault universe.
+    pub universe_size: usize,
+    /// The ordered pattern suite applied by the tester.
+    pub suite: TestSuite,
+    /// Cumulative-coverage curve of the suite.
+    pub coverage: CoverageCurve,
+    /// The tested lot's cumulative-reject experiment.
+    pub experiment: RejectExperiment,
+    /// The lot's observed yield.
+    pub observed_yield: f64,
+    /// The lot's observed mean fault count over defective chips.
+    pub observed_n0: f64,
+}
+
+/// Runs the standard Section 7 style line experiment: an LSI-class device, a
+/// random+PODEM pattern suite, and a lot of `chips` chips drawn from the
+/// statistical model with the given ground truth.
+pub fn run_line_experiment(
+    chips: usize,
+    yield_fraction: f64,
+    n0: f64,
+    seed: u64,
+    full_size: bool,
+) -> LineExperiment {
+    let circuit = reproduction_circuit(full_size);
+    let universe = FaultUniverse::full(&circuit);
+    let suite = TestSuiteBuilder {
+        seed: 1981,
+        chunk: 64,
+        max_random_patterns: 192,
+        target_coverage: 0.95,
+        podem_top_up: false,
+        ..TestSuiteBuilder::default()
+    }
+    .build(&circuit, &universe);
+    let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
+    let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
+    let lot = ChipLot::from_model(&ModelLotConfig {
+        chips,
+        yield_fraction,
+        n0,
+        fault_universe_size: universe.len(),
+        seed,
+    });
+    let records = WaferTester::new(&dictionary).test_lot(&lot);
+    let experiment = RejectExperiment::full_resolution(&records, &coverage);
+    LineExperiment {
+        universe_size: universe.len(),
+        suite,
+        coverage,
+        experiment,
+        observed_yield: lot.observed_yield(),
+        observed_n0: lot.observed_n0(),
+        circuit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduction_circuit_is_lsi_scale() {
+        let circuit = reproduction_circuit(false);
+        assert!(circuit.transistor_estimate() >= 9_000);
+        assert!(!circuit.primary_outputs().is_empty());
+    }
+
+    #[test]
+    fn line_experiment_produces_consistent_tables() {
+        let line = run_line_experiment(150, 0.3, 4.0, 7, false);
+        assert_eq!(line.experiment.total_chips(), 150);
+        assert!(line.suite.coverage() > 0.5);
+        assert!(line.universe_size > 1_000);
+        assert!((line.observed_yield - 0.3).abs() < 0.15);
+        assert!(line.observed_n0 >= 1.0);
+        let rows = line.experiment.rows();
+        assert_eq!(rows.len(), line.coverage.pattern_count());
+    }
+}

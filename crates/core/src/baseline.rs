@@ -1,0 +1,185 @@
+//! Baseline defect-level models the paper compares against.
+//!
+//! * **Wadsack (1978)** — the model of the paper's reference \[5\]:
+//!   `r = (1 − y)(1 − f)`.  Section 7 shows it demands 99 percent and
+//!   99.9 percent coverage for the example chip where the paper's model
+//!   needs about 80 and 95 percent.
+//! * **Williams–Brown (1981)** — the contemporaneous defect-level formula
+//!   `DL = 1 − y^(1 − f)`, included as an additional comparison point for the
+//!   ablation benches.  For low-yield chips it is even more demanding than
+//!   Wadsack; both call for far higher coverage than the paper's model.
+
+use crate::error::QualityError;
+use crate::params::{FaultCoverage, RejectRate, Yield};
+
+/// The Wadsack model: `r(f) = (1 − y)(1 − f)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WadsackModel {
+    yield_fraction: Yield,
+}
+
+impl WadsackModel {
+    /// Creates the model for a chip with the given yield.
+    pub fn new(yield_fraction: Yield) -> Self {
+        WadsackModel { yield_fraction }
+    }
+
+    /// The predicted field reject rate at coverage `f`.
+    pub fn field_reject_rate(&self, coverage: FaultCoverage) -> RejectRate {
+        let value = (1.0 - self.yield_fraction.value()) * (1.0 - coverage.value());
+        RejectRate::new(value.clamp(0.0, 1.0)).expect("product of fractions is in [0,1]")
+    }
+
+    /// The coverage required for reject rate `target`:
+    /// `f = 1 − r / (1 − y)`.
+    pub fn required_fault_coverage(
+        &self,
+        target: RejectRate,
+    ) -> Result<FaultCoverage, QualityError> {
+        let defective = 1.0 - self.yield_fraction.value();
+        if defective <= 0.0 {
+            // A perfect-yield chip needs no testing at all.
+            return FaultCoverage::new(0.0);
+        }
+        let value = 1.0 - target.value() / defective;
+        FaultCoverage::new(value.clamp(0.0, 1.0))
+    }
+}
+
+/// The Williams–Brown model: `DL(f) = 1 − y^(1 − f)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilliamsBrownModel {
+    yield_fraction: Yield,
+}
+
+impl WilliamsBrownModel {
+    /// Creates the model for a chip with the given yield.
+    pub fn new(yield_fraction: Yield) -> Self {
+        WilliamsBrownModel { yield_fraction }
+    }
+
+    /// The predicted defect level (field reject rate) at coverage `f`.
+    pub fn defect_level(&self, coverage: FaultCoverage) -> RejectRate {
+        let y = self.yield_fraction.value();
+        let value = if y == 0.0 {
+            // A zero-yield line ships only bad parts unless coverage is full.
+            if coverage.value() >= 1.0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            1.0 - y.powf(1.0 - coverage.value())
+        };
+        RejectRate::new(value.clamp(0.0, 1.0)).expect("defect level is a fraction")
+    }
+
+    /// The coverage required for defect level `target`:
+    /// `f = 1 − ln(1 − DL)/ln(y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidParameter`] for a zero or perfect yield
+    /// where the formula degenerates.
+    pub fn required_fault_coverage(
+        &self,
+        target: RejectRate,
+    ) -> Result<FaultCoverage, QualityError> {
+        let y = self.yield_fraction.value();
+        if y <= 0.0 || y >= 1.0 {
+            return Err(QualityError::InvalidParameter {
+                name: "yield",
+                value: y,
+                expected: "a yield strictly between 0 and 1",
+            });
+        }
+        let value = 1.0 - (1.0 - target.value()).ln() / y.ln();
+        FaultCoverage::new(value.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage_requirement::required_fault_coverage;
+    use crate::params::ModelParams;
+
+    fn coverage(f: f64) -> FaultCoverage {
+        FaultCoverage::new(f).expect("valid")
+    }
+
+    fn reject(r: f64) -> RejectRate {
+        RejectRate::new(r).expect("valid")
+    }
+
+    #[test]
+    fn wadsack_matches_section_seven_numbers() {
+        // r = 0.01, y = 0.07  ->  f = 99 percent; r = 0.001 -> 99.9 percent.
+        let model = WadsackModel::new(Yield::new(0.07).expect("valid"));
+        let at_one_percent = model.required_fault_coverage(reject(0.01)).expect("valid");
+        assert!((at_one_percent.value() - 0.989).abs() < 0.002);
+        let at_one_in_thousand = model.required_fault_coverage(reject(0.001)).expect("valid");
+        assert!((at_one_in_thousand.value() - 0.9989).abs() < 0.0005);
+    }
+
+    #[test]
+    fn wadsack_reject_rate_round_trips() {
+        let model = WadsackModel::new(Yield::new(0.3).expect("valid"));
+        let f = model.required_fault_coverage(reject(0.05)).expect("valid");
+        let r = model.field_reject_rate(f);
+        assert!((r.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wadsack_perfect_yield_needs_no_testing() {
+        let model = WadsackModel::new(Yield::new(1.0).expect("valid"));
+        assert_eq!(
+            model
+                .required_fault_coverage(reject(0.001))
+                .expect("valid")
+                .value(),
+            0.0
+        );
+        assert_eq!(model.field_reject_rate(coverage(0.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn williams_brown_limits() {
+        let model = WilliamsBrownModel::new(Yield::new(0.07).expect("valid"));
+        assert!((model.defect_level(coverage(1.0)).value()).abs() < 1e-12);
+        assert!((model.defect_level(coverage(0.0)).value() - 0.93).abs() < 1e-12);
+        let zero_yield = WilliamsBrownModel::new(Yield::new(0.0).expect("valid"));
+        assert_eq!(zero_yield.defect_level(coverage(0.5)).value(), 1.0);
+        assert_eq!(zero_yield.defect_level(coverage(1.0)).value(), 0.0);
+        assert!(zero_yield.required_fault_coverage(reject(0.01)).is_err());
+    }
+
+    #[test]
+    fn williams_brown_round_trips() {
+        let model = WilliamsBrownModel::new(Yield::new(0.2).expect("valid"));
+        let f = model.required_fault_coverage(reject(0.01)).expect("valid");
+        let dl = model.defect_level(f);
+        assert!((dl.value() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baselines_demand_more_coverage_than_the_paper_model() {
+        // For the Section 7 chip the paper's model (n0 = 8) requires far less
+        // coverage than either baseline for the same reject rate; at 7 percent
+        // yield both baselines sit at 99 percent or more.
+        let y = Yield::new(0.07).expect("valid");
+        let params = ModelParams::new(y, 8.0).expect("valid");
+        let target = reject(0.01);
+        let paper = required_fault_coverage(&params, target).expect("solves");
+        let wadsack = WadsackModel::new(y)
+            .required_fault_coverage(target)
+            .expect("valid");
+        let williams_brown = WilliamsBrownModel::new(y)
+            .required_fault_coverage(target)
+            .expect("valid");
+        assert!(paper.value() < wadsack.value() - 0.1);
+        assert!(paper.value() < williams_brown.value() - 0.1);
+        assert!(wadsack.value() > 0.98);
+        assert!(williams_brown.value() > 0.98);
+    }
+}

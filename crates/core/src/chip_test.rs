@@ -1,0 +1,258 @@
+//! Chip-test tables (the experimental input of Section 5).
+//!
+//! A chip-test table records, for a sequence of cumulative-coverage
+//! checkpoints, how many chips of a tested lot had failed by that point.  The
+//! paper's Table 1 (277 chips, yield ≈ 7 %) is embedded as
+//! [`ChipTestTable::paper_table_1`]; fresh tables can be produced from the
+//! simulated production line in `lsiq-manufacturing`.
+
+use crate::error::QualityError;
+
+/// One row of a chip-test table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipTestRow {
+    /// Cumulative fault coverage reached at this checkpoint (fraction).
+    pub fault_coverage: f64,
+    /// Cumulative number of chips that failed by this checkpoint.
+    pub chips_failed: usize,
+}
+
+/// A cumulative chip-test table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipTestTable {
+    rows: Vec<ChipTestRow>,
+    total_chips: usize,
+}
+
+impl ChipTestTable {
+    /// Creates a table from rows and the total number of chips tested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidData`] if the table is empty, a
+    /// coverage value is outside `(0, 1]`, coverage or failure counts are not
+    /// non-decreasing, or more chips failed than were tested.
+    pub fn new(rows: Vec<ChipTestRow>, total_chips: usize) -> Result<Self, QualityError> {
+        if rows.is_empty() || total_chips == 0 {
+            return Err(QualityError::InvalidData {
+                message: "a chip-test table needs at least one row and one chip".to_string(),
+            });
+        }
+        let mut previous_coverage = 0.0;
+        let mut previous_failed = 0usize;
+        for row in &rows {
+            if !(row.fault_coverage > 0.0 && row.fault_coverage <= 1.0) {
+                return Err(QualityError::InvalidData {
+                    message: format!("coverage {} outside (0, 1]", row.fault_coverage),
+                });
+            }
+            if row.fault_coverage < previous_coverage {
+                return Err(QualityError::InvalidData {
+                    message: "coverage checkpoints must be non-decreasing".to_string(),
+                });
+            }
+            if row.chips_failed < previous_failed {
+                return Err(QualityError::InvalidData {
+                    message: "cumulative failure counts must be non-decreasing".to_string(),
+                });
+            }
+            if row.chips_failed > total_chips {
+                return Err(QualityError::InvalidData {
+                    message: format!(
+                        "{} chips failed but only {total_chips} were tested",
+                        row.chips_failed
+                    ),
+                });
+            }
+            previous_coverage = row.fault_coverage;
+            previous_failed = row.chips_failed;
+        }
+        Ok(ChipTestTable { rows, total_chips })
+    }
+
+    /// Builds a table from `(coverage, cumulative fraction failed)` pairs,
+    /// converting fractions to counts over `total_chips`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ChipTestTable::new`].
+    pub fn from_fractions(
+        points: &[(f64, f64)],
+        total_chips: usize,
+    ) -> Result<Self, QualityError> {
+        let rows = points
+            .iter()
+            .map(|&(coverage, fraction)| ChipTestRow {
+                fault_coverage: coverage,
+                chips_failed: (fraction * total_chips as f64).round() as usize,
+            })
+            .collect();
+        ChipTestTable::new(rows, total_chips)
+    }
+
+    /// The paper's Table 1: 277 chips, yield estimated at about 7 percent.
+    pub fn paper_table_1() -> ChipTestTable {
+        const DATA: [(f64, usize); 10] = [
+            (0.05, 113),
+            (0.08, 134),
+            (0.10, 144),
+            (0.15, 186),
+            (0.20, 209),
+            (0.30, 226),
+            (0.36, 242),
+            (0.45, 251),
+            (0.50, 256),
+            (0.65, 257),
+        ];
+        let rows = DATA
+            .iter()
+            .map(|&(fault_coverage, chips_failed)| ChipTestRow {
+                fault_coverage,
+                chips_failed,
+            })
+            .collect();
+        ChipTestTable::new(rows, 277).expect("the embedded paper table is valid")
+    }
+
+    /// The rows in checkpoint order.
+    pub fn rows(&self) -> &[ChipTestRow] {
+        &self.rows
+    }
+
+    /// Total number of chips tested.
+    pub fn total_chips(&self) -> usize {
+        self.total_chips
+    }
+
+    /// `(coverage, cumulative fraction failed)` pairs.
+    pub fn fractions(&self) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .map(|row| {
+                (
+                    row.fault_coverage,
+                    row.chips_failed as f64 / self.total_chips as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// The final cumulative fraction of failed chips (a lower bound on the
+    /// defective fraction `1 − y`).
+    pub fn final_fraction_failed(&self) -> f64 {
+        self.rows
+            .last()
+            .map(|row| row.chips_failed as f64 / self.total_chips as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the table in the layout of the paper's Table 1.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Total number of chips = {}\n", self.total_chips));
+        out.push_str("Fault Coverage (percent) | Cumulative Chips Failed | Cumulative Fraction\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:>24.0} | {:>23} | {:>19.2}\n",
+                row.fault_coverage * 100.0,
+                row.chips_failed,
+                row.chips_failed as f64 / self.total_chips as f64
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_matches_published_values() {
+        let table = ChipTestTable::paper_table_1();
+        assert_eq!(table.total_chips(), 277);
+        assert_eq!(table.rows().len(), 10);
+        let fractions = table.fractions();
+        // The paper lists 0.41 at 5 percent coverage and 0.93 at 65 percent.
+        assert!((fractions[0].1 - 0.41).abs() < 0.005);
+        assert!((fractions[9].1 - 0.93).abs() < 0.005);
+        assert!((table.final_fraction_failed() - 0.93).abs() < 0.005);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_tables() {
+        assert!(ChipTestTable::new(vec![], 100).is_err());
+        assert!(ChipTestTable::new(
+            vec![ChipTestRow {
+                fault_coverage: 0.5,
+                chips_failed: 10
+            }],
+            0
+        )
+        .is_err());
+        assert!(ChipTestTable::new(
+            vec![ChipTestRow {
+                fault_coverage: 1.5,
+                chips_failed: 10
+            }],
+            100
+        )
+        .is_err());
+        // Decreasing coverage.
+        assert!(ChipTestTable::new(
+            vec![
+                ChipTestRow {
+                    fault_coverage: 0.5,
+                    chips_failed: 10
+                },
+                ChipTestRow {
+                    fault_coverage: 0.4,
+                    chips_failed: 20
+                },
+            ],
+            100
+        )
+        .is_err());
+        // Decreasing failures.
+        assert!(ChipTestTable::new(
+            vec![
+                ChipTestRow {
+                    fault_coverage: 0.4,
+                    chips_failed: 20
+                },
+                ChipTestRow {
+                    fault_coverage: 0.5,
+                    chips_failed: 10
+                },
+            ],
+            100
+        )
+        .is_err());
+        // More failures than chips.
+        assert!(ChipTestTable::new(
+            vec![ChipTestRow {
+                fault_coverage: 0.4,
+                chips_failed: 200
+            }],
+            100
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_fractions_round_trips() {
+        let table = ChipTestTable::paper_table_1();
+        let rebuilt =
+            ChipTestTable::from_fractions(&table.fractions(), table.total_chips()).expect("valid");
+        assert_eq!(rebuilt, table);
+    }
+
+    #[test]
+    fn rendering_contains_the_published_rows() {
+        let text = ChipTestTable::paper_table_1().to_table();
+        assert!(text.contains("Total number of chips = 277"));
+        assert!(text.contains("113"));
+        assert!(text.contains("257"));
+        assert_eq!(text.lines().count(), 12);
+    }
+}

@@ -1,0 +1,130 @@
+//! The rejected-fraction curve `P(f)` and its slope (eq. 9–10).
+//!
+//! `P(f)` is the fraction of manufactured chips rejected by tests whose
+//! cumulative fault coverage has reached `f`:
+//!
+//! ```text
+//! P(f) = (1 − y)[1 − (1 − f)e^(−(n0 − 1)f)]
+//! ```
+//!
+//! Its slope at the origin, `P′(0) = (1 − y)·n0 = n_av`, is the basis of the
+//! paper's quick estimation method for `n0`.
+
+use crate::params::{FaultCoverage, ModelParams};
+
+/// The fraction of chips rejected by tests with coverage `f` (eq. 9).
+pub fn rejected_fraction(params: &ModelParams, coverage: FaultCoverage) -> f64 {
+    let y = params.yield_fraction().value();
+    let f = coverage.value();
+    (1.0 - y) * (1.0 - (1.0 - f) * (-(params.n0() - 1.0) * f).exp())
+}
+
+/// The derivative `P′(f)` (used for slope analysis and curve fitting
+/// diagnostics).
+pub fn rejected_fraction_slope(params: &ModelParams, coverage: FaultCoverage) -> f64 {
+    let y = params.yield_fraction().value();
+    let f = coverage.value();
+    let n0 = params.n0();
+    (1.0 - y) * (1.0 + (1.0 - f) * (n0 - 1.0)) * (-(n0 - 1.0) * f).exp()
+}
+
+/// The slope at the origin, `P′(0) = (1 − y)·n0` (eq. 10).
+pub fn origin_slope(params: &ModelParams) -> f64 {
+    (1.0 - params.yield_fraction().value()) * params.n0()
+}
+
+/// Samples `P(f)` over a uniform grid of coverages, returning `(f, P)` pairs
+/// — one curve of the family plotted in the paper's Fig. 5.
+pub fn rejected_fraction_curve(params: &ModelParams, points: usize) -> Vec<(f64, f64)> {
+    let steps = points.max(2) - 1;
+    (0..=steps)
+        .map(|i| {
+            let f = i as f64 / steps as f64;
+            let coverage = FaultCoverage::new(f).expect("grid point is in range");
+            (f, rejected_fraction(params, coverage))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Yield;
+
+    fn params(y: f64, n0: f64) -> ModelParams {
+        ModelParams::new(Yield::new(y).expect("valid"), n0).expect("valid")
+    }
+
+    fn coverage(f: f64) -> FaultCoverage {
+        FaultCoverage::new(f).expect("valid")
+    }
+
+    #[test]
+    fn no_testing_rejects_nothing() {
+        assert!(rejected_fraction(&params(0.07, 8.0), coverage(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_testing_rejects_every_bad_chip() {
+        let p = params(0.07, 8.0);
+        assert!((rejected_fraction(&p, coverage(1.0)) - 0.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_fraction_is_monotone_and_bounded() {
+        let p = params(0.2, 10.0);
+        let curve = rejected_fraction_curve(&p, 200);
+        let mut previous = 0.0;
+        for &(_, value) in &curve {
+            assert!(value + 1e-12 >= previous);
+            assert!(value <= 1.0 - 0.2 + 1e-12);
+            previous = value;
+        }
+    }
+
+    #[test]
+    fn origin_slope_matches_equation_ten() {
+        let p = params(0.07, 8.0);
+        assert!((origin_slope(&p) - 0.93 * 8.0).abs() < 1e-12);
+        // And it equals the average fault count of eq. 2.
+        assert!((origin_slope(&p) - p.average_faults_per_chip()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_slope_matches_finite_differences() {
+        let p = params(0.3, 6.0);
+        for &f in &[0.0, 0.1, 0.4, 0.8] {
+            let h = 1e-6;
+            let numeric = (rejected_fraction(&p, coverage(f + h))
+                - rejected_fraction(&p, coverage(f)))
+                / h;
+            let analytic = rejected_fraction_slope(&p, coverage(f));
+            assert!(
+                (numeric - analytic).abs() < 1e-4,
+                "f={f}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_n0_rejects_chips_sooner() {
+        // With more faults per bad chip, early patterns catch more chips.
+        let f = coverage(0.1);
+        let low = rejected_fraction(&params(0.07, 2.0), f);
+        let high = rejected_fraction(&params(0.07, 8.0), f);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn section_seven_first_checkpoint_matches_paper() {
+        // Table 1 first row: at 5 percent coverage about 41 percent of the
+        // 277 chips had already failed; with y = 0.07 and n0 = 8 the model
+        // gives P(0.05) ≈ 0.36, the right ballpark for the fit of Fig. 5.
+        let p = params(0.07, 8.0);
+        let predicted = rejected_fraction(&p, coverage(0.05));
+        assert!(
+            (predicted - 0.41).abs() < 0.12,
+            "P(0.05) = {predicted} is too far from the paper's 0.41"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the quality model.
+
+use lsiq_stats::StatsError;
+use std::fmt;
+
+/// Error returned by the quality-model constructors and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualityError {
+    /// A probability-like parameter was outside `[0, 1]` or otherwise out of
+    /// domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+        /// Description of the valid domain.
+        expected: &'static str,
+    },
+    /// Experimental data was empty or inconsistent.
+    InvalidData {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A numerical routine from `lsiq-stats` failed.
+    Numerical(StatsError),
+}
+
+impl fmt::Display for QualityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            QualityError::InvalidData { message } => write!(f, "invalid data: {message}"),
+            QualityError::Numerical(inner) => write!(f, "numerical failure: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for QualityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QualityError::Numerical(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for QualityError {
+    fn from(inner: StatsError) -> Self {
+        QualityError::Numerical(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let err = QualityError::InvalidParameter {
+            name: "yield",
+            value: 1.5,
+            expected: "a probability",
+        };
+        assert!(err.to_string().contains("yield"));
+        let err = QualityError::InvalidData {
+            message: "empty table".to_string(),
+        };
+        assert!(err.to_string().contains("empty table"));
+    }
+
+    #[test]
+    fn stats_errors_convert_and_chain() {
+        use std::error::Error;
+        let inner = StatsError::NoConvergence { iterations: 9 };
+        let err: QualityError = inner.clone().into();
+        assert!(err.to_string().contains("9"));
+        assert!(err.source().is_some());
+        assert_eq!(err, QualityError::Numerical(inner));
+    }
+}

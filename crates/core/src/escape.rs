@@ -1,0 +1,295 @@
+//! Escape probabilities (eq. 4–7 and Appendix A).
+//!
+//! `q0(n)` is the probability that a test with coverage `f = m/N` detects
+//! none of the `n` faults actually present on a chip.  The paper derives it
+//! from the hypergeometric urn model and gives three closed forms of
+//! increasing simplicity (A.1 exact, A.2 exponential correction, A.3 the
+//! `(1−f)^n` power used in the body of the paper).  Folding `q0(n)` over the
+//! fault-number distribution gives the tested-good-but-bad yield `Y_bg(f)`
+//! (eq. 6), for which eq. 7 is the closed-form approximation.
+
+use crate::error::QualityError;
+use crate::fault_distribution::FaultCountDistribution;
+use crate::params::{FaultCoverage, ModelParams};
+use lsiq_stats::dist::{DiscreteDistribution, Hypergeometric};
+
+/// Which expression is used for the escape probability `q0(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeApproximation {
+    /// The exact hypergeometric product (Appendix eq. A.1).
+    Exact,
+    /// The exponential-corrected power (Appendix eq. A.2).
+    Corrected,
+    /// The simple power `(1 − f)^n` (Appendix eq. A.3, used in the body).
+    SimplePower,
+}
+
+/// The escape probability `q0(n)` for a fault universe of `N` faults of which
+/// `m = f·N` are covered by the tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscapeProbability {
+    universe_size: u64,
+    covered: u64,
+}
+
+impl EscapeProbability {
+    /// Creates the escape-probability calculator for a universe of
+    /// `universe_size` faults with `covered` of them detected by the tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidParameter`] if `covered` exceeds
+    /// `universe_size` or the universe is empty.
+    pub fn new(universe_size: u64, covered: u64) -> Result<Self, QualityError> {
+        if universe_size == 0 {
+            return Err(QualityError::InvalidParameter {
+                name: "universe_size",
+                value: 0.0,
+                expected: "a non-empty fault universe",
+            });
+        }
+        if covered > universe_size {
+            return Err(QualityError::InvalidParameter {
+                name: "covered",
+                value: covered as f64,
+                expected: "at most the universe size",
+            });
+        }
+        Ok(EscapeProbability {
+            universe_size,
+            covered,
+        })
+    }
+
+    /// Creates the calculator from a coverage fraction, rounding the covered
+    /// count to the nearest fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidParameter`] if the universe is empty.
+    pub fn from_coverage(
+        universe_size: u64,
+        coverage: FaultCoverage,
+    ) -> Result<Self, QualityError> {
+        let covered = (coverage.value() * universe_size as f64).round() as u64;
+        EscapeProbability::new(universe_size, covered.min(universe_size))
+    }
+
+    /// The fault coverage `f = m / N`.
+    pub fn coverage(&self) -> f64 {
+        self.covered as f64 / self.universe_size as f64
+    }
+
+    /// Probability of detecting exactly `k` of `n` present faults (eq. 4).
+    pub fn detect_exactly(&self, k: u64, n: u64) -> Result<f64, QualityError> {
+        let hypergeometric = Hypergeometric::new(self.universe_size, n, self.covered)
+            .map_err(QualityError::from)?;
+        Ok(hypergeometric.pmf(k))
+    }
+
+    /// The escape probability `q0(n)` under the chosen approximation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` exceeds the universe size (for the exact
+    /// form).
+    pub fn escape(&self, n: u64, approximation: EscapeApproximation) -> Result<f64, QualityError> {
+        let f = self.coverage();
+        let big_n = self.universe_size as f64;
+        match approximation {
+            EscapeApproximation::Exact => self.detect_exactly(0, n),
+            EscapeApproximation::Corrected => {
+                // A.2: (1-f)^n * exp(-f n (n-1) / (2 N (1-f))).
+                if f >= 1.0 {
+                    return Ok(if n == 0 { 1.0 } else { 0.0 });
+                }
+                let n_f = n as f64;
+                let correction = (-f * n_f * (n_f - 1.0) / (2.0 * big_n * (1.0 - f))).exp();
+                Ok((1.0 - f).powf(n_f) * correction)
+            }
+            EscapeApproximation::SimplePower => Ok((1.0 - f).powf(n as f64)),
+        }
+    }
+}
+
+/// The tested-good-but-bad yield `Y_bg(f)`.
+///
+/// Two evaluations are offered: the exact sum of eq. 6 (fold `q0(n)` over the
+/// fault-number distribution) and the closed form of eq. 7,
+/// `(1 − f)(1 − y)e^(−(n0 − 1)f)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BadChipYield {
+    params: ModelParams,
+}
+
+impl BadChipYield {
+    /// Creates the calculator for the given model parameters.
+    pub fn new(params: ModelParams) -> Self {
+        BadChipYield { params }
+    }
+
+    /// The closed-form approximation of eq. 7.
+    pub fn closed_form(&self, coverage: FaultCoverage) -> f64 {
+        let f = coverage.value();
+        let y = self.params.yield_fraction().value();
+        (1.0 - f) * (1.0 - y) * (-(self.params.n0() - 1.0) * f).exp()
+    }
+
+    /// The exact sum of eq. 6, truncated where the fault-number distribution
+    /// has negligible mass, using the simple-power escape probability.
+    pub fn exact_sum(&self, coverage: FaultCoverage) -> f64 {
+        let distribution = FaultCountDistribution::new(self.params);
+        let f = coverage.value();
+        let mut total = 0.0;
+        // The shifted Poisson has essentially no mass beyond
+        // n0 + 12 sqrt(n0) + 30.
+        let n0 = self.params.n0();
+        let cutoff = (n0 + 12.0 * n0.sqrt() + 30.0).ceil() as u64;
+        for n in 1..=cutoff {
+            total += (1.0 - f).powf(n as f64) * distribution.pmf(n);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Yield;
+
+    fn coverage(f: f64) -> FaultCoverage {
+        FaultCoverage::new(f).expect("valid coverage")
+    }
+
+    fn params(y: f64, n0: f64) -> ModelParams {
+        ModelParams::new(Yield::new(y).expect("valid"), n0).expect("valid")
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(EscapeProbability::new(0, 0).is_err());
+        assert!(EscapeProbability::new(10, 11).is_err());
+        assert!(EscapeProbability::new(10, 10).is_ok());
+        let from_coverage = EscapeProbability::from_coverage(1000, coverage(0.6)).expect("valid");
+        assert!((from_coverage.coverage() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_faults_never_escape_detection_question() {
+        // A chip with zero faults "escapes" with probability 1 by definition.
+        let escape = EscapeProbability::new(1000, 700).expect("valid");
+        for approximation in [
+            EscapeApproximation::Exact,
+            EscapeApproximation::Corrected,
+            EscapeApproximation::SimplePower,
+        ] {
+            assert!((escape.escape(0, approximation).expect("valid") - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_coverage_catches_every_fault() {
+        let escape = EscapeProbability::new(500, 500).expect("valid");
+        for approximation in [
+            EscapeApproximation::Exact,
+            EscapeApproximation::Corrected,
+            EscapeApproximation::SimplePower,
+        ] {
+            assert!(escape.escape(3, approximation).expect("valid") < 1e-12);
+        }
+    }
+
+    #[test]
+    fn approximations_agree_in_their_validity_region() {
+        // Fig. 6 of the paper: for N = 1000 and small n all three forms
+        // coincide; A.2 tracks the exact value even for larger n.
+        let escape = EscapeProbability::new(1000, 500).expect("valid");
+        for n in 1..=4 {
+            let exact = escape.escape(n, EscapeApproximation::Exact).expect("valid");
+            let corrected = escape
+                .escape(n, EscapeApproximation::Corrected)
+                .expect("valid");
+            let simple = escape
+                .escape(n, EscapeApproximation::SimplePower)
+                .expect("valid");
+            assert!((exact - corrected).abs() / exact < 5e-3, "n={n}");
+            assert!((exact - simple).abs() / exact < 2e-2, "n={n}");
+        }
+        for n in [10u64, 20, 30] {
+            let exact = escape.escape(n, EscapeApproximation::Exact).expect("valid");
+            let corrected = escape
+                .escape(n, EscapeApproximation::Corrected)
+                .expect("valid");
+            assert!(
+                (exact - corrected).abs() / exact < 5e-2,
+                "n={n}: exact {exact} corrected {corrected}"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_power_overestimates_escape_for_large_n() {
+        // Drawing without replacement makes escapes less likely than the
+        // independent approximation, so A.3 is an upper bound.
+        let escape = EscapeProbability::new(1000, 700).expect("valid");
+        for n in [5u64, 15, 40] {
+            let exact = escape.escape(n, EscapeApproximation::Exact).expect("valid");
+            let simple = escape
+                .escape(n, EscapeApproximation::SimplePower)
+                .expect("valid");
+            assert!(simple >= exact, "n={n}");
+        }
+    }
+
+    #[test]
+    fn detect_exactly_sums_to_one_over_k() {
+        let escape = EscapeProbability::new(200, 80).expect("valid");
+        let n = 6;
+        let total: f64 = (0..=n)
+            .map(|k| escape.detect_exactly(k, n).expect("valid"))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_matches_exact_sum() {
+        // eq. 7 versus eq. 6 with the simple-power escape model.
+        for &(y, n0) in &[(0.07, 8.0), (0.8, 2.0), (0.2, 10.0)] {
+            let bad = BadChipYield::new(params(y, n0));
+            for &f in &[0.0, 0.2, 0.5, 0.8, 0.95] {
+                let closed = bad.closed_form(coverage(f));
+                let exact = bad.exact_sum(coverage(f));
+                assert!(
+                    (closed - exact).abs() < 2e-3,
+                    "y={y} n0={n0} f={f}: closed {closed} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coverage_ships_every_bad_chip() {
+        let bad = BadChipYield::new(params(0.3, 5.0));
+        assert!((bad.closed_form(coverage(0.0)) - 0.7).abs() < 1e-12);
+        assert!((bad.exact_sum(coverage(0.0)) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_coverage_ships_no_bad_chips() {
+        let bad = BadChipYield::new(params(0.3, 5.0));
+        assert!(bad.closed_form(coverage(1.0)) < 1e-12);
+        assert!(bad.exact_sum(coverage(1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn bad_chip_yield_decreases_with_coverage() {
+        let bad = BadChipYield::new(params(0.07, 8.0));
+        let mut previous = 1.0;
+        for step in 0..=20 {
+            let f = step as f64 / 20.0;
+            let value = bad.closed_form(coverage(f));
+            assert!(value <= previous + 1e-12);
+            previous = value;
+        }
+    }
+}

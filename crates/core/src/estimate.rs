@@ -1,0 +1,260 @@
+//! Estimation of the model parameter `n0` (Section 5).
+//!
+//! Two procedures are implemented, exactly as the paper describes them:
+//!
+//! * **curve fit** — overlay the `P(f)` family (one curve per candidate `n0`)
+//!   on the experimental cumulative-reject points and pick the closest curve
+//!   (implemented as a least-squares scan with golden-section refinement),
+//! * **origin slope** — measure the slope of the experimental curve near the
+//!   origin; by eq. 10 the slope is `(1 − y)·n0`, so `n0 = P′(0)/(1 − y)`,
+//!   and `P′(0)` alone is a safe (pessimistic) stand-in for `n0` when the
+//!   yield is unknown.
+
+use crate::chip_test::ChipTestTable;
+use crate::detection::rejected_fraction;
+use crate::error::QualityError;
+use crate::params::{FaultCoverage, ModelParams, Yield};
+use lsiq_stats::fit::{linear_fit_through_origin, scan_minimize, sum_squared_residuals};
+
+/// The result of estimating `n0` from a chip-test table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct N0Estimate {
+    /// Best-fitting `n0` from the curve-fit procedure.
+    pub curve_fit_n0: f64,
+    /// Root-mean-square residual of the best fit (fraction of chips).
+    pub curve_fit_rmse: f64,
+    /// The measured origin slope `P′(0)`.
+    pub origin_slope: f64,
+    /// `n0` derived from the origin slope and the supplied yield
+    /// (`P′(0)/(1 − y)`).
+    pub slope_n0: f64,
+    /// The yield used for both estimates.
+    pub yield_fraction: Yield,
+}
+
+impl N0Estimate {
+    /// Model parameters built from the curve-fit estimate.
+    pub fn params(&self) -> Result<ModelParams, QualityError> {
+        ModelParams::new(self.yield_fraction, self.curve_fit_n0)
+    }
+}
+
+/// Configuration of the `n0` estimation procedures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct N0Estimator {
+    /// Smallest candidate `n0` for the curve-fit scan.
+    pub min_n0: f64,
+    /// Largest candidate `n0` for the curve-fit scan.
+    pub max_n0: f64,
+    /// Number of scan steps across the candidate range.
+    pub scan_steps: usize,
+    /// Rows with coverage at or below this value are used for the origin
+    /// slope (the paper uses the first line of its table).
+    pub slope_window: f64,
+}
+
+impl Default for N0Estimator {
+    fn default() -> Self {
+        N0Estimator {
+            min_n0: 1.0,
+            max_n0: 30.0,
+            scan_steps: 290,
+            // The paper takes the slope from the first line of its table
+            // (5 percent coverage); a tight window keeps the estimate close
+            // to the true origin slope before the curve bends over.
+            slope_window: 0.06,
+        }
+    }
+}
+
+impl N0Estimator {
+    /// Runs both estimation procedures on a chip-test table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidData`] if the table has no rows inside
+    /// the slope window, or a numerical error if the scan range is invalid.
+    pub fn estimate(
+        &self,
+        table: &ChipTestTable,
+        yield_fraction: Yield,
+    ) -> Result<N0Estimate, QualityError> {
+        let points = table.fractions();
+        let coverages: Vec<f64> = points.iter().map(|&(f, _)| f).collect();
+        let fractions: Vec<f64> = points.iter().map(|&(_, p)| p).collect();
+
+        // Curve fit: scan candidate n0 values, measuring the sum of squared
+        // residuals of P(f; y, n0) against the experimental points.
+        let objective = |n0: f64| {
+            let candidate = match ModelParams::new(yield_fraction, n0.max(1.0)) {
+                Ok(params) => params,
+                Err(_) => return f64::INFINITY,
+            };
+            sum_squared_residuals(&coverages, &fractions, |f| {
+                rejected_fraction(
+                    &candidate,
+                    FaultCoverage::new(f.clamp(0.0, 1.0)).expect("clamped"),
+                )
+            })
+        };
+        let scan = scan_minimize(objective, self.min_n0, self.max_n0, self.scan_steps.max(1))?;
+        let curve_fit_n0 = scan.best_parameter;
+        let curve_fit_rmse = (scan.best_objective / points.len() as f64).sqrt();
+
+        // Origin slope: least-squares line through the origin over the
+        // low-coverage rows.  When the first checkpoint already exceeds the
+        // window (a strong pattern set covers a lot with its first vector),
+        // fall back to the paper's own recipe of using just the first line of
+        // the table.
+        let mut low: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(f, _)| f <= self.slope_window)
+            .collect();
+        if low.is_empty() {
+            low.push(*points.first().ok_or_else(|| QualityError::InvalidData {
+                message: "chip-test table has no rows".to_string(),
+            })?);
+        }
+        let low_coverage: Vec<f64> = low.iter().map(|&(f, _)| f).collect();
+        let low_fraction: Vec<f64> = low.iter().map(|&(_, p)| p).collect();
+        let origin_slope = linear_fit_through_origin(&low_coverage, &low_fraction)?;
+        let denominator = (1.0 - yield_fraction.value()).max(f64::MIN_POSITIVE);
+        let slope_n0 = origin_slope / denominator;
+
+        Ok(N0Estimate {
+            curve_fit_n0,
+            curve_fit_rmse,
+            origin_slope,
+            slope_n0,
+            yield_fraction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip_test::ChipTestRow;
+
+    #[test]
+    fn paper_table_yields_n0_close_to_eight() {
+        // Section 7: the experimental points closely match the n0 = 8 curve,
+        // the first-row slope gives 8.2 and the corrected estimate 8.8.
+        let table = ChipTestTable::paper_table_1();
+        let estimate = N0Estimator::default()
+            .estimate(&table, Yield::new(0.07).expect("valid"))
+            .expect("estimates");
+        assert!(
+            (estimate.curve_fit_n0 - 8.0).abs() < 1.0,
+            "curve fit n0 = {}",
+            estimate.curve_fit_n0
+        );
+        assert!(
+            (estimate.origin_slope - 8.2).abs() < 1.2,
+            "origin slope = {}",
+            estimate.origin_slope
+        );
+        assert!(
+            (estimate.slope_n0 - 8.8).abs() < 1.3,
+            "slope n0 = {}",
+            estimate.slope_n0
+        );
+        assert!(estimate.curve_fit_rmse < 0.05);
+        let params = estimate.params().expect("valid");
+        assert!((params.n0() - estimate.curve_fit_n0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_n0_curves_disagree_with_the_paper_data() {
+        // Section 7 argues n0 = 3 or 4 "disagrees significantly" with the
+        // experimental curve: their residual must be clearly worse than the
+        // best fit's.
+        let table = ChipTestTable::paper_table_1();
+        let yield_fraction = Yield::new(0.07).expect("valid");
+        let estimate = N0Estimator::default()
+            .estimate(&table, yield_fraction)
+            .expect("estimates");
+        let points = table.fractions();
+        let coverages: Vec<f64> = points.iter().map(|&(f, _)| f).collect();
+        let fractions: Vec<f64> = points.iter().map(|&(_, p)| p).collect();
+        let residual_for = |n0: f64| {
+            let params = ModelParams::new(yield_fraction, n0).expect("valid");
+            sum_squared_residuals(&coverages, &fractions, |f| {
+                rejected_fraction(&params, FaultCoverage::new(f).expect("valid"))
+            })
+        };
+        let best = residual_for(estimate.curve_fit_n0);
+        assert!(residual_for(3.0) > 4.0 * best);
+        assert!(residual_for(4.0) > 2.0 * best);
+    }
+
+    #[test]
+    fn estimator_recovers_known_n0_from_synthetic_data() {
+        // Generate exact P(f) points for known parameters and check both
+        // procedures recover them.
+        let truth = ModelParams::new(Yield::new(0.25).expect("valid"), 6.0).expect("valid");
+        let checkpoints = [0.02, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8];
+        let rows: Vec<ChipTestRow> = checkpoints
+            .iter()
+            .map(|&f| ChipTestRow {
+                fault_coverage: f,
+                chips_failed: (rejected_fraction(
+                    &truth,
+                    FaultCoverage::new(f).expect("valid"),
+                ) * 10_000.0)
+                    .round() as usize,
+            })
+            .collect();
+        let table = ChipTestTable::new(rows, 10_000).expect("valid");
+        let estimate = N0Estimator::default()
+            .estimate(&table, truth.yield_fraction())
+            .expect("estimates");
+        assert!(
+            (estimate.curve_fit_n0 - 6.0).abs() < 0.1,
+            "curve fit {}",
+            estimate.curve_fit_n0
+        );
+        // The slope estimate uses a finite window, so it is biased slightly
+        // low but must be in the neighbourhood.
+        assert!(
+            (estimate.slope_n0 - 6.0).abs() < 1.0,
+            "slope {}",
+            estimate.slope_n0
+        );
+    }
+
+    #[test]
+    fn slope_falls_back_to_first_row_when_window_is_empty() {
+        // The only row sits at 50 percent coverage, well outside the slope
+        // window; the estimator must fall back to using that first row
+        // rather than failing.
+        let table = ChipTestTable::new(
+            vec![ChipTestRow {
+                fault_coverage: 0.5,
+                chips_failed: 40,
+            }],
+            100,
+        )
+        .expect("valid");
+        let estimator = N0Estimator {
+            slope_window: 0.1,
+            ..N0Estimator::default()
+        };
+        let estimate = estimator
+            .estimate(&table, Yield::new(0.3).expect("valid"))
+            .expect("falls back to the first row");
+        assert!((estimate.origin_slope - 0.4 / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_only_estimate_is_pessimistic_when_yield_ignored() {
+        // Section 5: using P'(0) in place of n0 (i.e. assuming y = 0) gives a
+        // smaller n0 and therefore a safe, higher coverage requirement.
+        let table = ChipTestTable::paper_table_1();
+        let with_yield = N0Estimator::default()
+            .estimate(&table, Yield::new(0.07).expect("valid"))
+            .expect("estimates");
+        assert!(with_yield.origin_slope < with_yield.slope_n0);
+    }
+}

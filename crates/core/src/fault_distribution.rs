@@ -1,0 +1,163 @@
+//! The shifted-Poisson fault-number distribution (eq. 1–2).
+//!
+//! The paper assumes that the number of faults `n` on a *defective* chip has
+//! a Poisson density shifted right by one unit:
+//!
+//! ```text
+//! p(n) = (1 − y) · (n0 − 1)^(n−1) / (n − 1)! · e^(−(n0 − 1)),   n ≥ 1
+//! p(0) = y
+//! ```
+//!
+//! so that a defective chip carries at least one fault and the average number
+//! of faults on a defective chip is `n0`.
+
+use crate::params::ModelParams;
+use lsiq_stats::dist::{Poisson, Sample};
+use lsiq_stats::rng::Rng;
+use lsiq_stats::special::ln_factorial;
+
+/// The distribution of the number of faults on a manufactured chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCountDistribution {
+    params: ModelParams,
+}
+
+impl FaultCountDistribution {
+    /// Creates the distribution for a chip with the given model parameters.
+    pub fn new(params: ModelParams) -> Self {
+        FaultCountDistribution { params }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Probability of exactly `n` faults on a chip (eq. 1).
+    pub fn pmf(&self, n: u64) -> f64 {
+        let y = self.params.yield_fraction().value();
+        if n == 0 {
+            return y;
+        }
+        let shifted_mean = self.params.n0() - 1.0;
+        let k = (n - 1) as f64;
+        let ln_core = if shifted_mean == 0.0 {
+            if n == 1 {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            k * shifted_mean.ln() - shifted_mean - ln_factorial(n - 1)
+        };
+        (1.0 - y) * ln_core.exp()
+    }
+
+    /// Probability that the chip carries more than `n` faults.
+    pub fn survival(&self, n: u64) -> f64 {
+        1.0 - (0..=n).map(|k| self.pmf(k)).sum::<f64>()
+    }
+
+    /// Average number of faults on a chip, `n_av = (1 − y)·n0` (eq. 2).
+    pub fn mean(&self) -> f64 {
+        self.params.average_faults_per_chip()
+    }
+
+    /// Average number of faults restricted to defective chips (`n0`).
+    pub fn mean_given_defective(&self) -> f64 {
+        self.params.n0()
+    }
+
+    /// Draws the fault count of one chip.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if rng.next_bool(self.params.yield_fraction().value()) {
+            return 0;
+        }
+        let shifted_mean = self.params.n0() - 1.0;
+        if shifted_mean <= 0.0 {
+            1
+        } else {
+            1 + Poisson::new(shifted_mean)
+                .expect("shifted mean is positive")
+                .sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Yield;
+    use lsiq_stats::rng::Xoshiro256StarStar;
+
+    fn dist(yield_fraction: f64, n0: f64) -> FaultCountDistribution {
+        FaultCountDistribution::new(
+            ModelParams::new(Yield::new(yield_fraction).expect("valid"), n0).expect("valid"),
+        )
+    }
+
+    #[test]
+    fn zero_class_equals_yield() {
+        let d = dist(0.07, 8.0);
+        assert!((d.pmf(0) - 0.07).abs() < 1e-12);
+        assert_eq!(d.params().n0(), 8.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(y, n0) in &[(0.07, 8.0), (0.8, 2.0), (0.2, 10.0), (0.5, 1.0)] {
+            let d = dist(y, n0);
+            let total: f64 = (0..300).map(|n| d.pmf(n)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "y={y} n0={n0}: total {total}");
+        }
+    }
+
+    #[test]
+    fn mean_matches_equation_two() {
+        let d = dist(0.2, 10.0);
+        let numeric_mean: f64 = (0..400).map(|n| n as f64 * d.pmf(n)).sum();
+        assert!((numeric_mean - 8.0).abs() < 1e-9);
+        assert!((d.mean() - 8.0).abs() < 1e-12);
+        assert_eq!(d.mean_given_defective(), 10.0);
+    }
+
+    #[test]
+    fn conditional_mean_given_defective_is_n0() {
+        let d = dist(0.3, 6.0);
+        let defective_mass: f64 = (1..400).map(|n| d.pmf(n)).sum();
+        let conditional_mean: f64 =
+            (1..400).map(|n| n as f64 * d.pmf(n)).sum::<f64>() / defective_mass;
+        assert!((conditional_mean - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_n0_of_one_gives_single_fault_chips() {
+        let d = dist(0.5, 1.0);
+        assert!((d.pmf(1) - 0.5).abs() < 1e-12);
+        assert!(d.pmf(2) < 1e-12);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(d.sample(&mut rng) <= 1);
+        }
+    }
+
+    #[test]
+    fn survival_is_complement_of_cdf() {
+        let d = dist(0.07, 8.0);
+        let cdf_5: f64 = (0..=5).map(|n| d.pmf(n)).sum();
+        assert!((d.survival(5) - (1.0 - cdf_5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_model_parameters() {
+        let d = dist(0.07, 8.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let draws: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let zero_fraction =
+            draws.iter().filter(|&&n| n == 0).count() as f64 / draws.len() as f64;
+        assert!((zero_fraction - 0.07).abs() < 0.005, "yield {zero_fraction}");
+        let defective: Vec<u64> = draws.iter().copied().filter(|&n| n > 0).collect();
+        let n0 = defective.iter().sum::<u64>() as f64 / defective.len() as f64;
+        assert!((n0 - 8.0).abs() < 0.05, "n0 {n0}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The Agrawal–Seth–Agrawal LSI product-quality model (DAC 1981).
+//!
+//! This crate implements every equation of *LSI Product Quality and Fault
+//! Coverage* and the procedures built on them:
+//!
+//! * [`fault_distribution`] — the shifted-Poisson fault-number model
+//!   (eq. 1–2),
+//! * [`yield_model`] — chip-yield formulas, including the negative-binomial
+//!   form of eq. 3 and the classical Poisson/Murphy/Seeds alternatives,
+//! * [`escape`] — the hypergeometric escape probability `q0(n)` and the
+//!   Appendix approximations A.1–A.3, plus the tested-good-but-bad yield
+//!   `Y_bg(f)` (eq. 6–7),
+//! * [`reject`] — the field reject rate `r(f)` (eq. 8) and its inverse
+//!   (eq. 11),
+//! * [`detection`] — the rejected-fraction curve `P(f)` and its slope
+//!   (eq. 9–10),
+//! * [`chip_test`] — chip-test tables (the paper's Table 1 is embedded),
+//! * [`estimate`] — the two `n0`-estimation procedures of Section 5 (curve
+//!   fit and origin slope),
+//! * [`coverage_requirement`] — the required-coverage solver of Section 6,
+//! * [`baseline`] — the Wadsack and Williams–Brown baseline models the paper
+//!   compares against.
+//!
+//! # Quick example — the paper's Section 7 numbers
+//!
+//! ```
+//! use lsiq_core::chip_test::ChipTestTable;
+//! use lsiq_core::estimate::N0Estimator;
+//! use lsiq_core::coverage_requirement::required_fault_coverage;
+//! use lsiq_core::params::{ModelParams, RejectRate, Yield};
+//!
+//! # fn main() -> Result<(), lsiq_core::QualityError> {
+//! let table = ChipTestTable::paper_table_1();
+//! let estimate = N0Estimator::default().estimate(&table, Yield::new(0.07)?)?;
+//! assert!((estimate.curve_fit_n0 - 8.0).abs() < 1.0);
+//!
+//! let params = ModelParams::new(Yield::new(0.07)?, 8.0)?;
+//! let coverage = required_fault_coverage(&params, RejectRate::new(0.01)?)?;
+//! assert!((coverage.value() - 0.80).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baseline;
+pub mod chip_test;
+pub mod coverage_requirement;
+pub mod detection;
+pub mod error;
+pub mod escape;
+pub mod estimate;
+pub mod fault_distribution;
+pub mod params;
+pub mod reject;
+pub mod yield_model;
+
+pub use error::QualityError;
+pub use params::{FaultCoverage, ModelParams, RejectRate, Yield};

@@ -1,0 +1,174 @@
+//! Validated model parameters.
+//!
+//! The model manipulates several quantities that are all "just numbers
+//! between 0 and 1" — fault coverage `f`, yield `y`, field reject rate `r`.
+//! Newtypes keep them from being interchanged by accident.
+
+use crate::error::QualityError;
+use std::fmt;
+
+macro_rules! probability_newtype {
+    ($(#[$doc:meta])* $name:ident, $param:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates the value, validating that it lies in `[0, 1]`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`QualityError::InvalidParameter`] if the value is not
+            /// a finite number in `[0, 1]`.
+            pub fn new(value: f64) -> Result<Self, QualityError> {
+                if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                    return Err(QualityError::InvalidParameter {
+                        name: $param,
+                        value,
+                        expected: "a finite value in [0, 1]",
+                    });
+                }
+                Ok(Self(value))
+            }
+
+            /// The underlying fraction.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// The value expressed in percent.
+            pub fn percent(self) -> f64 {
+                self.0 * 100.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4}", self.0)
+            }
+        }
+
+        impl TryFrom<f64> for $name {
+            type Error = QualityError;
+
+            fn try_from(value: f64) -> Result<Self, Self::Error> {
+                Self::new(value)
+            }
+        }
+    };
+}
+
+probability_newtype!(
+    /// Single stuck-at fault coverage `f = m / N`.
+    FaultCoverage,
+    "fault_coverage"
+);
+
+probability_newtype!(
+    /// Chip yield `y`: the probability that a manufactured chip is good.
+    Yield,
+    "yield"
+);
+
+probability_newtype!(
+    /// Field reject rate `r`: bad chips among the chips that tested good.
+    RejectRate,
+    "reject_rate"
+);
+
+/// The two parameters that characterise the paper's model for one chip: its
+/// yield `y` and the average number of faults on a defective chip `n0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    yield_fraction: Yield,
+    n0: f64,
+}
+
+impl ModelParams {
+    /// Creates a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidParameter`] if `n0 < 1` (a defective
+    /// chip carries at least one fault) or is not finite.
+    pub fn new(yield_fraction: Yield, n0: f64) -> Result<Self, QualityError> {
+        if !n0.is_finite() || n0 < 1.0 {
+            return Err(QualityError::InvalidParameter {
+                name: "n0",
+                value: n0,
+                expected: "a finite value >= 1",
+            });
+        }
+        Ok(ModelParams { yield_fraction, n0 })
+    }
+
+    /// The chip yield `y`.
+    pub fn yield_fraction(&self) -> Yield {
+        self.yield_fraction
+    }
+
+    /// The average number of faults on a defective chip, `n0`.
+    pub fn n0(&self) -> f64 {
+        self.n0
+    }
+
+    /// The average number of faults per manufactured chip, `n_av = (1−y)·n0`
+    /// (eq. 2).
+    pub fn average_faults_per_chip(&self) -> f64 {
+        (1.0 - self.yield_fraction.value()) * self.n0
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.3}, n0 = {:.2}",
+            self.yield_fraction.value(),
+            self.n0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_newtypes_validate_range() {
+        assert!(FaultCoverage::new(0.0).is_ok());
+        assert!(FaultCoverage::new(1.0).is_ok());
+        assert!(FaultCoverage::new(-0.01).is_err());
+        assert!(Yield::new(1.01).is_err());
+        assert!(RejectRate::new(f64::NAN).is_err());
+        assert!(RejectRate::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accessors_and_percent() {
+        let coverage = FaultCoverage::new(0.85).expect("valid");
+        assert_eq!(coverage.value(), 0.85);
+        assert!((coverage.percent() - 85.0).abs() < 1e-12);
+        assert_eq!(coverage.to_string(), "0.8500");
+        let converted: Yield = 0.2f64.try_into().expect("valid");
+        assert_eq!(converted.value(), 0.2);
+    }
+
+    #[test]
+    fn model_params_validate_n0() {
+        let y = Yield::new(0.07).expect("valid");
+        assert!(ModelParams::new(y, 0.5).is_err());
+        assert!(ModelParams::new(y, f64::NAN).is_err());
+        let params = ModelParams::new(y, 8.0).expect("valid");
+        assert_eq!(params.n0(), 8.0);
+        assert_eq!(params.yield_fraction().value(), 0.07);
+    }
+
+    #[test]
+    fn average_faults_matches_equation_two() {
+        let params =
+            ModelParams::new(Yield::new(0.2).expect("valid"), 10.0).expect("valid");
+        assert!((params.average_faults_per_chip() - 8.0).abs() < 1e-12);
+        assert!(params.to_string().contains("n0 = 10.00"));
+    }
+}

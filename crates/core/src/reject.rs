@@ -1,0 +1,160 @@
+//! The field reject rate (eq. 8) and its inverse (eq. 11).
+
+use crate::escape::BadChipYield;
+use crate::params::{FaultCoverage, ModelParams, RejectRate, Yield};
+
+/// Field reject rate `r(f)` for a chip with the given model parameters tested
+/// to coverage `f` (eq. 8):
+///
+/// ```text
+/// r(f) = (1−f)(1−y)e^(−(n0−1)f) / [ y + (1−f)(1−y)e^(−(n0−1)f) ]
+/// ```
+pub fn field_reject_rate(params: &ModelParams, coverage: FaultCoverage) -> RejectRate {
+    let bad = BadChipYield::new(*params).closed_form(coverage);
+    let y = params.yield_fraction().value();
+    let value = if y + bad == 0.0 { 0.0 } else { bad / (y + bad) };
+    RejectRate::new(value.clamp(0.0, 1.0)).expect("ratio of non-negative quantities is in [0,1]")
+}
+
+/// The yield required to meet field reject rate `r` at coverage `f` for a
+/// given `n0` (eq. 11):
+///
+/// ```text
+/// y = (1−r)(1−f)e^(−(n0−1)f) / [ r + (1−r)(1−f)e^(−(n0−1)f) ]
+/// ```
+///
+/// This is the relation plotted in the paper's Figs. 2–4 (with `f` on the
+/// vertical axis).
+pub fn yield_for_reject_target(
+    n0: f64,
+    coverage: FaultCoverage,
+    reject: RejectRate,
+) -> Yield {
+    let f = coverage.value();
+    let r = reject.value();
+    let kernel = (1.0 - r) * (1.0 - f) * (-(n0 - 1.0) * f).exp();
+    let value = if r + kernel == 0.0 {
+        1.0
+    } else {
+        kernel / (r + kernel)
+    };
+    Yield::new(value.clamp(0.0, 1.0)).expect("ratio of non-negative quantities is in [0,1]")
+}
+
+/// Sweeps `r(f)` over a uniform grid of coverages, returning `(f, r)` pairs —
+/// one curve of the paper's Fig. 1.
+pub fn reject_rate_curve(params: &ModelParams, points: usize) -> Vec<(f64, f64)> {
+    let steps = points.max(2) - 1;
+    (0..=steps)
+        .map(|i| {
+            let f = i as f64 / steps as f64;
+            let coverage = FaultCoverage::new(f).expect("grid point is in range");
+            (f, field_reject_rate(params, coverage).value())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(y: f64, n0: f64) -> ModelParams {
+        ModelParams::new(Yield::new(y).expect("valid"), n0).expect("valid")
+    }
+
+    fn coverage(f: f64) -> FaultCoverage {
+        FaultCoverage::new(f).expect("valid")
+    }
+
+    #[test]
+    fn zero_coverage_reject_rate_is_defective_fraction() {
+        // With no testing, every bad chip ships: r(0) = 1 - y.
+        let p = params(0.8, 2.0);
+        let r = field_reject_rate(&p, coverage(0.0));
+        assert!((r.value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coverage_reject_rate_is_zero() {
+        let p = params(0.07, 8.0);
+        assert!(field_reject_rate(&p, coverage(1.0)).value() < 1e-12);
+    }
+
+    #[test]
+    fn reject_rate_is_monotone_decreasing_in_coverage() {
+        let p = params(0.2, 10.0);
+        let curve = reject_rate_curve(&p, 101);
+        for window in curve.windows(2) {
+            assert!(window[1].1 <= window[0].1 + 1e-12);
+        }
+        assert_eq!(curve.len(), 101);
+    }
+
+    #[test]
+    fn figure_one_reference_points() {
+        // Section 4: for y = 0.80 a reject rate of 0.5 percent needs about
+        // 95 percent coverage when n0 = 2 but only about 38 percent when
+        // n0 = 10.
+        let n0_2 = params(0.8, 2.0);
+        let n0_10 = params(0.8, 10.0);
+        assert!(field_reject_rate(&n0_2, coverage(0.95)).value() <= 0.005 + 3e-4);
+        assert!(field_reject_rate(&n0_2, coverage(0.90)).value() > 0.005);
+        assert!(field_reject_rate(&n0_10, coverage(0.40)).value() <= 0.005 + 3e-4);
+        assert!(field_reject_rate(&n0_10, coverage(0.30)).value() > 0.005);
+        // And for y = 0.20: roughly 99 percent (n0 = 2) versus about
+        // 63 percent (n0 = 10).  The 99-percent figure is a log-scale graph
+        // reading in the paper; the exact root lies just above it, so check
+        // that the n0 = 2 curve still needs north of 99 percent while the
+        // n0 = 10 curve is already through the target near 63 percent.
+        let low_yield_2 = params(0.2, 2.0);
+        let low_yield_10 = params(0.2, 10.0);
+        assert!(field_reject_rate(&low_yield_2, coverage(0.99)).value() < 0.02);
+        assert!(field_reject_rate(&low_yield_2, coverage(0.95)).value() > 0.02);
+        assert!(field_reject_rate(&low_yield_10, coverage(0.65)).value() <= 0.005 + 3e-4);
+        assert!(field_reject_rate(&low_yield_10, coverage(0.55)).value() > 0.005);
+    }
+
+    #[test]
+    fn higher_n0_needs_less_coverage_for_the_same_reject_rate() {
+        let f = coverage(0.6);
+        let low = field_reject_rate(&params(0.2, 2.0), f);
+        let high = field_reject_rate(&params(0.2, 10.0), f);
+        assert!(high.value() < low.value());
+    }
+
+    #[test]
+    fn equation_eleven_inverts_equation_eight() {
+        // For any (y, n0, f), computing r then feeding it to eq. 11 must give
+        // back the yield.
+        for &(y, n0) in &[(0.07, 8.0), (0.3, 5.0), (0.8, 2.0)] {
+            let p = params(y, n0);
+            for &f in &[0.1, 0.5, 0.9] {
+                let r = field_reject_rate(&p, coverage(f));
+                let recovered = yield_for_reject_target(n0, coverage(f), r);
+                assert!(
+                    (recovered.value() - y).abs() < 1e-9,
+                    "y={y} n0={n0} f={f}: recovered {}",
+                    recovered.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn yield_for_reject_target_handles_extremes() {
+        let full = yield_for_reject_target(
+            8.0,
+            coverage(1.0),
+            RejectRate::new(0.01).expect("valid"),
+        );
+        // At full coverage any yield meets any reject target; the formula
+        // degenerates to 0/r = 0.
+        assert!(full.value() < 1e-12);
+        let no_reject = yield_for_reject_target(
+            8.0,
+            coverage(0.5),
+            RejectRate::new(0.0).expect("valid"),
+        );
+        assert!((no_reject.value() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Chip-yield formulas.
+//!
+//! The paper calculates yield with the "power transformation" /
+//! negative-binomial formula of Sredni and Stapper (eq. 3):
+//!
+//! ```text
+//! y = (1 + λ·D0·A)^(−1/λ)
+//! ```
+//!
+//! The classical alternatives (Poisson, Murphy, Seeds) are included both for
+//! comparison benches and because the paper cites them as the prior art its
+//! yield input may come from.
+
+use crate::error::QualityError;
+use crate::params::Yield;
+
+/// A chip-yield model mapping average defect count `D0·A` to yield.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum YieldModel {
+    /// Poisson statistics: `y = e^(−D0·A)`.
+    Poisson,
+    /// Murphy's model: `y = ((1 − e^(−D0·A)) / (D0·A))²`.
+    Murphy,
+    /// Seeds' model: `y = 1 / (1 + D0·A)`.
+    Seeds,
+    /// The paper's eq. 3 with clustering parameter `lambda` (variance of the
+    /// defect density over its squared mean).
+    NegativeBinomial {
+        /// Clustering parameter `λ`.
+        lambda: f64,
+    },
+}
+
+impl YieldModel {
+    /// Predicted yield for an average of `defects` (= `D0·A`) defects per
+    /// chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidParameter`] if `defects` is negative or
+    /// the clustering parameter is not finite and positive.
+    pub fn yield_for_defects(&self, defects: f64) -> Result<Yield, QualityError> {
+        if !defects.is_finite() || defects < 0.0 {
+            return Err(QualityError::InvalidParameter {
+                name: "defects",
+                value: defects,
+                expected: "a finite value >= 0",
+            });
+        }
+        let value = match *self {
+            YieldModel::Poisson => (-defects).exp(),
+            YieldModel::Murphy => {
+                if defects == 0.0 {
+                    1.0
+                } else {
+                    let factor = (1.0 - (-defects).exp()) / defects;
+                    factor * factor
+                }
+            }
+            YieldModel::Seeds => 1.0 / (1.0 + defects),
+            YieldModel::NegativeBinomial { lambda } => {
+                if !lambda.is_finite() || lambda <= 0.0 {
+                    return Err(QualityError::InvalidParameter {
+                        name: "lambda",
+                        value: lambda,
+                        expected: "a finite value > 0",
+                    });
+                }
+                (1.0 + lambda * defects).powf(-1.0 / lambda)
+            }
+        };
+        Yield::new(value)
+    }
+
+    /// Inverts the model: the average defect count that produces
+    /// `target_yield`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError::InvalidParameter`] if the target yield is 0 or
+    /// the clustering parameter is invalid.  (Murphy's model is inverted
+    /// numerically.)
+    pub fn defects_for_yield(&self, target_yield: Yield) -> Result<f64, QualityError> {
+        let y = target_yield.value();
+        if y <= 0.0 {
+            return Err(QualityError::InvalidParameter {
+                name: "target_yield",
+                value: y,
+                expected: "a value > 0",
+            });
+        }
+        match *self {
+            YieldModel::Poisson => Ok(-y.ln()),
+            YieldModel::Seeds => Ok(1.0 / y - 1.0),
+            YieldModel::NegativeBinomial { lambda } => {
+                if !lambda.is_finite() || lambda <= 0.0 {
+                    return Err(QualityError::InvalidParameter {
+                        name: "lambda",
+                        value: lambda,
+                        expected: "a finite value > 0",
+                    });
+                }
+                Ok((y.powf(-lambda) - 1.0) / lambda)
+            }
+            YieldModel::Murphy => {
+                if y >= 1.0 {
+                    return Ok(0.0);
+                }
+                let root = lsiq_stats::roots::bisect(
+                    |defects| {
+                        self.yield_for_defects(defects)
+                            .map(|predicted| predicted.value() - y)
+                            .unwrap_or(f64::NAN)
+                    },
+                    1e-9,
+                    1e6,
+                    lsiq_stats::roots::RootOptions::default(),
+                )?;
+                Ok(root)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_defects_means_unit_yield() {
+        for model in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::Seeds,
+            YieldModel::NegativeBinomial { lambda: 0.5 },
+        ] {
+            let y = model.yield_for_defects(0.0).expect("valid");
+            assert!((y.value() - 1.0).abs() < 1e-12, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn yield_decreases_with_defect_count() {
+        for model in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::Seeds,
+            YieldModel::NegativeBinomial { lambda: 1.0 },
+        ] {
+            let mut previous = 1.0;
+            for step in 1..20 {
+                let defects = step as f64 * 0.5;
+                let y = model.yield_for_defects(defects).expect("valid").value();
+                assert!(y < previous, "{model:?} at {defects}");
+                previous = y;
+            }
+        }
+    }
+
+    #[test]
+    fn negative_binomial_matches_paper_equation_three() {
+        let model = YieldModel::NegativeBinomial { lambda: 2.0 };
+        let y = model.yield_for_defects(1.5).expect("valid").value();
+        assert!((y - (1.0f64 + 2.0 * 1.5).powf(-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_binomial_approaches_poisson_for_small_lambda() {
+        let nb = YieldModel::NegativeBinomial { lambda: 1e-6 };
+        let poisson = YieldModel::Poisson;
+        for &defects in &[0.5, 1.0, 2.0] {
+            let a = nb.yield_for_defects(defects).expect("valid").value();
+            let b = poisson.yield_for_defects(defects).expect("valid").value();
+            assert!((a - b).abs() < 1e-4, "defects {defects}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn seeds_bound_below_poisson_bound_above_murphy_relation() {
+        // For the same defect count the classical ordering is
+        // Poisson <= Murphy <= Seeds.
+        for &defects in &[0.5, 1.0, 3.0] {
+            let poisson = YieldModel::Poisson.yield_for_defects(defects).expect("valid");
+            let murphy = YieldModel::Murphy.yield_for_defects(defects).expect("valid");
+            let seeds = YieldModel::Seeds.yield_for_defects(defects).expect("valid");
+            assert!(poisson.value() <= murphy.value() + 1e-12);
+            assert!(murphy.value() <= seeds.value() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let target = Yield::new(0.07).expect("valid");
+        for model in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::Seeds,
+            YieldModel::NegativeBinomial { lambda: 1.0 },
+        ] {
+            let defects = model.defects_for_yield(target).expect("invertible");
+            let recovered = model.yield_for_defects(defects).expect("valid");
+            assert!(
+                (recovered.value() - 0.07).abs() < 1e-6,
+                "{model:?}: {}",
+                recovered.value()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(YieldModel::Poisson.yield_for_defects(-1.0).is_err());
+        assert!(YieldModel::NegativeBinomial { lambda: 0.0 }
+            .yield_for_defects(1.0)
+            .is_err());
+        assert!(YieldModel::Poisson
+            .defects_for_yield(Yield::new(0.0).expect("valid"))
+            .is_err());
+        assert!(YieldModel::NegativeBinomial { lambda: -1.0 }
+            .defects_for_yield(Yield::new(0.5).expect("valid"))
+            .is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Deductive fault simulation.
+//!
+//! For every applied pattern the simulator computes, in one topological pass,
+//! the *fault list* of each signal: the set of single stuck-at faults whose
+//! presence would complement that signal's value under this pattern.  Faults
+//! appearing in the list of any primary output are detected by the pattern.
+//! The algorithm simulates all faults of a pattern simultaneously and is the
+//! third, independent implementation used to cross-check the serial and
+//! PPSFP simulators.
+
+use crate::list::FaultList;
+use crate::model::{Fault, StuckValue};
+use crate::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_netlist::GateKind;
+use lsiq_sim::eval::controlling_value;
+use lsiq_sim::levelized::CompiledCircuit;
+use lsiq_sim::pattern::{Pattern, PatternSet};
+use std::collections::{HashMap, HashSet};
+
+/// A deductive fault simulator.
+#[derive(Debug)]
+pub struct DeductiveSimulator<'c> {
+    compiled: CompiledCircuit<'c>,
+}
+
+impl<'c> DeductiveSimulator<'c> {
+    /// Prepares a deductive fault simulator for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        DeductiveSimulator {
+            compiled: CompiledCircuit::new(circuit),
+        }
+    }
+
+    /// Runs the pattern set against every fault of `universe` and returns the
+    /// per-fault detection states.
+    pub fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+        let mut list = FaultList::new(universe);
+        let index_of: HashMap<Fault, usize> = universe
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (*f, i))
+            .collect();
+        for (pattern_index, pattern) in patterns.iter().enumerate() {
+            let detected = self.detected_by_pattern(pattern, &index_of);
+            for fault_index in detected {
+                list.mark_detected(fault_index, pattern_index);
+            }
+        }
+        list
+    }
+
+    /// Computes the set of universe fault indices detected by one pattern.
+    fn detected_by_pattern(
+        &self,
+        pattern: &Pattern,
+        index_of: &HashMap<Fault, usize>,
+    ) -> HashSet<usize> {
+        let circuit = self.compiled.circuit();
+        let values = self.compiled.node_values(pattern);
+        let mut lists: Vec<HashSet<usize>> = vec![HashSet::new(); circuit.gate_count()];
+
+        for &id in self.compiled.order() {
+            let gate = circuit.gate(id);
+            let mut own = HashSet::new();
+            if gate.kind() != GateKind::Input {
+                // Effective fault list seen at each pin: the driver's list
+                // plus the pin's own stuck fault when it opposes the value.
+                let pin_lists: Vec<HashSet<usize>> = gate
+                    .fanin()
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, &driver)| {
+                        let mut pin_list = lists[driver.index()].clone();
+                        let pin_value = values[driver.index()];
+                        let opposing = if pin_value {
+                            StuckValue::Zero
+                        } else {
+                            StuckValue::One
+                        };
+                        if let Some(&index) =
+                            index_of.get(&Fault::input_pin(id, pin, opposing))
+                        {
+                            pin_list.insert(index);
+                        }
+                        pin_list
+                    })
+                    .collect();
+                own = propagate_through_gate(gate.kind(), gate.fanin(), &values, &pin_lists);
+            }
+            // The gate's own output stuck fault complements the output when
+            // its stuck value opposes the good value.
+            let good = values[id.index()];
+            let opposing = if good { StuckValue::Zero } else { StuckValue::One };
+            if let Some(&index) = index_of.get(&Fault::output(id, opposing)) {
+                own.insert(index);
+            }
+            // An output fault of the agreeing polarity masks every upstream
+            // effect (the line is held at its good value), but such a fault is
+            // a different single fault from those in the list, so under the
+            // single-fault assumption nothing needs to be removed.
+            lists[id.index()] = own;
+        }
+
+        let mut detected = HashSet::new();
+        for &out in circuit.primary_outputs() {
+            detected.extend(lists[out.index()].iter().copied());
+        }
+        detected
+    }
+}
+
+/// Applies the deductive propagation rule of a single gate.
+fn propagate_through_gate(
+    kind: GateKind,
+    fanin: &[lsiq_netlist::circuit::GateId],
+    values: &[bool],
+    pin_lists: &[HashSet<usize>],
+) -> HashSet<usize> {
+    match kind {
+        GateKind::Buf | GateKind::Not => pin_lists[0].clone(),
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let control =
+                controlling_value(kind).expect("AND/OR family has a controlling value");
+            let controlling_pins: Vec<usize> = fanin
+                .iter()
+                .enumerate()
+                .filter(|(_, &driver)| values[driver.index()] == control)
+                .map(|(pin, _)| pin)
+                .collect();
+            if controlling_pins.is_empty() {
+                // No input at the controlling value: any single flip flips the
+                // output.
+                let mut union = HashSet::new();
+                for pin_list in pin_lists {
+                    union.extend(pin_list.iter().copied());
+                }
+                union
+            } else {
+                // The output flips only if every controlling input flips and
+                // no non-controlling input flips.
+                let mut intersection: HashSet<usize> =
+                    pin_lists[controlling_pins[0]].clone();
+                for &pin in &controlling_pins[1..] {
+                    intersection = intersection
+                        .intersection(&pin_lists[pin])
+                        .copied()
+                        .collect();
+                }
+                for (pin, pin_list) in pin_lists.iter().enumerate() {
+                    if !controlling_pins.contains(&pin) {
+                        for fault in pin_list {
+                            intersection.remove(fault);
+                        }
+                    }
+                }
+                intersection
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // The output flips when an odd number of inputs flip.
+            let mut parity: HashMap<usize, usize> = HashMap::new();
+            for pin_list in pin_lists {
+                for &fault in pin_list {
+                    *parity.entry(fault).or_insert(0) += 1;
+                }
+            }
+            parity
+                .into_iter()
+                .filter(|(_, count)| count % 2 == 1)
+                .map(|(fault, _)| fault)
+                .collect()
+        }
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => HashSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppsfp::PpsfpSimulator;
+    use crate::serial::SerialSimulator;
+    use lsiq_netlist::generator::{random_circuit, RandomCircuitConfig};
+    use lsiq_netlist::library;
+    use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
+
+    fn random_patterns(width: usize, count: usize, seed: u64) -> PatternSet {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..count)
+            .map(|_| Pattern::from_bits((0..width).map(|_| rng.next_bool(0.5))))
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_simulator_on_c17_exhaustive() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
+        for index in 0..universe.len() {
+            assert_eq!(
+                serial.state(index).first_pattern(),
+                deductive.state(index).first_pattern(),
+                "fault {}",
+                universe.get(index).expect("valid").describe(&circuit)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_simulator_on_xor_heavy_logic() {
+        // The full adder exercises the XOR parity rule.
+        let circuit = library::full_adder();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..8).map(|v| Pattern::from_integer(v, 3)).collect();
+        let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
+        for index in 0..universe.len() {
+            assert_eq!(
+                serial.state(index).first_pattern(),
+                deductive.state(index).first_pattern(),
+                "fault {}",
+                universe.get(index).expect("valid").describe(&circuit)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_ppsfp_on_random_logic() {
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 10,
+            gates: 80,
+            seed: 17,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = random_patterns(10, 40, 3);
+        let ppsfp = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+        let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
+        for index in 0..universe.len() {
+            assert_eq!(
+                ppsfp.state(index).first_pattern(),
+                deductive.state(index).first_pattern(),
+                "fault {}",
+                universe.get(index).expect("valid").describe(&circuit)
+            );
+        }
+    }
+
+    #[test]
+    fn detects_nothing_without_patterns() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let list = DeductiveSimulator::new(&circuit).run(&universe, &PatternSet::new());
+        assert_eq!(list.detected_count(), 0);
+    }
+}

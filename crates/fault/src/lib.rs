@@ -1,0 +1,47 @@
+//! Single stuck-at fault modelling and fault simulation.
+//!
+//! This crate supplies the "fault simulator" role that the LAMP system played
+//! in the paper's Section 7 experiment:
+//!
+//! * [`model`] — stuck-at faults on gate outputs and input pins,
+//! * [`universe`] — enumeration of the complete fault universe `N`,
+//! * [`collapse`] — structural equivalence and dominance collapsing,
+//! * [`list`] — fault lists with detection status and coverage accounting,
+//! * [`serial`], [`ppsfp`], [`deductive`] — three independent fault-simulation
+//!   algorithms (serial, 64-pattern-parallel single fault propagation, and
+//!   deductive), which cross-check each other in the test suites,
+//! * [`coverage`] — cumulative fault-coverage curves as a function of the
+//!   number of applied patterns (the paper's `f` axis), and
+//! * [`dictionary`] — per-fault first-failing-pattern records, the raw
+//!   material of the paper's Table 1.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lsiq_netlist::library;
+//! use lsiq_sim::pattern::{Pattern, PatternSet};
+//! use lsiq_fault::universe::FaultUniverse;
+//! use lsiq_fault::ppsfp::PpsfpSimulator;
+//!
+//! let circuit = library::c17();
+//! let universe = FaultUniverse::full(&circuit);
+//! let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+//! let result = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+//! assert!(result.coverage() > 0.99); // exhaustive patterns detect everything
+//! ```
+
+pub mod collapse;
+pub mod coverage;
+pub mod deductive;
+pub mod dictionary;
+pub mod inject;
+pub mod list;
+pub mod model;
+pub mod ppsfp;
+pub mod serial;
+pub mod universe;
+
+pub use coverage::CoverageCurve;
+pub use list::{DetectionState, FaultList};
+pub use model::{Fault, FaultSite, StuckValue};
+pub use universe::FaultUniverse;

@@ -1,0 +1,187 @@
+//! Fault lists with detection bookkeeping.
+
+use crate::model::Fault;
+use crate::universe::FaultUniverse;
+
+/// Detection status of one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionState {
+    /// Not detected by any pattern applied so far.
+    Undetected,
+    /// First detected by the pattern with this zero-based index.
+    Detected {
+        /// Index of the first detecting pattern in application order.
+        pattern: usize,
+    },
+}
+
+impl DetectionState {
+    /// Returns `true` if the fault has been detected.
+    pub fn is_detected(self) -> bool {
+        matches!(self, DetectionState::Detected { .. })
+    }
+
+    /// The first detecting pattern, if any.
+    pub fn first_pattern(self) -> Option<usize> {
+        match self {
+            DetectionState::Detected { pattern } => Some(pattern),
+            DetectionState::Undetected => None,
+        }
+    }
+}
+
+/// A fault universe together with per-fault detection status.
+///
+/// This is the bookkeeping structure every fault simulator fills in; its
+/// [`coverage`](FaultList::coverage) is the paper's `f = m / N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+    states: Vec<DetectionState>,
+}
+
+impl FaultList {
+    /// Creates a fault list with every fault of `universe` undetected.
+    pub fn new(universe: &FaultUniverse) -> FaultList {
+        FaultList {
+            faults: universe.faults().to_vec(),
+            states: vec![DetectionState::Undetected; universe.len()],
+        }
+    }
+
+    /// Number of faults `N`.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the list holds no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault at `index`.
+    pub fn fault(&self, index: usize) -> &Fault {
+        &self.faults[index]
+    }
+
+    /// The detection state of the fault at `index`.
+    pub fn state(&self, index: usize) -> DetectionState {
+        self.states[index]
+    }
+
+    /// Iterates over `(fault, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Fault, DetectionState)> {
+        self.faults.iter().zip(self.states.iter().copied())
+    }
+
+    /// Indices of faults that are still undetected.
+    pub fn undetected_indices(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_detected())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Marks the fault at `index` as detected by `pattern` unless it already
+    /// has an earlier (or equal) first detection.  Returns `true` if the
+    /// state changed.
+    pub fn mark_detected(&mut self, index: usize, pattern: usize) -> bool {
+        match self.states[index] {
+            DetectionState::Undetected => {
+                self.states[index] = DetectionState::Detected { pattern };
+                true
+            }
+            DetectionState::Detected { pattern: existing } if pattern < existing => {
+                self.states[index] = DetectionState::Detected { pattern };
+                true
+            }
+            DetectionState::Detected { .. } => false,
+        }
+    }
+
+    /// Number of detected faults `m`.
+    pub fn detected_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_detected()).count()
+    }
+
+    /// Fault coverage `f = m / N` (zero for an empty list).
+    pub fn coverage(&self) -> f64 {
+        if self.faults.is_empty() {
+            0.0
+        } else {
+            self.detected_count() as f64 / self.faults.len() as f64
+        }
+    }
+
+    /// The first detecting pattern of every detected fault, unsorted.
+    pub fn first_detection_patterns(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .filter_map(|s| s.first_pattern())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsiq_netlist::library;
+
+    fn small_list() -> FaultList {
+        FaultList::new(&FaultUniverse::full(&library::half_adder()))
+    }
+
+    #[test]
+    fn new_list_is_fully_undetected() {
+        let list = small_list();
+        assert!(!list.is_empty());
+        assert_eq!(list.detected_count(), 0);
+        assert_eq!(list.coverage(), 0.0);
+        assert_eq!(list.undetected_indices().len(), list.len());
+        assert!(!list.state(0).is_detected());
+    }
+
+    #[test]
+    fn marking_detection_updates_coverage() {
+        let mut list = small_list();
+        assert!(list.mark_detected(0, 3));
+        assert!(list.mark_detected(1, 7));
+        assert_eq!(list.detected_count(), 2);
+        let expected = 2.0 / list.len() as f64;
+        assert!((list.coverage() - expected).abs() < 1e-12);
+        assert_eq!(list.state(0).first_pattern(), Some(3));
+    }
+
+    #[test]
+    fn earlier_detection_wins() {
+        let mut list = small_list();
+        assert!(list.mark_detected(0, 10));
+        // A later pattern cannot overwrite an earlier first detection.
+        assert!(!list.mark_detected(0, 20));
+        assert_eq!(list.state(0).first_pattern(), Some(10));
+        // But an earlier one can.
+        assert!(list.mark_detected(0, 5));
+        assert_eq!(list.state(0).first_pattern(), Some(5));
+    }
+
+    #[test]
+    fn iteration_and_first_detections() {
+        let mut list = small_list();
+        list.mark_detected(2, 0);
+        list.mark_detected(4, 1);
+        let detected: Vec<usize> = list.first_detection_patterns();
+        assert_eq!(detected.len(), 2);
+        assert!(detected.contains(&0) && detected.contains(&1));
+        assert_eq!(list.iter().count(), list.len());
+        assert_eq!(list.undetected_indices().len(), list.len() - 2);
+    }
+
+    #[test]
+    fn empty_list_coverage_is_zero() {
+        let list = FaultList::new(&FaultUniverse::from_faults(Vec::new()));
+        assert!(list.is_empty());
+        assert_eq!(list.coverage(), 0.0);
+    }
+}

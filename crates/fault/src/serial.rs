@@ -1,0 +1,131 @@
+//! Serial fault simulation.
+//!
+//! The slowest but simplest algorithm: every (pattern, fault) pair is
+//! simulated independently.  It serves as the reference implementation the
+//! faster simulators are checked against.
+
+use crate::inject::outputs_with_fault;
+use crate::list::FaultList;
+use crate::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::levelized::CompiledCircuit;
+use lsiq_sim::pattern::PatternSet;
+
+/// A serial (one fault at a time, one pattern at a time) fault simulator.
+#[derive(Debug)]
+pub struct SerialSimulator<'c> {
+    compiled: CompiledCircuit<'c>,
+    drop_detected: bool,
+}
+
+impl<'c> SerialSimulator<'c> {
+    /// Prepares a serial fault simulator for `circuit` with fault dropping
+    /// enabled.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        SerialSimulator {
+            compiled: CompiledCircuit::new(circuit),
+            drop_detected: true,
+        }
+    }
+
+    /// Controls fault dropping: when enabled (the default) a fault is no
+    /// longer simulated after its first detection, which is what the paper's
+    /// "chip is rejected at the first pattern it fails" procedure needs.
+    pub fn with_fault_dropping(mut self, enabled: bool) -> Self {
+        self.drop_detected = enabled;
+        self
+    }
+
+    /// Runs the pattern set against every fault of `universe` and returns the
+    /// per-fault detection states.
+    pub fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+        let mut list = FaultList::new(universe);
+        for (pattern_index, pattern) in patterns.iter().enumerate() {
+            let good = self.compiled.outputs(pattern);
+            for fault_index in 0..list.len() {
+                if self.drop_detected && list.state(fault_index).is_detected() {
+                    continue;
+                }
+                let fault = *list.fault(fault_index);
+                let faulty = outputs_with_fault(&self.compiled, pattern.bits(), &fault);
+                if faulty != good {
+                    list.mark_detected(fault_index, pattern_index);
+                }
+            }
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Fault, StuckValue};
+    use lsiq_netlist::library;
+    use lsiq_sim::pattern::Pattern;
+
+    #[test]
+    fn exhaustive_patterns_detect_every_c17_fault() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        let list = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        assert_eq!(list.detected_count(), universe.len());
+        assert!((list.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_patterns_detect_nothing() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let list = SerialSimulator::new(&circuit).run(&universe, &PatternSet::new());
+        assert_eq!(list.detected_count(), 0);
+    }
+
+    #[test]
+    fn single_pattern_detects_a_known_fault() {
+        // For the half adder with a=1, b=1: carry SA0 flips carry from 1 to 0.
+        let circuit = library::half_adder();
+        let carry = circuit.find_signal("carry").expect("exists");
+        let universe =
+            FaultUniverse::from_faults(vec![Fault::output(carry, StuckValue::Zero)]);
+        let patterns: PatternSet = [Pattern::from_bits([true, true])].into_iter().collect();
+        let list = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        assert_eq!(list.detected_count(), 1);
+        assert_eq!(list.state(0).first_pattern(), Some(0));
+    }
+
+    #[test]
+    fn first_detection_pattern_is_recorded_in_order() {
+        let circuit = library::half_adder();
+        let carry = circuit.find_signal("carry").expect("exists");
+        let universe =
+            FaultUniverse::from_faults(vec![Fault::output(carry, StuckValue::Zero)]);
+        // First pattern cannot detect carry SA0 (carry is 0 anyway); second can.
+        let patterns: PatternSet = [
+            Pattern::from_bits([true, false]),
+            Pattern::from_bits([true, true]),
+        ]
+        .into_iter()
+        .collect();
+        let list = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        assert_eq!(list.state(0).first_pattern(), Some(1));
+    }
+
+    #[test]
+    fn fault_dropping_does_not_change_first_detections() {
+        let circuit = library::full_adder();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..8).map(|v| Pattern::from_integer(v, 3)).collect();
+        let with_drop = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        let without_drop = SerialSimulator::new(&circuit)
+            .with_fault_dropping(false)
+            .run(&universe, &patterns);
+        for index in 0..universe.len() {
+            assert_eq!(
+                with_drop.state(index).first_pattern(),
+                without_drop.state(index).first_pattern()
+            );
+        }
+    }
+}

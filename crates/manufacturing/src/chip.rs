@@ -1,0 +1,74 @@
+//! A simulated manufactured chip.
+
+/// One manufactured chip: the set of logical stuck-at faults it carries,
+/// expressed as indices into the fault universe the lot was generated
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chip {
+    id: usize,
+    fault_indices: Vec<usize>,
+    defect_count: u64,
+}
+
+impl Chip {
+    /// Creates a chip record.  Duplicate fault indices are removed so the
+    /// fault count matches the paper's notion of "n faults present".
+    pub fn new(id: usize, mut fault_indices: Vec<usize>, defect_count: u64) -> Chip {
+        fault_indices.sort_unstable();
+        fault_indices.dedup();
+        Chip {
+            id,
+            fault_indices,
+            defect_count,
+        }
+    }
+
+    /// The chip's position in its lot.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Indices (into the lot's fault universe) of the faults on this chip.
+    pub fn fault_indices(&self) -> &[usize] {
+        &self.fault_indices
+    }
+
+    /// Number of logical faults on the chip (the paper's `n`).
+    pub fn fault_count(&self) -> usize {
+        self.fault_indices.len()
+    }
+
+    /// Number of physical defects that produced those faults (zero when the
+    /// chip was generated directly from the statistical model).
+    pub fn defect_count(&self) -> u64 {
+        self.defect_count
+    }
+
+    /// A chip is good when it carries no faults.
+    pub fn is_good(&self) -> bool {
+        self.fault_indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_chip_has_no_faults() {
+        let chip = Chip::new(0, vec![], 0);
+        assert!(chip.is_good());
+        assert_eq!(chip.fault_count(), 0);
+        assert_eq!(chip.id(), 0);
+        assert_eq!(chip.defect_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_faults_are_merged() {
+        let chip = Chip::new(3, vec![5, 2, 5, 9, 2], 2);
+        assert_eq!(chip.fault_count(), 3);
+        assert_eq!(chip.fault_indices(), &[2, 5, 9]);
+        assert!(!chip.is_good());
+        assert_eq!(chip.defect_count(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Physical defect kinds and defect-count models.
+
+use lsiq_stats::dist::{NegativeBinomial, Poisson, Sample};
+use lsiq_stats::rng::Rng;
+use lsiq_stats::StatsError;
+
+/// The physical defect mechanisms the paper's introduction lists for MOS LSI
+/// (shorts or breaks in metallisation or diffusion, shorts to the substrate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectKind {
+    /// Short between adjacent metallisation runs.
+    MetalShort,
+    /// Break (open) in a metallisation run.
+    MetalBreak,
+    /// Short or break in a diffusion run.
+    DiffusionDefect,
+    /// Short between substrate and metallisation or diffusion.
+    SubstrateShort,
+    /// Gate-oxide pinhole.
+    OxidePinhole,
+}
+
+impl DefectKind {
+    /// All modelled defect kinds, with relative frequencies roughly matching
+    /// the metal-dominated failure Pareto of early-1980s MOS processes.
+    pub const ALL: [(DefectKind, f64); 5] = [
+        (DefectKind::MetalShort, 0.35),
+        (DefectKind::MetalBreak, 0.25),
+        (DefectKind::DiffusionDefect, 0.20),
+        (DefectKind::SubstrateShort, 0.10),
+        (DefectKind::OxidePinhole, 0.10),
+    ];
+}
+
+/// A model of the number of physical defects landing on one chip.
+///
+/// The defect count is negative binomial: Poisson defects whose density
+/// varies from wafer to wafer with a gamma distribution of squared
+/// coefficient of variation `lambda`.  Its zero class reproduces the paper's
+/// yield formula (eq. 3): `y = (1 + lambda * D0 * A)^(-1/lambda)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectModel {
+    mean_defects: f64,
+    clustering: f64,
+}
+
+impl DefectModel {
+    /// Creates a model from the mean defect count per chip (`D0 * A`) and the
+    /// clustering parameter `lambda` (variance of `D0` over `D0²`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either parameter is not finite and positive.
+    pub fn new(mean_defects: f64, clustering: f64) -> Result<Self, StatsError> {
+        // Validate through the distribution constructor.
+        let _ = NegativeBinomial::from_mean_clustering(mean_defects, clustering)?;
+        Ok(DefectModel {
+            mean_defects,
+            clustering,
+        })
+    }
+
+    /// Creates a model that produces (in expectation) the requested yield,
+    /// inverting eq. 3 for the mean defect count at a given clustering.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `target_yield` is not strictly between 0 and 1 or
+    /// `clustering` is not finite and positive.
+    pub fn for_target_yield(target_yield: f64, clustering: f64) -> Result<Self, StatsError> {
+        if !(target_yield > 0.0 && target_yield < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "target_yield",
+                value: target_yield,
+                expected: "a value strictly between 0 and 1",
+            });
+        }
+        if !clustering.is_finite() || clustering <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "clustering",
+                value: clustering,
+                expected: "a finite value > 0",
+            });
+        }
+        // y = (1 + lambda * m)^(-1/lambda)  =>  m = (y^(-lambda) - 1) / lambda.
+        let mean_defects = (target_yield.powf(-clustering) - 1.0) / clustering;
+        DefectModel::new(mean_defects, clustering)
+    }
+
+    /// Mean number of defects per chip (`D0 * A`).
+    pub fn mean_defects(&self) -> f64 {
+        self.mean_defects
+    }
+
+    /// The clustering parameter `lambda`.
+    pub fn clustering(&self) -> f64 {
+        self.clustering
+    }
+
+    /// The predicted yield from eq. 3.
+    pub fn predicted_yield(&self) -> f64 {
+        (1.0 + self.clustering * self.mean_defects).powf(-1.0 / self.clustering)
+    }
+
+    /// Samples the number of defects on one chip.
+    pub fn sample_defect_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        NegativeBinomial::from_mean_clustering(self.mean_defects, self.clustering)
+            .expect("parameters validated at construction")
+            .sample(rng)
+    }
+}
+
+/// A model of how many logical stuck-at faults a single physical defect
+/// produces: `1 + Poisson(extra_mean)`, so every defect produces at least one
+/// fault and dense layouts (the paper's "fine-line technology" discussion)
+/// can be modelled by raising `extra_mean`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultsPerDefect {
+    extra_mean: f64,
+}
+
+impl FaultsPerDefect {
+    /// Creates the model; `extra_mean` is the mean number of faults beyond
+    /// the guaranteed one (`0` makes every defect exactly one fault).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `extra_mean` is negative or not finite.
+    pub fn new(extra_mean: f64) -> Result<Self, StatsError> {
+        if !extra_mean.is_finite() || extra_mean < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "extra_mean",
+                value: extra_mean,
+                expected: "a finite value >= 0",
+            });
+        }
+        Ok(FaultsPerDefect { extra_mean })
+    }
+
+    /// Mean number of faults produced per defect.
+    pub fn mean(&self) -> f64 {
+        1.0 + self.extra_mean
+    }
+
+    /// Samples the fault count of one defect.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.extra_mean == 0.0 {
+            1
+        } else {
+            1 + Poisson::new(self.extra_mean)
+                .expect("extra_mean validated at construction")
+                .sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsiq_stats::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn defect_kind_weights_sum_to_one() {
+        let total: f64 = DefectKind::ALL.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(DefectModel::new(0.0, 1.0).is_err());
+        assert!(DefectModel::new(1.0, -1.0).is_err());
+        assert!(DefectModel::for_target_yield(0.0, 1.0).is_err());
+        assert!(DefectModel::for_target_yield(1.0, 1.0).is_err());
+        assert!(DefectModel::for_target_yield(0.5, 0.0).is_err());
+        assert!(FaultsPerDefect::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn predicted_yield_matches_equation_three() {
+        let model = DefectModel::new(2.0, 0.5).expect("valid");
+        let expected = (1.0f64 + 0.5 * 2.0).powf(-2.0);
+        assert!((model.predicted_yield() - expected).abs() < 1e-12);
+        assert_eq!(model.mean_defects(), 2.0);
+        assert_eq!(model.clustering(), 0.5);
+    }
+
+    #[test]
+    fn target_yield_inversion_round_trips() {
+        for &(target, lambda) in &[(0.07, 1.0), (0.2, 0.5), (0.8, 2.0)] {
+            let model = DefectModel::for_target_yield(target, lambda).expect("valid");
+            assert!(
+                (model.predicted_yield() - target).abs() < 1e-10,
+                "target {target}: predicted {}",
+                model.predicted_yield()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_zero_fraction_matches_predicted_yield() {
+        let model = DefectModel::for_target_yield(0.3, 1.0).expect("valid");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        let trials = 50_000;
+        let zero = (0..trials)
+            .filter(|_| model.sample_defect_count(&mut rng) == 0)
+            .count();
+        let fraction = zero as f64 / trials as f64;
+        assert!((fraction - 0.3).abs() < 0.01, "fraction {fraction}");
+    }
+
+    #[test]
+    fn faults_per_defect_is_at_least_one() {
+        let model = FaultsPerDefect::new(1.5).expect("valid");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let draws: Vec<u64> = (0..20_000).map(|_| model.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&d| d >= 1));
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+        assert!((model.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_extra_faults_is_deterministic() {
+        let model = FaultsPerDefect::new(0.0).expect("valid");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(model.sample(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Production-line Monte-Carlo substrate.
+//!
+//! The paper's Section 7 experiment tested 277 chips from a real wafer lot on
+//! a Fairchild Sentry 600 and recorded, for each chip, the first test pattern
+//! at which it failed.  That data source is not available, so this crate
+//! simulates the whole line:
+//!
+//! * [`defect`] — physical defect kinds and clustered (negative-binomial)
+//!   defect-count models, reproducing the yield formula of the paper's eq. 3,
+//! * [`wafer`] — wafer maps of chip sites with per-site defect counts,
+//! * [`defect_map`] — mapping physical defects to one or more logical
+//!   stuck-at faults (the paper notes "a physical defect can produce several
+//!   logical faults"),
+//! * [`chip`], [`lot`] — simulated chips and chip lots, generated either
+//!   directly from the paper's statistical model (known ground-truth `n0`)
+//!   or from the physical defect pipeline (emergent `n0`),
+//! * [`tester`] — a Sentry-like wafer tester that applies an ordered pattern
+//!   set and records each chip's first failing pattern,
+//! * [`experiment`] — the Table-1 style cumulative-reject experiment, and
+//! * [`field`] — field-reject measurement over the shipped (passing) chips.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
+//!
+//! let lot = ChipLot::from_model(&ModelLotConfig {
+//!     chips: 100,
+//!     yield_fraction: 0.3,
+//!     n0: 5.0,
+//!     fault_universe_size: 500,
+//!     seed: 7,
+//! });
+//! assert_eq!(lot.len(), 100);
+//! assert!(lot.observed_yield() > 0.1 && lot.observed_yield() < 0.5);
+//! ```
+
+pub mod chip;
+pub mod defect;
+pub mod defect_map;
+pub mod experiment;
+pub mod field;
+pub mod lot;
+pub mod tester;
+pub mod wafer;
+
+pub use chip::Chip;
+pub use lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
+pub use tester::{TestRecord, WaferTester};

@@ -1,0 +1,140 @@
+//! Error type for netlist construction and parsing.
+
+use std::fmt;
+
+/// Error returned by circuit construction, validation and `.bench` parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A signal name was referenced before it was defined.
+    UnknownSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A signal name was defined more than once.
+    DuplicateSignal {
+        /// The repeated signal name.
+        name: String,
+    },
+    /// A gate was given the wrong number of inputs for its kind.
+    BadFanin {
+        /// The gate kind involved.
+        kind: &'static str,
+        /// The number of inputs supplied.
+        actual: usize,
+        /// Human-readable description of what the kind requires.
+        expected: &'static str,
+    },
+    /// The circuit contains a combinational cycle.
+    CombinationalCycle {
+        /// The name of a signal on the cycle.
+        signal: String,
+    },
+    /// A syntax error in a `.bench` description.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The circuit has no primary outputs (nothing is observable).
+    NoOutputs,
+    /// A gate identifier was out of range for the circuit.
+    InvalidGateId {
+        /// The numeric id that was out of range.
+        id: usize,
+        /// The number of gates in the circuit.
+        gate_count: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            NetlistError::DuplicateSignal { name } => {
+                write!(f, "signal `{name}` defined more than once")
+            }
+            NetlistError::BadFanin {
+                kind,
+                actual,
+                expected,
+            } => write!(f, "gate kind {kind} given {actual} inputs; expected {expected}"),
+            NetlistError::CombinationalCycle { signal } => {
+                write!(f, "combinational cycle through signal `{signal}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::InvalidGateId { id, gate_count } => {
+                write!(f, "gate id {id} out of range for circuit with {gate_count} gates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let cases: Vec<(NetlistError, &str)> = vec![
+            (
+                NetlistError::UnknownSignal {
+                    name: "foo".into(),
+                },
+                "foo",
+            ),
+            (
+                NetlistError::DuplicateSignal {
+                    name: "bar".into(),
+                },
+                "bar",
+            ),
+            (
+                NetlistError::BadFanin {
+                    kind: "NOT",
+                    actual: 2,
+                    expected: "exactly one input",
+                },
+                "NOT",
+            ),
+            (
+                NetlistError::CombinationalCycle {
+                    signal: "loop".into(),
+                },
+                "loop",
+            ),
+            (
+                NetlistError::Parse {
+                    line: 4,
+                    message: "bad token".into(),
+                },
+                "line 4",
+            ),
+            (NetlistError::NoOutputs, "no primary outputs"),
+            (
+                NetlistError::InvalidGateId {
+                    id: 9,
+                    gate_count: 3,
+                },
+                "9",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "`{err}` should mention `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

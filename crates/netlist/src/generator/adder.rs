@@ -1,0 +1,128 @@
+//! Ripple-carry adders.
+
+use super::fresh_inputs;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates a full adder inside `builder`, returning `(sum, carry_out)`.
+fn full_adder_block(
+    builder: &mut CircuitBuilder,
+    a: GateId,
+    b: GateId,
+    carry_in: GateId,
+    prefix: &str,
+) -> (GateId, GateId) {
+    let axb = builder.gate(format!("{prefix}_axb"), GateKind::Xor, &[a, b]);
+    let sum = builder.gate(format!("{prefix}_sum"), GateKind::Xor, &[axb, carry_in]);
+    let and1 = builder.gate(format!("{prefix}_and1"), GateKind::And, &[a, b]);
+    let and2 = builder.gate(format!("{prefix}_and2"), GateKind::And, &[axb, carry_in]);
+    let carry = builder.gate(format!("{prefix}_cout"), GateKind::Or, &[and1, and2]);
+    (sum, carry)
+}
+
+/// Instantiates an n-bit ripple-carry adder inside an existing builder.
+///
+/// `a` and `b` must have the same length; `carry_in` is optional (treated as
+/// constant zero when absent).  Returns the sum bits (LSB first) followed by
+/// the final carry-out.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` differ in length or are empty.
+pub fn ripple_carry_adder_block(
+    builder: &mut CircuitBuilder,
+    a: &[GateId],
+    b: &[GateId],
+    carry_in: Option<GateId>,
+    prefix: &str,
+) -> (Vec<GateId>, GateId) {
+    assert!(!a.is_empty(), "adder width must be at least one bit");
+    assert_eq!(a.len(), b.len(), "adder operands must have equal width");
+    let mut carry = match carry_in {
+        Some(c) => c,
+        None => builder.constant_zero(format!("{prefix}_cin0")),
+    };
+    let mut sums = Vec::with_capacity(a.len());
+    for (bit, (&ai, &bi)) in a.iter().zip(b.iter()).enumerate() {
+        let (sum, carry_out) =
+            full_adder_block(builder, ai, bi, carry, &format!("{prefix}_fa{bit}"));
+        sums.push(sum);
+        carry = carry_out;
+    }
+    (sums, carry)
+}
+
+/// Builds a standalone n-bit ripple-carry adder circuit.
+///
+/// Inputs are `a0..a(n-1)`, `b0..b(n-1)` and `cin`; outputs are the sum bits
+/// and the carry out.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn ripple_carry_adder(bits: usize) -> Circuit {
+    assert!(bits > 0, "adder width must be at least one bit");
+    let mut builder = CircuitBuilder::new(format!("rca{bits}"));
+    let a = fresh_inputs(&mut builder, "a", bits);
+    let b = fresh_inputs(&mut builder, "b", bits);
+    let cin = builder.input("cin");
+    let (sums, carry) = ripple_carry_adder_block(&mut builder, &a, &b, Some(cin), "add");
+    for sum in sums {
+        builder.mark_output(sum);
+    }
+    builder.mark_output(carry);
+    builder.finish().expect("generated adder is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_has_expected_interface() {
+        let c = ripple_carry_adder(4);
+        assert_eq!(c.primary_inputs().len(), 9); // 4 + 4 + cin
+        assert_eq!(c.primary_outputs().len(), 5); // 4 sums + carry
+    }
+
+    #[test]
+    fn adder_gate_count_scales_linearly() {
+        let small = ripple_carry_adder(2).gate_count();
+        let large = ripple_carry_adder(8).gate_count();
+        // Five gates plus two primary inputs per additional full-adder stage.
+        assert_eq!(large - small, 6 * (5 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_adder_panics() {
+        let _ = ripple_carry_adder(0);
+    }
+
+    #[test]
+    fn block_without_carry_in_uses_constant() {
+        let mut b = CircuitBuilder::new("t");
+        let a = fresh_inputs(&mut b, "a", 2);
+        let bb = fresh_inputs(&mut b, "b", 2);
+        let (sums, carry) = ripple_carry_adder_block(&mut b, &a, &bb, None, "add");
+        for s in sums {
+            b.mark_output(s);
+        }
+        b.mark_output(carry);
+        let c = b.finish().expect("valid");
+        // A constant-zero source must exist.
+        assert!(c
+            .iter()
+            .any(|(_, gate)| gate.kind() == GateKind::Const0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_operand_width_panics() {
+        let mut b = CircuitBuilder::new("t");
+        let a = fresh_inputs(&mut b, "a", 2);
+        let bb = fresh_inputs(&mut b, "b", 3);
+        let _ = ripple_carry_adder_block(&mut b, &a, &bb, None, "add");
+    }
+}

@@ -1,0 +1,111 @@
+//! A small arithmetic-logic unit generator.
+
+use super::adder::ripple_carry_adder_block;
+use super::fresh_inputs;
+use super::mux::mux_tree_block;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Width configuration for [`alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluWidth(pub usize);
+
+impl AluWidth {
+    /// The operand width in bits.
+    pub fn bits(self) -> usize {
+        self.0
+    }
+}
+
+/// Instantiates an n-bit four-function ALU inside an existing builder.
+///
+/// Function select (`op`, two bits): `00` = ADD, `01` = AND, `10` = OR,
+/// `11` = XOR.  Returns the result bits (LSB first) and the adder carry-out.
+///
+/// # Panics
+///
+/// Panics if the operands differ in width or are empty, or if `op` does not
+/// contain exactly two select lines.
+pub fn alu_block(
+    builder: &mut CircuitBuilder,
+    a: &[GateId],
+    b: &[GateId],
+    op: &[GateId],
+    prefix: &str,
+) -> (Vec<GateId>, GateId) {
+    assert!(!a.is_empty(), "ALU width must be at least one bit");
+    assert_eq!(a.len(), b.len(), "ALU operands must have equal width");
+    assert_eq!(op.len(), 2, "ALU needs exactly two op-select lines");
+    let (sums, carry) = ripple_carry_adder_block(builder, a, b, None, &format!("{prefix}_add"));
+    let mut result = Vec::with_capacity(a.len());
+    for (bit, ((&ai, &bi), &sum)) in a.iter().zip(b.iter()).zip(sums.iter()).enumerate() {
+        let and_bit = builder.gate(format!("{prefix}_and{bit}"), GateKind::And, &[ai, bi]);
+        let or_bit = builder.gate(format!("{prefix}_or{bit}"), GateKind::Or, &[ai, bi]);
+        let xor_bit = builder.gate(format!("{prefix}_xor{bit}"), GateKind::Xor, &[ai, bi]);
+        let selected = mux_tree_block(
+            builder,
+            &[sum, and_bit, or_bit, xor_bit],
+            op,
+            &format!("{prefix}_sel{bit}"),
+        );
+        result.push(builder.gate(format!("{prefix}_y{bit}"), GateKind::Buf, &[selected]));
+    }
+    (result, carry)
+}
+
+/// Builds a standalone n-bit four-function ALU circuit.
+///
+/// # Panics
+///
+/// Panics if the width is zero.
+pub fn alu(width: AluWidth) -> Circuit {
+    assert!(width.bits() > 0, "ALU width must be at least one bit");
+    let mut builder = CircuitBuilder::new(format!("alu{}", width.bits()));
+    let a = fresh_inputs(&mut builder, "a", width.bits());
+    let b = fresh_inputs(&mut builder, "b", width.bits());
+    let op = fresh_inputs(&mut builder, "op", 2);
+    let (result, carry) = alu_block(&mut builder, &a, &b, &op, "alu");
+    for bit in result {
+        builder.mark_output(bit);
+    }
+    builder.mark_output(carry);
+    builder.finish().expect("generated ALU is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_interface() {
+        let c = alu(AluWidth(4));
+        assert_eq!(c.primary_inputs().len(), 4 + 4 + 2);
+        assert_eq!(c.primary_outputs().len(), 5);
+    }
+
+    #[test]
+    fn alu_contains_all_function_units() {
+        let c = alu(AluWidth(2));
+        assert!(c.find_signal("alu_add_fa0_sum").is_some());
+        assert!(c.find_signal("alu_and1").is_some());
+        assert!(c.find_signal("alu_or0").is_some());
+        assert!(c.find_signal("alu_xor1").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two op-select")]
+    fn wrong_op_width_panics() {
+        let mut b = CircuitBuilder::new("t");
+        let a = fresh_inputs(&mut b, "a", 2);
+        let bb = fresh_inputs(&mut b, "b", 2);
+        let op = fresh_inputs(&mut b, "op", 3);
+        let _ = alu_block(&mut b, &a, &bb, &op, "alu");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_panics() {
+        let _ = alu(AluWidth(0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Equality and magnitude comparators.
+
+use super::fresh_inputs;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates an n-bit comparator inside an existing builder.
+///
+/// Returns `(equal, a_greater)` where `equal` is high when `a == b` and
+/// `a_greater` is high when `a > b` (unsigned, bit 0 is the LSB).
+///
+/// # Panics
+///
+/// Panics if the operands differ in width or are empty.
+pub fn comparator_block(
+    builder: &mut CircuitBuilder,
+    a: &[GateId],
+    b: &[GateId],
+    prefix: &str,
+) -> (GateId, GateId) {
+    assert!(!a.is_empty(), "comparator width must be at least one bit");
+    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    // Per-bit equality.
+    let eq_bits: Vec<GateId> = a
+        .iter()
+        .zip(b.iter())
+        .enumerate()
+        .map(|(bit, (&ai, &bi))| {
+            builder.gate(format!("{prefix}_eq{bit}"), GateKind::Xnor, &[ai, bi])
+        })
+        .collect();
+    let equal = builder.gate(format!("{prefix}_eq"), GateKind::And, &eq_bits);
+    // a > b when, scanning from the MSB, the first differing bit has a=1,b=0.
+    let mut greater_terms = Vec::with_capacity(a.len());
+    for bit in (0..a.len()).rev() {
+        let b_not = builder.gate(format!("{prefix}_bn{bit}"), GateKind::Not, &[b[bit]]);
+        let mut fanin = vec![a[bit], b_not];
+        // All higher bits must be equal for this bit to decide.
+        fanin.extend(eq_bits.iter().skip(bit + 1).copied());
+        greater_terms.push(builder.gate(format!("{prefix}_gt{bit}"), GateKind::And, &fanin));
+    }
+    let greater = builder.gate(format!("{prefix}_gt"), GateKind::Or, &greater_terms);
+    (equal, greater)
+}
+
+/// Builds a standalone n-bit comparator circuit with outputs `eq` and `gt`.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn comparator(bits: usize) -> Circuit {
+    assert!(bits > 0, "comparator width must be at least one bit");
+    let mut builder = CircuitBuilder::new(format!("cmp{bits}"));
+    let a = fresh_inputs(&mut builder, "a", bits);
+    let b = fresh_inputs(&mut builder, "b", bits);
+    let (equal, greater) = comparator_block(&mut builder, &a, &b, "cmp");
+    builder.mark_output(equal);
+    builder.mark_output(greater);
+    builder.finish().expect("generated comparator is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_interface() {
+        let c = comparator(4);
+        assert_eq!(c.primary_inputs().len(), 8);
+        assert_eq!(c.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn msb_term_has_smallest_fanin() {
+        // The MSB greater-term needs no equality qualifiers.
+        let c = comparator(4);
+        let gt3 = c.find_signal("cmp_gt3").expect("exists");
+        assert_eq!(c.gate(gt3).fanin_count(), 2);
+        let gt0 = c.find_signal("cmp_gt0").expect("exists");
+        assert_eq!(c.gate(gt0).fanin_count(), 2 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn mismatched_widths_panic() {
+        let mut b = CircuitBuilder::new("t");
+        let a = fresh_inputs(&mut b, "a", 2);
+        let bb = fresh_inputs(&mut b, "b", 1);
+        let _ = comparator_block(&mut b, &a, &bb, "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_panics() {
+        let _ = comparator(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Binary decoders.
+
+use super::fresh_inputs;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates a k-to-2^k decoder inside an existing builder and returns the
+/// 2^k one-hot outputs (output `i` is high when the address spells `i`).
+///
+/// # Panics
+///
+/// Panics if `address` is empty.
+pub fn decoder_block(
+    builder: &mut CircuitBuilder,
+    address: &[GateId],
+    prefix: &str,
+) -> Vec<GateId> {
+    assert!(!address.is_empty(), "decoder needs at least one address bit");
+    let complements: Vec<GateId> = address
+        .iter()
+        .enumerate()
+        .map(|(bit, &a)| builder.gate(format!("{prefix}_n{bit}"), GateKind::Not, &[a]))
+        .collect();
+    let count = 1usize << address.len();
+    (0..count)
+        .map(|value| {
+            let fanin: Vec<GateId> = address
+                .iter()
+                .enumerate()
+                .map(|(bit, &a)| {
+                    if (value >> bit) & 1 == 1 {
+                        a
+                    } else {
+                        complements[bit]
+                    }
+                })
+                .collect();
+            builder.gate(format!("{prefix}_y{value}"), GateKind::And, &fanin)
+        })
+        .collect()
+}
+
+/// Builds a standalone k-to-2^k decoder circuit.
+///
+/// # Panics
+///
+/// Panics if `address_bits` is zero.
+pub fn decoder(address_bits: usize) -> Circuit {
+    assert!(address_bits > 0, "decoder needs at least one address bit");
+    let mut builder = CircuitBuilder::new(format!("dec{address_bits}"));
+    let address = fresh_inputs(&mut builder, "a", address_bits);
+    let outputs = decoder_block(&mut builder, &address, "dec");
+    for out in outputs {
+        builder.mark_output(out);
+    }
+    builder.finish().expect("generated decoder is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_interface() {
+        let c = decoder(3);
+        assert_eq!(c.primary_inputs().len(), 3);
+        assert_eq!(c.primary_outputs().len(), 8);
+        // 3 inverters + 8 AND gates + 3 inputs.
+        assert_eq!(c.gate_count(), 14);
+    }
+
+    #[test]
+    fn each_output_sees_every_address_bit() {
+        let c = decoder(2);
+        for &out in c.primary_outputs() {
+            assert_eq!(c.gate(out).fanin_count(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address bit")]
+    fn zero_address_panics() {
+        let _ = decoder(0);
+    }
+}

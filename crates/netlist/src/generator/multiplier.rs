@@ -1,0 +1,121 @@
+//! Array multipliers.
+
+use super::adder::ripple_carry_adder_block;
+use super::fresh_inputs;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates an n×n array multiplier inside an existing builder and
+/// returns the 2n product bits (LSB first).
+///
+/// The structure is the classic shift-and-add array: partial products are
+/// formed with AND gates and accumulated with ripple-carry adder rows, which
+/// yields a deep, reconvergent netlist that stresses the fault simulator the
+/// way real data-path logic does.
+///
+/// # Panics
+///
+/// Panics if the operands differ in width or are empty.
+pub fn array_multiplier_block(
+    builder: &mut CircuitBuilder,
+    a: &[GateId],
+    b: &[GateId],
+    prefix: &str,
+) -> Vec<GateId> {
+    assert!(!a.is_empty(), "multiplier width must be at least one bit");
+    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    let width = a.len();
+    // Partial product rows: row j is a AND b[j], shifted left by j.
+    let rows: Vec<Vec<GateId>> = b
+        .iter()
+        .enumerate()
+        .map(|(j, &bj)| {
+            a.iter()
+                .enumerate()
+                .map(|(i, &ai)| {
+                    builder.gate(format!("{prefix}_pp{j}_{i}"), GateKind::And, &[ai, bj])
+                })
+                .collect()
+        })
+        .collect();
+    // Accumulate rows with ripple-carry adders.
+    let mut product: Vec<GateId> = Vec::with_capacity(2 * width);
+    let mut accumulator: Vec<GateId> = rows[0].clone();
+    product.push(accumulator[0]);
+    for (j, row) in rows.iter().enumerate().skip(1) {
+        // Add row (width bits) to the shifted accumulator, zero-extended to
+        // the row width; produce width sum bits plus carry.
+        let mut addend: Vec<GateId> = accumulator[1..].to_vec();
+        while addend.len() < row.len() {
+            let zero = builder.constant_zero(format!("{prefix}_z{j}_{}", addend.len()));
+            addend.push(zero);
+        }
+        let (sums, carry) =
+            ripple_carry_adder_block(builder, row, &addend, None, &format!("{prefix}_row{j}"));
+        product.push(sums[0]);
+        accumulator = sums;
+        accumulator.push(carry);
+        // After the final row the remaining accumulator bits are the high
+        // half of the product.
+        if j == width - 1 {
+            product.extend(accumulator[1..].iter().copied());
+        }
+    }
+    if width == 1 {
+        // Single-bit multiply: the product is just the partial product plus a
+        // constant-zero high bit.
+        let zero = builder.constant_zero(format!("{prefix}_hi"));
+        product.push(zero);
+    }
+    debug_assert_eq!(product.len(), 2 * width);
+    product
+}
+
+/// Builds a standalone n×n array multiplier circuit.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn array_multiplier(bits: usize) -> Circuit {
+    assert!(bits > 0, "multiplier width must be at least one bit");
+    let mut builder = CircuitBuilder::new(format!("mul{bits}x{bits}"));
+    let a = fresh_inputs(&mut builder, "a", bits);
+    let b = fresh_inputs(&mut builder, "b", bits);
+    let product = array_multiplier_block(&mut builder, &a, &b, "mul");
+    for bit in product {
+        builder.mark_output(bit);
+    }
+    builder.finish().expect("generated multiplier is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_interface() {
+        let c = array_multiplier(4);
+        assert_eq!(c.primary_inputs().len(), 8);
+        assert_eq!(c.primary_outputs().len(), 8);
+    }
+
+    #[test]
+    fn single_bit_multiplier() {
+        let c = array_multiplier(1);
+        assert_eq!(c.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn multiplier_is_substantially_larger_than_adder() {
+        let mul = array_multiplier(8).gate_count();
+        let add = super::super::adder::ripple_carry_adder(8).gate_count();
+        assert!(mul > 3 * add, "multiplier {mul} vs adder {add}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_panics() {
+        let _ = array_multiplier(0);
+    }
+}

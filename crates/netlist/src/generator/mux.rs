@@ -1,0 +1,108 @@
+//! Multiplexer trees.
+
+use super::fresh_inputs;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates a 2^k-to-1 multiplexer inside an existing builder.
+///
+/// `data` must contain exactly `2^select.len()` entries; entry `i` is routed
+/// to the output when the select lines spell `i` (select\[0\] is the LSB).
+///
+/// # Panics
+///
+/// Panics if the data length is not `2^select.len()` or the select list is
+/// empty.
+pub fn mux_tree_block(
+    builder: &mut CircuitBuilder,
+    data: &[GateId],
+    select: &[GateId],
+    prefix: &str,
+) -> GateId {
+    assert!(!select.is_empty(), "mux needs at least one select line");
+    assert_eq!(
+        data.len(),
+        1usize << select.len(),
+        "mux data count must be 2^select"
+    );
+    let mut layer: Vec<GateId> = data.to_vec();
+    for (stage, &sel) in select.iter().enumerate() {
+        let sel_n = builder.gate(format!("{prefix}_s{stage}_n"), GateKind::Not, &[sel]);
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair_index in 0..layer.len() / 2 {
+            let low = layer[2 * pair_index];
+            let high = layer[2 * pair_index + 1];
+            let pick_low = builder.gate(
+                format!("{prefix}_s{stage}_l{pair_index}"),
+                GateKind::And,
+                &[low, sel_n],
+            );
+            let pick_high = builder.gate(
+                format!("{prefix}_s{stage}_h{pair_index}"),
+                GateKind::And,
+                &[high, sel],
+            );
+            next.push(builder.gate(
+                format!("{prefix}_s{stage}_o{pair_index}"),
+                GateKind::Or,
+                &[pick_low, pick_high],
+            ));
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Builds a standalone 2^k-to-1 multiplexer circuit with `select_bits`
+/// select lines.
+///
+/// # Panics
+///
+/// Panics if `select_bits` is zero.
+pub fn mux_tree(select_bits: usize) -> Circuit {
+    assert!(select_bits > 0, "mux needs at least one select line");
+    let mut builder = CircuitBuilder::new(format!("mux{}", 1usize << select_bits));
+    let data = fresh_inputs(&mut builder, "d", 1usize << select_bits);
+    let select = fresh_inputs(&mut builder, "s", select_bits);
+    let out = mux_tree_block(&mut builder, &data, &select, "mux");
+    let y = builder.gate("y", GateKind::Buf, &[out]);
+    builder.mark_output(y);
+    builder.finish().expect("generated mux is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_interface() {
+        let c = mux_tree(3);
+        assert_eq!(c.primary_inputs().len(), 8 + 3);
+        assert_eq!(c.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn gate_count_matches_structure() {
+        // For k select bits: each stage s has (2^k / 2^(s+1)) 2:1 muxes of 3
+        // gates each plus one inverter per stage, plus the output buffer.
+        let c = mux_tree(2);
+        let expected_logic = (2 * 3 + 1) + (3 + 1) + 1;
+        assert_eq!(c.gate_count(), 4 + 2 + expected_logic);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one select")]
+    fn zero_select_panics() {
+        let _ = mux_tree(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^select")]
+    fn mismatched_data_count_panics() {
+        let mut b = CircuitBuilder::new("t");
+        let data = fresh_inputs(&mut b, "d", 3);
+        let select = fresh_inputs(&mut b, "s", 2);
+        let _ = mux_tree_block(&mut b, &data, &select, "m");
+    }
+}

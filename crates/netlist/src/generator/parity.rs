@@ -1,0 +1,99 @@
+//! Parity (XOR) trees.
+
+use super::fresh_inputs;
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates a balanced XOR tree over `inputs` inside an existing builder
+/// and returns the parity output.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn parity_tree_block(
+    builder: &mut CircuitBuilder,
+    inputs: &[GateId],
+    prefix: &str,
+) -> GateId {
+    assert!(!inputs.is_empty(), "parity tree needs at least one input");
+    let mut layer: Vec<GateId> = inputs.to_vec();
+    let mut stage = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (pair_index, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(builder.gate(
+                    format!("{prefix}_s{stage}_x{pair_index}"),
+                    GateKind::Xor,
+                    &[pair[0], pair[1]],
+                ));
+            } else {
+                // Odd element passes through to the next stage unchanged.
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        stage += 1;
+    }
+    layer[0]
+}
+
+/// Builds a standalone parity-tree circuit over `width` inputs.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn parity_tree(width: usize) -> Circuit {
+    assert!(width > 0, "parity tree needs at least one input");
+    let mut builder = CircuitBuilder::new(format!("parity{width}"));
+    let inputs = fresh_inputs(&mut builder, "d", width);
+    let parity = parity_tree_block(&mut builder, &inputs, "par");
+    let out = builder.gate("parity", GateKind::Buf, &[parity]);
+    builder.mark_output(out);
+    builder.finish().expect("generated parity tree is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelize::levelize;
+
+    #[test]
+    fn parity_tree_interface() {
+        let c = parity_tree(8);
+        assert_eq!(c.primary_inputs().len(), 8);
+        assert_eq!(c.primary_outputs().len(), 1);
+        // 7 XOR gates + 1 BUF + 8 inputs.
+        assert_eq!(c.gate_count(), 16);
+    }
+
+    #[test]
+    fn parity_tree_is_logarithmic_depth() {
+        let c = parity_tree(32);
+        let lev = levelize(&c).expect("acyclic");
+        // 5 XOR levels + 1 buffer.
+        assert_eq!(lev.depth(), 6);
+    }
+
+    #[test]
+    fn odd_width_is_handled() {
+        let c = parity_tree(5);
+        assert_eq!(c.primary_inputs().len(), 5);
+        // 4 XORs + buf + 5 inputs.
+        assert_eq!(c.gate_count(), 10);
+    }
+
+    #[test]
+    fn single_input_parity_is_a_buffer() {
+        let c = parity_tree(1);
+        assert_eq!(c.primary_outputs().len(), 1);
+        assert_eq!(c.gate_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_width_panics() {
+        let _ = parity_tree(0);
+    }
+}

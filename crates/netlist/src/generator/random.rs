@@ -1,0 +1,222 @@
+//! Random combinational logic generation.
+//!
+//! Random logic stands in for the "control" portion of an LSI chip: it has
+//! irregular fanout, reconvergence and a mix of gate types, which is what
+//! gives the stuck-at fault universe of a real chip its character.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+use lsiq_stats::dist::{Categorical, Sample};
+use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
+
+/// Configuration for [`random_circuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomCircuitConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of logic gates to generate (excluding inputs).
+    pub gates: usize,
+    /// Maximum fanin per generated gate (at least 2).
+    pub max_fanin: usize,
+    /// How strongly fanin selection favours recently created gates; larger
+    /// values give deeper, narrower circuits.  Must be at least 1.
+    pub locality: usize,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            inputs: 16,
+            gates: 200,
+            max_fanin: 4,
+            locality: 32,
+            seed: 0,
+        }
+    }
+}
+
+impl RandomCircuitConfig {
+    /// Validates the configuration, normalising out-of-range values.
+    fn normalised(&self) -> RandomCircuitConfig {
+        RandomCircuitConfig {
+            inputs: self.inputs.max(1),
+            gates: self.gates.max(1),
+            max_fanin: self.max_fanin.max(2),
+            locality: self.locality.max(1),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Relative frequencies of generated gate kinds, loosely following the mix
+/// observed in the ISCAS-85 benchmarks (NAND/NOR-rich with some XOR).
+const KIND_WEIGHTS: [(GateKind, f64); 8] = [
+    (GateKind::Nand, 30.0),
+    (GateKind::Nor, 15.0),
+    (GateKind::And, 20.0),
+    (GateKind::Or, 15.0),
+    (GateKind::Not, 10.0),
+    (GateKind::Xor, 5.0),
+    (GateKind::Xnor, 2.0),
+    (GateKind::Buf, 3.0),
+];
+
+/// Generates a random combinational circuit.
+///
+/// The construction is incremental: each new gate draws its kind from a
+/// fixed, benchmark-like distribution and its fanin from previously created
+/// gates with a bias towards recent ones (controlled by
+/// [`RandomCircuitConfig::locality`]).  Gates that end up driving nothing
+/// become primary outputs, so every gate is observable and the circuit has
+/// no dead logic.
+///
+/// The same configuration always produces the same circuit.
+pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
+    let config = config.normalised();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
+    let kind_chooser =
+        Categorical::new(&KIND_WEIGHTS.map(|(_, w)| w)).expect("weights are valid");
+    let mut builder = CircuitBuilder::new(format!("rand_{}g_{}", config.gates, config.seed));
+    let mut pool: Vec<GateId> = (0..config.inputs)
+        .map(|i| builder.input(format!("pi{i}")))
+        .collect();
+    let mut drives_something = vec![false; config.inputs + config.gates];
+
+    for gate_index in 0..config.gates {
+        let kind = KIND_WEIGHTS[kind_chooser.sample(&mut rng)].0;
+        let (min_fanin, _) = kind.fanin_bounds();
+        let fanin_count = if min_fanin == 1 && matches!(kind, GateKind::Not | GateKind::Buf) {
+            1
+        } else {
+            2 + rng.next_index(config.max_fanin - 1)
+        };
+        let mut fanin = Vec::with_capacity(fanin_count);
+        for _ in 0..fanin_count {
+            let driver = pick_driver(&pool, config.locality, &mut rng, &fanin);
+            drives_something[driver.index()] = true;
+            fanin.push(driver);
+        }
+        let id = builder.gate(format!("g{gate_index}"), kind, &fanin);
+        pool.push(id);
+    }
+
+    // Every gate that drives nothing becomes a primary output; this includes
+    // at least the last generated gate, so the circuit always has outputs.
+    for &id in &pool {
+        if !drives_something[id.index()] && builder.gate_count() > id.index() {
+            builder.mark_output(id);
+        }
+    }
+    builder
+        .finish()
+        .expect("randomly generated circuits are acyclic by construction")
+}
+
+/// Picks a driver from the pool with a bias towards the most recent
+/// `locality` entries, avoiding duplicates already chosen for this gate.
+fn pick_driver<R: Rng + ?Sized>(
+    pool: &[GateId],
+    locality: usize,
+    rng: &mut R,
+    already: &[GateId],
+) -> GateId {
+    for _ in 0..8 {
+        let candidate = if rng.next_bool(0.75) && pool.len() > locality {
+            // Recent window.
+            let start = pool.len() - locality;
+            pool[start + rng.next_index(locality)]
+        } else {
+            pool[rng.next_index(pool.len())]
+        };
+        if !already.contains(&candidate) {
+            return candidate;
+        }
+    }
+    // Fall back to any gate; a duplicate fanin pin is legal, just redundant.
+    pool[rng.next_index(pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelize::levelize;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = RandomCircuitConfig {
+            seed: 7,
+            ..RandomCircuitConfig::default()
+        };
+        let a = random_circuit(&config);
+        let b = random_circuit(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_circuit(&RandomCircuitConfig {
+            seed: 1,
+            ..RandomCircuitConfig::default()
+        });
+        let b = random_circuit(&RandomCircuitConfig {
+            seed: 2,
+            ..RandomCircuitConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn requested_sizes_are_respected() {
+        let config = RandomCircuitConfig {
+            inputs: 10,
+            gates: 150,
+            ..RandomCircuitConfig::default()
+        };
+        let c = random_circuit(&config);
+        assert_eq!(c.primary_inputs().len(), 10);
+        assert_eq!(c.gate_count(), 160);
+        assert!(!c.primary_outputs().is_empty());
+    }
+
+    #[test]
+    fn generated_circuits_are_acyclic() {
+        for seed in 0..5 {
+            let c = random_circuit(&RandomCircuitConfig {
+                seed,
+                gates: 300,
+                ..RandomCircuitConfig::default()
+            });
+            assert!(levelize(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn every_non_output_gate_has_fanout() {
+        let c = random_circuit(&RandomCircuitConfig::default());
+        for (id, gate) in c.iter() {
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            assert!(
+                c.fanout_count(id) > 0 || c.is_primary_output(id),
+                "gate {id} is dead logic"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_configuration_is_normalised() {
+        let c = random_circuit(&RandomCircuitConfig {
+            inputs: 0,
+            gates: 0,
+            max_fanin: 0,
+            locality: 0,
+            seed: 3,
+        });
+        assert_eq!(c.primary_inputs().len(), 1);
+        assert_eq!(c.gate_count(), 2);
+    }
+}

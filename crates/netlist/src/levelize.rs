@@ -1,0 +1,195 @@
+//! Topological levelisation of combinational circuits.
+//!
+//! Every simulator and the ATPG engine process gates in topological order;
+//! this module computes that order once, assigns each gate a level (the
+//! length of the longest path from a primary input or constant), and detects
+//! combinational cycles.
+
+use crate::circuit::{Circuit, GateId};
+use crate::error::NetlistError;
+
+/// The result of levelising a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    /// Gates in a valid topological order (drivers before loads).
+    order: Vec<GateId>,
+    /// Level of each gate, indexed by gate id.
+    levels: Vec<usize>,
+    /// The maximum level in the circuit (its logic depth).
+    depth: usize,
+}
+
+impl Levelization {
+    /// Gates in topological order.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Level of gate `id`: 0 for sources, otherwise 1 + max level of fanin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the levelised circuit.
+    pub fn level(&self, id: GateId) -> usize {
+        self.levels[id.index()]
+    }
+
+    /// All levels indexed by gate id.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// The logic depth of the circuit (maximum level).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Computes a topological order and per-gate levels.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the circuit graph contains
+/// a cycle; the reported signal lies on one such cycle.
+pub fn levelize(circuit: &Circuit) -> Result<Levelization, NetlistError> {
+    let gate_count = circuit.gate_count();
+    let mut pending_fanin: Vec<usize> = circuit
+        .gates()
+        .iter()
+        .map(|gate| gate.fanin_count())
+        .collect();
+    let mut levels = vec![0usize; gate_count];
+    let mut order = Vec::with_capacity(gate_count);
+    let mut ready: Vec<GateId> = circuit
+        .iter()
+        .filter(|(_, gate)| gate.fanin_count() == 0)
+        .map(|(id, _)| id)
+        .collect();
+    // Kahn's algorithm; the ready list is processed as a stack which is fine
+    // because levels are computed from fanin maxima, not from visit order.
+    while let Some(id) = ready.pop() {
+        order.push(id);
+        let gate_level = levels[id.index()];
+        for &load in circuit.fanout(id) {
+            let load_index = load.index();
+            levels[load_index] = levels[load_index].max(gate_level + 1);
+            pending_fanin[load_index] -= 1;
+            if pending_fanin[load_index] == 0 {
+                ready.push(load);
+            }
+        }
+    }
+    if order.len() != gate_count {
+        // Some gate never became ready: it lies on (or behind) a cycle.
+        let stuck = (0..gate_count)
+            .find(|&i| pending_fanin[i] > 0)
+            .expect("a gate with unresolved fanin must exist");
+        return Err(NetlistError::CombinationalCycle {
+            signal: circuit.signal_name(GateId(stuck)).to_string(),
+        });
+    }
+    let depth = levels.iter().copied().max().unwrap_or(0);
+    Ok(Levelization {
+        order,
+        levels,
+        depth,
+    })
+}
+
+/// Returns the gates grouped by level, from level 0 upwards.
+pub fn gates_by_level(circuit: &Circuit, levelization: &Levelization) -> Vec<Vec<GateId>> {
+    let mut buckets = vec![Vec::new(); levelization.depth() + 1];
+    for (id, _) in circuit.iter() {
+        buckets[levelization.level(id)].push(id);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::gate::GateKind;
+
+    fn chain(length: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let mut prev = b.input("in");
+        for i in 0..length {
+            prev = b.gate(format!("n{i}"), GateKind::Not, &[prev]);
+        }
+        b.mark_output(prev);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn chain_depth_equals_length() {
+        let c = chain(10);
+        let lev = levelize(&c).expect("acyclic");
+        assert_eq!(lev.depth(), 10);
+        assert_eq!(lev.order().len(), c.gate_count());
+    }
+
+    #[test]
+    fn drivers_come_before_loads() {
+        let c = crate::library::c17();
+        let lev = levelize(&c).expect("acyclic");
+        let mut position = vec![0usize; c.gate_count()];
+        for (pos, &id) in lev.order().iter().enumerate() {
+            position[id.index()] = pos;
+        }
+        for (id, gate) in c.iter() {
+            for &driver in gate.fanin() {
+                assert!(
+                    position[driver.index()] < position[id.index()],
+                    "driver {driver} must precede {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_exceed_fanin_levels() {
+        let c = crate::library::c17();
+        let lev = levelize(&c).expect("acyclic");
+        for (id, gate) in c.iter() {
+            for &driver in gate.fanin() {
+                assert!(lev.level(id) > lev.level(driver));
+            }
+        }
+    }
+
+    #[test]
+    fn sources_are_level_zero() {
+        let c = chain(3);
+        let lev = levelize(&c).expect("acyclic");
+        let input = c.primary_inputs()[0];
+        assert_eq!(lev.level(input), 0);
+    }
+
+    #[test]
+    fn gates_by_level_partitions_all_gates() {
+        let c = crate::library::c17();
+        let lev = levelize(&c).expect("acyclic");
+        let buckets = gates_by_level(&c, &lev);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, c.gate_count());
+        for (level, bucket) in buckets.iter().enumerate() {
+            for &id in bucket {
+                assert_eq!(lev.level(id), level);
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergent_fanout_levels() {
+        // a -> x -> z ; a -> z  (z = AND(x, a)); level(z) = 2.
+        let mut b = CircuitBuilder::new("reconv");
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a]);
+        let z = b.gate("z", GateKind::And, &[x, a]);
+        b.mark_output(z);
+        let c = b.finish().expect("valid");
+        let lev = levelize(&c).expect("acyclic");
+        assert_eq!(lev.level(c.find_signal("z").expect("exists")), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Gate-level netlist substrate for the LSI product-quality reproduction.
+//!
+//! The paper's experiment needs a circuit with a realistic single-stuck-at
+//! fault universe: the 1981 study used a 25 000-transistor Bell Labs LSI chip
+//! whose netlist is not available.  This crate provides everything required
+//! to stand in for it:
+//!
+//! * a typed, validated gate-level [`Circuit`] representation,
+//! * an ISCAS-style `.bench` reader and writer ([`bench_format`]),
+//! * levelisation and structural analysis ([`levelize`], [`stats`]),
+//! * parameterised circuit generators (adders, multipliers, ALUs, parity and
+//!   multiplexer trees, random logic) in [`generator`], and
+//! * an embedded library of ready-made circuits, including an "LSI-class"
+//!   composite sized to roughly 25 000 transistor equivalents ([`library`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use lsiq_netlist::library;
+//! use lsiq_netlist::stats::CircuitStats;
+//!
+//! let c17 = library::c17();
+//! let stats = CircuitStats::of(&c17);
+//! assert_eq!(c17.primary_inputs().len(), 5);
+//! assert_eq!(c17.primary_outputs().len(), 2);
+//! assert!(stats.logic_gates >= 6);
+//! ```
+
+pub mod bench_format;
+pub mod builder;
+pub mod circuit;
+pub mod error;
+pub mod gate;
+pub mod generator;
+pub mod levelize;
+pub mod library;
+pub mod stats;
+
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, GateId};
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind};

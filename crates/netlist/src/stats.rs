@@ -1,0 +1,134 @@
+//! Structural circuit statistics.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::levelize::levelize;
+use std::collections::BTreeMap;
+
+/// Structural statistics of a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of logic gates (everything that is not a primary input).
+    pub logic_gates: usize,
+    /// Total number of gate input pins.
+    pub pins: usize,
+    /// Number of fanout stems (signals driving more than one branch).
+    pub fanout_stems: usize,
+    /// Logic depth (maximum level), zero for purely input circuits.
+    pub depth: usize,
+    /// Estimated CMOS transistor count.
+    pub transistors: usize,
+    /// Gate counts broken down by kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a combinational cycle, which validated
+    /// circuits cannot.
+    pub fn of(circuit: &Circuit) -> CircuitStats {
+        let mut by_kind: BTreeMap<GateKind, usize> = BTreeMap::new();
+        for (_, gate) in circuit.iter() {
+            *by_kind.entry(gate.kind()).or_insert(0) += 1;
+        }
+        let logic_gates = circuit.gate_count()
+            - by_kind.get(&GateKind::Input).copied().unwrap_or(0)
+            - by_kind.get(&GateKind::Const0).copied().unwrap_or(0)
+            - by_kind.get(&GateKind::Const1).copied().unwrap_or(0);
+        let fanout_stems = circuit
+            .iter()
+            .filter(|(id, _)| circuit.is_fanout_stem(*id))
+            .count();
+        let depth = levelize(circuit)
+            .expect("validated circuits are acyclic")
+            .depth();
+        CircuitStats {
+            primary_inputs: circuit.primary_inputs().len(),
+            primary_outputs: circuit.primary_outputs().len(),
+            logic_gates,
+            pins: circuit.total_pin_count(),
+            fanout_stems,
+            depth,
+            transistors: circuit.transistor_estimate(),
+            by_kind,
+        }
+    }
+
+    /// Number of single stuck-at fault sites under the standard convention
+    /// (two faults per gate output plus two per fanout branch pin).
+    ///
+    /// This is the uncollapsed fault-universe size `N` that the paper's
+    /// coverage fraction `f = m/N` refers to.
+    pub fn uncollapsed_fault_sites(&self) -> usize {
+        2 * (self.primary_inputs + self.logic_gates) + 2 * self.pins
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "inputs: {}, outputs: {}, gates: {}, pins: {}",
+            self.primary_inputs, self.primary_outputs, self.logic_gates, self.pins
+        )?;
+        writeln!(
+            f,
+            "fanout stems: {}, depth: {}, transistors (est.): {}",
+            self.fanout_stems, self.depth, self.transistors
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn c17_statistics() {
+        let stats = CircuitStats::of(&library::c17());
+        assert_eq!(stats.primary_inputs, 5);
+        assert_eq!(stats.primary_outputs, 2);
+        assert_eq!(stats.logic_gates, 6);
+        assert_eq!(stats.pins, 12);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.by_kind.get(&GateKind::Nand), Some(&6));
+        assert_eq!(stats.transistors, 6 * 4);
+    }
+
+    #[test]
+    fn fault_site_count_matches_convention() {
+        let stats = CircuitStats::of(&library::c17());
+        // 2*(5 + 6) + 2*12 = 46 uncollapsed stuck-at sites for c17.
+        assert_eq!(stats.uncollapsed_fault_sites(), 46);
+    }
+
+    #[test]
+    fn display_is_not_empty() {
+        let stats = CircuitStats::of(&library::half_adder());
+        let text = stats.to_string();
+        assert!(text.contains("inputs: 2"));
+        assert!(text.contains("XOR"));
+    }
+
+    #[test]
+    fn larger_circuits_have_more_of_everything() {
+        let small = CircuitStats::of(&library::adder4());
+        let big = CircuitStats::of(&crate::generator::ripple_carry_adder(16));
+        assert!(big.logic_gates > small.logic_gates);
+        assert!(big.pins > small.pins);
+        assert!(big.transistors > small.transistors);
+        assert!(big.depth > small.depth);
+    }
+}

@@ -1,0 +1,206 @@
+//! Gate-function evaluation over scalar, three-valued and packed operands.
+
+use crate::logic::Value3;
+use lsiq_netlist::GateKind;
+
+/// Evaluates a gate over two-valued scalar inputs.
+///
+/// Source kinds ([`GateKind::Input`], constants) take no inputs; `Input`
+/// evaluates to `false` here because its value is supplied externally by the
+/// simulator, never computed.
+pub fn eval_bool(kind: GateKind, inputs: &[bool]) -> bool {
+    match kind {
+        GateKind::Input => false,
+        GateKind::Const0 => false,
+        GateKind::Const1 => true,
+        GateKind::Buf => inputs[0],
+        GateKind::Not => !inputs[0],
+        GateKind::And => inputs.iter().all(|&v| v),
+        GateKind::Nand => !inputs.iter().all(|&v| v),
+        GateKind::Or => inputs.iter().any(|&v| v),
+        GateKind::Nor => !inputs.iter().any(|&v| v),
+        GateKind::Xor => inputs.iter().filter(|&&v| v).count() % 2 == 1,
+        GateKind::Xnor => inputs.iter().filter(|&&v| v).count() % 2 == 0,
+    }
+}
+
+/// Evaluates a gate over three-valued inputs.
+pub fn eval_value3(kind: GateKind, inputs: &[Value3]) -> Value3 {
+    match kind {
+        GateKind::Input => Value3::Unknown,
+        GateKind::Const0 => Value3::Zero,
+        GateKind::Const1 => Value3::One,
+        GateKind::Buf => inputs[0],
+        GateKind::Not => inputs[0].not(),
+        GateKind::And => inputs.iter().copied().fold(Value3::One, Value3::and),
+        GateKind::Nand => inputs
+            .iter()
+            .copied()
+            .fold(Value3::One, Value3::and)
+            .not(),
+        GateKind::Or => inputs.iter().copied().fold(Value3::Zero, Value3::or),
+        GateKind::Nor => inputs
+            .iter()
+            .copied()
+            .fold(Value3::Zero, Value3::or)
+            .not(),
+        GateKind::Xor => inputs.iter().copied().fold(Value3::Zero, Value3::xor),
+        GateKind::Xnor => inputs
+            .iter()
+            .copied()
+            .fold(Value3::Zero, Value3::xor)
+            .not(),
+    }
+}
+
+/// Evaluates a gate over 64-way bit-packed operands (bit `i` of each word is
+/// pattern `i`).
+pub fn eval_packed(kind: GateKind, inputs: &[u64]) -> u64 {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Const0 => 0,
+        GateKind::Const1 => u64::MAX,
+        GateKind::Buf => inputs[0],
+        GateKind::Not => !inputs[0],
+        GateKind::And => inputs.iter().fold(u64::MAX, |acc, &v| acc & v),
+        GateKind::Nand => !inputs.iter().fold(u64::MAX, |acc, &v| acc & v),
+        GateKind::Or => inputs.iter().fold(0, |acc, &v| acc | v),
+        GateKind::Nor => !inputs.iter().fold(0, |acc, &v| acc | v),
+        GateKind::Xor => inputs.iter().fold(0, |acc, &v| acc ^ v),
+        GateKind::Xnor => !inputs.iter().fold(0, |acc, &v| acc ^ v),
+    }
+}
+
+/// The value a gate's output takes when input `pin` is the controlling value
+/// for the gate, or `None` if the kind has no controlling value (XOR family,
+/// buffers).  Used by the PODEM backtrace heuristics.
+pub fn controlling_value(kind: GateKind) -> Option<bool> {
+    match kind {
+        GateKind::And | GateKind::Nand => Some(false),
+        GateKind::Or | GateKind::Nor => Some(true),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_INPUT_KINDS: [GateKind; 6] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    #[test]
+    fn two_input_truth_tables() {
+        let cases: [(GateKind, [bool; 4]); 6] = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expected) in cases {
+            for (index, &want) in expected.iter().enumerate() {
+                let a = index & 1 == 1;
+                let b = index & 2 == 2;
+                assert_eq!(eval_bool(kind, &[a, b]), want, "{kind} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_and_source_kinds() {
+        assert!(eval_bool(GateKind::Buf, &[true]));
+        assert!(!eval_bool(GateKind::Not, &[true]));
+        assert!(eval_bool(GateKind::Const1, &[]));
+        assert!(!eval_bool(GateKind::Const0, &[]));
+        assert!(!eval_bool(GateKind::Input, &[]));
+    }
+
+    #[test]
+    fn multi_input_xor_is_parity() {
+        assert!(eval_bool(GateKind::Xor, &[true, true, true]));
+        assert!(!eval_bool(GateKind::Xor, &[true, true, true, true]));
+        assert!(!eval_bool(GateKind::Xnor, &[true, false, false]));
+    }
+
+    #[test]
+    fn packed_matches_scalar_for_every_kind() {
+        for kind in TWO_INPUT_KINDS {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let word_a = if a { u64::MAX } else { 0 };
+                    let word_b = if b { u64::MAX } else { 0 };
+                    let packed = eval_packed(kind, &[word_a, word_b]);
+                    let scalar = eval_bool(kind, &[a, b]);
+                    let expected = if scalar { u64::MAX } else { 0 };
+                    assert_eq!(packed, expected, "{kind} {a} {b}");
+                }
+            }
+        }
+        assert_eq!(eval_packed(GateKind::Not, &[0]), u64::MAX);
+        assert_eq!(eval_packed(GateKind::Buf, &[7]), 7);
+        assert_eq!(eval_packed(GateKind::Const1, &[]), u64::MAX);
+    }
+
+    #[test]
+    fn packed_evaluates_each_bit_independently() {
+        // Patterns 0..3 of a 2-input AND: a = 0101, b = 0011 -> and = 0001.
+        let a = 0b0101u64;
+        let b = 0b0011u64;
+        assert_eq!(eval_packed(GateKind::And, &[a, b]) & 0xF, 0b0001);
+        assert_eq!(eval_packed(GateKind::Xor, &[a, b]) & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn value3_matches_bool_on_known_inputs() {
+        for kind in TWO_INPUT_KINDS {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let v = eval_value3(kind, &[Value3::from_bool(a), Value3::from_bool(b)]);
+                    assert_eq!(v.to_bool(), Some(eval_bool(kind, &[a, b])), "{kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value3_unknown_handling() {
+        // A controlling value decides the output even with an X present.
+        assert_eq!(
+            eval_value3(GateKind::And, &[Value3::Zero, Value3::Unknown]),
+            Value3::Zero
+        );
+        assert_eq!(
+            eval_value3(GateKind::Nor, &[Value3::One, Value3::Unknown]),
+            Value3::Zero
+        );
+        // Without a controlling value the output is unknown.
+        assert_eq!(
+            eval_value3(GateKind::And, &[Value3::One, Value3::Unknown]),
+            Value3::Unknown
+        );
+        assert_eq!(
+            eval_value3(GateKind::Xor, &[Value3::One, Value3::Unknown]),
+            Value3::Unknown
+        );
+        assert_eq!(eval_value3(GateKind::Input, &[]), Value3::Unknown);
+        assert_eq!(eval_value3(GateKind::Const0, &[]), Value3::Zero);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(controlling_value(GateKind::And), Some(false));
+        assert_eq!(controlling_value(GateKind::Nand), Some(false));
+        assert_eq!(controlling_value(GateKind::Or), Some(true));
+        assert_eq!(controlling_value(GateKind::Nor), Some(true));
+        assert_eq!(controlling_value(GateKind::Xor), None);
+        assert_eq!(controlling_value(GateKind::Buf), None);
+    }
+}

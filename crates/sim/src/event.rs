@@ -1,0 +1,228 @@
+//! Event-driven incremental simulation.
+//!
+//! Where the compiled simulator re-evaluates every gate for every pattern,
+//! the event-driven simulator only re-evaluates gates whose inputs actually
+//! changed.  It is used by the serial fault simulator, where consecutive
+//! patterns (and good/faulty circuit pairs) differ in only a few signals, and
+//! it doubles as an independent implementation to cross-check the compiled
+//! simulator.
+
+use crate::eval::eval_bool;
+use crate::pattern::Pattern;
+use lsiq_netlist::circuit::{Circuit, GateId};
+use lsiq_netlist::levelize::{levelize, Levelization};
+use lsiq_netlist::GateKind;
+use std::collections::BTreeSet;
+
+/// An event-driven two-valued simulator holding the current state of every
+/// signal.
+#[derive(Debug, Clone)]
+pub struct EventSim<'c> {
+    circuit: &'c Circuit,
+    levelization: Levelization,
+    values: Vec<bool>,
+    /// Gates awaiting re-evaluation, ordered by (level, id) so each gate is
+    /// evaluated at most once per stabilisation pass.
+    pending: BTreeSet<(usize, GateId)>,
+    evaluations: u64,
+}
+
+impl<'c> EventSim<'c> {
+    /// Creates a simulator with every signal initialised by a full evaluation
+    /// of the all-zero input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a combinational cycle, which validated
+    /// circuits cannot.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let levelization = levelize(circuit).expect("validated circuits are acyclic");
+        let mut sim = EventSim {
+            circuit,
+            levelization,
+            values: vec![false; circuit.gate_count()],
+            pending: BTreeSet::new(),
+            evaluations: 0,
+        };
+        sim.full_evaluate();
+        sim
+    }
+
+    /// Re-evaluates every gate from scratch (used at construction and after
+    /// bulk input changes).
+    fn full_evaluate(&mut self) {
+        let order: Vec<GateId> = self.levelization.order().to_vec();
+        for id in order {
+            let gate = self.circuit.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let fanin: Vec<bool> = gate
+                .fanin()
+                .iter()
+                .map(|&d| self.values[d.index()])
+                .collect();
+            self.values[id.index()] = eval_bool(gate.kind(), &fanin);
+            self.evaluations += 1;
+        }
+        self.pending.clear();
+    }
+
+    /// The current value of signal `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the circuit.
+    pub fn value(&self, id: GateId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// The current primary-output response in declaration order.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.circuit
+            .primary_outputs()
+            .iter()
+            .map(|&out| self.values[out.index()])
+            .collect()
+    }
+
+    /// Total number of gate evaluations performed so far (a measure of
+    /// simulation work).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Sets primary input `position` (in declaration order) to `value` and
+    /// schedules affected gates.  Call [`stabilize`](EventSim::stabilize) to
+    /// propagate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not a valid primary-input position.
+    pub fn set_input(&mut self, position: usize, value: bool) {
+        let input = self.circuit.primary_inputs()[position];
+        if self.values[input.index()] != value {
+            self.values[input.index()] = value;
+            self.schedule_fanout(input);
+        }
+    }
+
+    /// Applies a whole pattern (positionally, like the compiled simulator)
+    /// and schedules affected gates.
+    pub fn apply_pattern(&mut self, pattern: &Pattern) {
+        for position in 0..self.circuit.primary_inputs().len() {
+            let value = position < pattern.width() && pattern.bit(position);
+            self.set_input(position, value);
+        }
+    }
+
+    fn schedule_fanout(&mut self, id: GateId) {
+        for &load in self.circuit.fanout(id) {
+            self.pending
+                .insert((self.levelization.level(load), load));
+        }
+    }
+
+    /// Propagates all scheduled events until the circuit is stable and
+    /// returns the number of gate evaluations performed.
+    pub fn stabilize(&mut self) -> u64 {
+        let before = self.evaluations;
+        while let Some(&(level, id)) = self.pending.iter().next() {
+            self.pending.remove(&(level, id));
+            let gate = self.circuit.gate(id);
+            let fanin: Vec<bool> = gate
+                .fanin()
+                .iter()
+                .map(|&d| self.values[d.index()])
+                .collect();
+            let new_value = eval_bool(gate.kind(), &fanin);
+            self.evaluations += 1;
+            if new_value != self.values[id.index()] {
+                self.values[id.index()] = new_value;
+                self.schedule_fanout(id);
+            }
+        }
+        self.evaluations - before
+    }
+
+    /// Convenience: applies a pattern, stabilises and returns the outputs.
+    pub fn simulate(&mut self, pattern: &Pattern) -> Vec<bool> {
+        self.apply_pattern(pattern);
+        self.stabilize();
+        self.outputs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelized::CompiledCircuit;
+    use lsiq_netlist::library;
+
+    #[test]
+    fn event_sim_matches_compiled_sim_on_c17() {
+        let circuit = library::c17();
+        let compiled = CompiledCircuit::new(&circuit);
+        let mut event = EventSim::new(&circuit);
+        for value in 0u64..32 {
+            let pattern = Pattern::from_integer(value, 5);
+            assert_eq!(
+                event.simulate(&pattern),
+                compiled.outputs(&pattern),
+                "pattern {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_sim_matches_compiled_sim_on_alu() {
+        let circuit = library::alu4();
+        let compiled = CompiledCircuit::new(&circuit);
+        let mut event = EventSim::new(&circuit);
+        // Walk a deterministic but varied sequence of patterns.
+        for step in 0u64..200 {
+            let value = step.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20;
+            let pattern = Pattern::from_integer(value, 10);
+            assert_eq!(event.simulate(&pattern), compiled.outputs(&pattern));
+        }
+    }
+
+    #[test]
+    fn unchanged_inputs_cause_no_work() {
+        let circuit = library::c17();
+        let mut event = EventSim::new(&circuit);
+        let pattern = Pattern::from_integer(0b10101, 5);
+        event.simulate(&pattern);
+        let before = event.evaluations();
+        // Applying the identical pattern again schedules nothing.
+        event.simulate(&pattern);
+        assert_eq!(event.evaluations(), before);
+    }
+
+    #[test]
+    fn single_input_change_does_less_work_than_full_pass() {
+        let circuit = library::alu4();
+        let mut event = EventSim::new(&circuit);
+        event.simulate(&Pattern::zeros(10));
+        let logic_gates = circuit.gate_count() - circuit.primary_inputs().len();
+        // Flip one operand bit; only its cone should be re-evaluated.
+        event.set_input(0, true);
+        let work = event.stabilize();
+        assert!(work > 0);
+        assert!(
+            (work as usize) < logic_gates,
+            "event-driven work {work} should beat full pass of {logic_gates}"
+        );
+    }
+
+    #[test]
+    fn values_are_queryable_per_signal() {
+        let circuit = library::half_adder();
+        let mut event = EventSim::new(&circuit);
+        event.simulate(&Pattern::from_bits([true, true]));
+        let sum = circuit.find_signal("sum").expect("exists");
+        let carry = circuit.find_signal("carry").expect("exists");
+        assert!(!event.value(sum));
+        assert!(event.value(carry));
+    }
+}

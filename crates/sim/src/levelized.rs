@@ -1,0 +1,275 @@
+//! Compiled, levelised full-circuit simulation.
+
+use crate::eval::{eval_bool, eval_packed, eval_value3};
+use crate::logic::Value3;
+use crate::pattern::Pattern;
+use lsiq_netlist::circuit::{Circuit, GateId};
+use lsiq_netlist::levelize::{levelize, Levelization};
+use lsiq_netlist::GateKind;
+
+/// A circuit prepared for repeated simulation: the topological order is
+/// computed once and reused for every pattern.
+///
+/// Three evaluation modes are offered:
+///
+/// * scalar two-valued ([`node_values`](CompiledCircuit::node_values),
+///   [`outputs`](CompiledCircuit::outputs)),
+/// * 64-pattern bit-parallel ([`node_words`](CompiledCircuit::node_words),
+///   [`output_words`](CompiledCircuit::output_words)), and
+/// * three-valued for partially assigned inputs
+///   ([`node_values3`](CompiledCircuit::node_values3)).
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit<'c> {
+    circuit: &'c Circuit,
+    levelization: Levelization,
+}
+
+impl<'c> CompiledCircuit<'c> {
+    /// Prepares `circuit` for simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a combinational cycle, which validated
+    /// circuits cannot.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let levelization = levelize(circuit).expect("validated circuits are acyclic");
+        CompiledCircuit {
+            circuit,
+            levelization,
+        }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Gates in the topological evaluation order.
+    pub fn order(&self) -> &[GateId] {
+        self.levelization.order()
+    }
+
+    /// The levelisation computed at construction.
+    pub fn levelization(&self) -> &Levelization {
+        &self.levelization
+    }
+
+    /// Simulates one pattern and returns the value of every gate, indexed by
+    /// gate id.  Pattern bits are matched to primary inputs positionally;
+    /// missing bits default to 0 and extra bits are ignored.
+    pub fn node_values(&self, pattern: &Pattern) -> Vec<bool> {
+        let mut values = vec![false; self.circuit.gate_count()];
+        for (position, &input) in self.circuit.primary_inputs().iter().enumerate() {
+            values[input.index()] = position < pattern.width() && pattern.bit(position);
+        }
+        let mut fanin_values = Vec::new();
+        for &id in self.levelization.order() {
+            let gate = self.circuit.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            fanin_values.clear();
+            fanin_values.extend(gate.fanin().iter().map(|&d| values[d.index()]));
+            values[id.index()] = eval_bool(gate.kind(), &fanin_values);
+        }
+        values
+    }
+
+    /// Simulates one pattern and returns only the primary-output response, in
+    /// output declaration order.
+    pub fn outputs(&self, pattern: &Pattern) -> Vec<bool> {
+        let values = self.node_values(pattern);
+        self.circuit
+            .primary_outputs()
+            .iter()
+            .map(|&out| values[out.index()])
+            .collect()
+    }
+
+    /// Simulates a block of up to 64 patterns bit-parallel.
+    ///
+    /// `input_words` holds one word per primary input (positional); missing
+    /// words default to all-zero.  Returns one word per gate, indexed by gate
+    /// id.
+    pub fn node_words(&self, input_words: &[u64]) -> Vec<u64> {
+        let mut words = vec![0u64; self.circuit.gate_count()];
+        for (position, &input) in self.circuit.primary_inputs().iter().enumerate() {
+            words[input.index()] = input_words.get(position).copied().unwrap_or(0);
+        }
+        let mut fanin_words = Vec::new();
+        for &id in self.levelization.order() {
+            let gate = self.circuit.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            fanin_words.clear();
+            fanin_words.extend(gate.fanin().iter().map(|&d| words[d.index()]));
+            words[id.index()] = eval_packed(gate.kind(), &fanin_words);
+        }
+        words
+    }
+
+    /// Simulates a block of up to 64 patterns and returns only the primary
+    /// output words.
+    pub fn output_words(&self, input_words: &[u64]) -> Vec<u64> {
+        let words = self.node_words(input_words);
+        self.circuit
+            .primary_outputs()
+            .iter()
+            .map(|&out| words[out.index()])
+            .collect()
+    }
+
+    /// Simulates a (possibly partial) three-valued input assignment.
+    ///
+    /// `assignment` holds one value per primary input (positional); missing
+    /// entries are treated as unknown.
+    pub fn node_values3(&self, assignment: &[Value3]) -> Vec<Value3> {
+        let mut values = vec![Value3::Unknown; self.circuit.gate_count()];
+        for (position, &input) in self.circuit.primary_inputs().iter().enumerate() {
+            values[input.index()] = assignment.get(position).copied().unwrap_or(Value3::Unknown);
+        }
+        let mut fanin_values = Vec::new();
+        for &id in self.levelization.order() {
+            let gate = self.circuit.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            fanin_values.clear();
+            fanin_values.extend(gate.fanin().iter().map(|&d| values[d.index()]));
+            values[id.index()] = eval_value3(gate.kind(), &fanin_values);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsiq_netlist::library;
+
+    /// Reference model of c17: straight translation of its six NAND gates.
+    fn c17_reference(inputs: [bool; 5]) -> [bool; 2] {
+        let [g1, g2, g3, g6, g7] = inputs;
+        let g10 = !(g1 && g3);
+        let g11 = !(g3 && g6);
+        let g16 = !(g2 && g11);
+        let g19 = !(g11 && g7);
+        let g22 = !(g10 && g16);
+        let g23 = !(g16 && g19);
+        [g22, g23]
+    }
+
+    #[test]
+    fn c17_matches_reference_exhaustively() {
+        let circuit = library::c17();
+        let sim = CompiledCircuit::new(&circuit);
+        for value in 0u64..32 {
+            let pattern = Pattern::from_integer(value, 5);
+            let expected = c17_reference([
+                pattern.bit(0),
+                pattern.bit(1),
+                pattern.bit(2),
+                pattern.bit(3),
+                pattern.bit(4),
+            ]);
+            assert_eq!(sim.outputs(&pattern), expected.to_vec(), "pattern {value}");
+        }
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        let circuit = library::adder4();
+        let sim = CompiledCircuit::new(&circuit);
+        for a in 0u64..16 {
+            for b in [0u64, 3, 9, 15] {
+                for cin in [0u64, 1] {
+                    // Inputs are declared a0..a3, b0..b3, cin.
+                    let value = a | (b << 4) | (cin << 8);
+                    let pattern = Pattern::from_integer(value, 9);
+                    let outputs = sim.outputs(&pattern);
+                    let sum: u64 = outputs[..4]
+                        .iter()
+                        .enumerate()
+                        .map(|(bit, &v)| (v as u64) << bit)
+                        .sum::<u64>()
+                        + ((outputs[4] as u64) << 4);
+                    assert_eq!(sum, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_simulation_matches_scalar() {
+        let circuit = library::c17();
+        let sim = CompiledCircuit::new(&circuit);
+        // Pack the 32 exhaustive patterns into one block.
+        let mut input_words = vec![0u64; 5];
+        for value in 0u64..32 {
+            for (input, word) in input_words.iter_mut().enumerate() {
+                if (value >> input) & 1 == 1 {
+                    *word |= 1u64 << value;
+                }
+            }
+        }
+        let output_words = sim.output_words(&input_words);
+        for value in 0u64..32 {
+            let pattern = Pattern::from_integer(value, 5);
+            let scalar = sim.outputs(&pattern);
+            for (out, &word) in output_words.iter().enumerate() {
+                assert_eq!(
+                    (word >> value) & 1 == 1,
+                    scalar[out],
+                    "pattern {value} output {out}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_valued_simulation_agrees_on_fully_assigned_patterns() {
+        let circuit = library::full_adder();
+        let sim = CompiledCircuit::new(&circuit);
+        for value in 0u64..8 {
+            let pattern = Pattern::from_integer(value, 3);
+            let assignment: Vec<Value3> =
+                pattern.bits().iter().map(|&b| Value3::from_bool(b)).collect();
+            let scalar = sim.node_values(&pattern);
+            let ternary = sim.node_values3(&assignment);
+            for (id, (&b, &v)) in scalar.iter().zip(ternary.iter()).enumerate() {
+                assert_eq!(Value3::from_bool(b), v, "gate {id} pattern {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn unassigned_inputs_produce_unknowns_where_needed() {
+        let circuit = library::half_adder();
+        let sim = CompiledCircuit::new(&circuit);
+        // a = 0, b unknown: carry = 0 (controlled), sum unknown.
+        let values = sim.node_values3(&[Value3::Zero]);
+        let sum = circuit.find_signal("sum").expect("exists");
+        let carry = circuit.find_signal("carry").expect("exists");
+        assert_eq!(values[sum.index()], Value3::Unknown);
+        assert_eq!(values[carry.index()], Value3::Zero);
+    }
+
+    #[test]
+    fn short_patterns_default_missing_inputs_to_zero() {
+        let circuit = library::c17();
+        let sim = CompiledCircuit::new(&circuit);
+        let short = sim.outputs(&Pattern::from_bits([true, true]));
+        let padded = sim.outputs(&Pattern::from_bits([true, true, false, false, false]));
+        assert_eq!(short, padded);
+    }
+
+    #[test]
+    fn order_and_accessors() {
+        let circuit = library::c17();
+        let sim = CompiledCircuit::new(&circuit);
+        assert_eq!(sim.order().len(), circuit.gate_count());
+        assert_eq!(sim.circuit().name(), "c17");
+        assert_eq!(sim.levelization().depth(), 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Scalar logic values.
+//!
+//! Two-valued simulation uses plain `bool`; three-valued simulation (needed
+//! by the PODEM test generator for unassigned inputs) uses [`Value3`].
+
+use std::fmt;
+
+/// A three-valued logic value: 0, 1 or unknown (X).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Value3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unassigned.
+    #[default]
+    Unknown,
+}
+
+impl Value3 {
+    /// Converts a known boolean into a three-valued value.
+    pub fn from_bool(value: bool) -> Value3 {
+        if value {
+            Value3::One
+        } else {
+            Value3::Zero
+        }
+    }
+
+    /// Converts to a boolean when the value is known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Value3::Zero => Some(false),
+            Value3::One => Some(true),
+            Value3::Unknown => None,
+        }
+    }
+
+    /// Returns `true` when the value is known (not X).
+    pub fn is_known(self) -> bool {
+        self != Value3::Unknown
+    }
+
+    /// Three-valued inversion.
+    pub fn not(self) -> Value3 {
+        match self {
+            Value3::Zero => Value3::One,
+            Value3::One => Value3::Zero,
+            Value3::Unknown => Value3::Unknown,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: Value3) -> Value3 {
+        match (self, other) {
+            (Value3::Zero, _) | (_, Value3::Zero) => Value3::Zero,
+            (Value3::One, Value3::One) => Value3::One,
+            _ => Value3::Unknown,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: Value3) -> Value3 {
+        match (self, other) {
+            (Value3::One, _) | (_, Value3::One) => Value3::One,
+            (Value3::Zero, Value3::Zero) => Value3::Zero,
+            _ => Value3::Unknown,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, other: Value3) -> Value3 {
+        match (self, other) {
+            (Value3::Unknown, _) | (_, Value3::Unknown) => Value3::Unknown,
+            (a, b) if a == b => Value3::Zero,
+            _ => Value3::One,
+        }
+    }
+}
+
+impl From<bool> for Value3 {
+    fn from(value: bool) -> Self {
+        Value3::from_bool(value)
+    }
+}
+
+impl fmt::Display for Value3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let symbol = match self {
+            Value3::Zero => '0',
+            Value3::One => '1',
+            Value3::Unknown => 'X',
+        };
+        write!(f, "{symbol}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Value3; 3] = [Value3::Zero, Value3::One, Value3::Unknown];
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value3::from_bool(true), Value3::One);
+        assert_eq!(Value3::from_bool(false), Value3::Zero);
+        assert_eq!(Value3::One.to_bool(), Some(true));
+        assert_eq!(Value3::Zero.to_bool(), Some(false));
+        assert_eq!(Value3::Unknown.to_bool(), None);
+        assert_eq!(Value3::from(true), Value3::One);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(Value3::Zero.not(), Value3::One);
+        assert_eq!(Value3::One.not(), Value3::Zero);
+        assert_eq!(Value3::Unknown.not(), Value3::Unknown);
+    }
+
+    #[test]
+    fn and_controls_on_zero() {
+        for v in ALL {
+            assert_eq!(Value3::Zero.and(v), Value3::Zero);
+            assert_eq!(v.and(Value3::Zero), Value3::Zero);
+        }
+        assert_eq!(Value3::One.and(Value3::One), Value3::One);
+        assert_eq!(Value3::One.and(Value3::Unknown), Value3::Unknown);
+    }
+
+    #[test]
+    fn or_controls_on_one() {
+        for v in ALL {
+            assert_eq!(Value3::One.or(v), Value3::One);
+            assert_eq!(v.or(Value3::One), Value3::One);
+        }
+        assert_eq!(Value3::Zero.or(Value3::Zero), Value3::Zero);
+        assert_eq!(Value3::Zero.or(Value3::Unknown), Value3::Unknown);
+    }
+
+    #[test]
+    fn xor_propagates_unknown() {
+        assert_eq!(Value3::One.xor(Value3::Zero), Value3::One);
+        assert_eq!(Value3::One.xor(Value3::One), Value3::Zero);
+        assert_eq!(Value3::Unknown.xor(Value3::One), Value3::Unknown);
+        assert_eq!(Value3::Zero.xor(Value3::Unknown), Value3::Unknown);
+    }
+
+    #[test]
+    fn consistency_with_bool_logic_on_known_values() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let va = Value3::from_bool(a);
+                let vb = Value3::from_bool(b);
+                assert_eq!(va.and(vb).to_bool(), Some(a && b));
+                assert_eq!(va.or(vb).to_bool(), Some(a || b));
+                assert_eq!(va.xor(vb).to_bool(), Some(a ^ b));
+                assert_eq!(va.not().to_bool(), Some(!a));
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_unknown_and_display_works() {
+        assert_eq!(Value3::default(), Value3::Unknown);
+        assert_eq!(Value3::Zero.to_string(), "0");
+        assert_eq!(Value3::One.to_string(), "1");
+        assert_eq!(Value3::Unknown.to_string(), "X");
+    }
+}

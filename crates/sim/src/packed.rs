@@ -1,0 +1,120 @@
+//! Helpers for 64-way bit-parallel simulation words.
+//!
+//! A packed word carries one bit per pattern: bit `i` of every signal's word
+//! is that signal's value under pattern `i` of the current 64-pattern block.
+
+/// Number of patterns carried by one packed word.
+pub const PATTERNS_PER_WORD: usize = 64;
+
+/// A mask with the low `count` bits set, selecting the valid patterns of a
+/// partially filled block.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds [`PATTERNS_PER_WORD`].
+pub fn valid_mask(count: usize) -> u64 {
+    assert!(
+        count <= PATTERNS_PER_WORD,
+        "a block holds at most {PATTERNS_PER_WORD} patterns"
+    );
+    if count == PATTERNS_PER_WORD {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// Expands a single boolean into a full packed word (all patterns equal).
+pub fn broadcast(value: bool) -> u64 {
+    if value {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Extracts the bit for pattern `slot` from a packed word.
+///
+/// # Panics
+///
+/// Panics if `slot` is 64 or more.
+pub fn bit(word: u64, slot: usize) -> bool {
+    assert!(slot < PATTERNS_PER_WORD, "pattern slot out of range");
+    (word >> slot) & 1 == 1
+}
+
+/// The pattern slots (indices) at which two packed response words differ,
+/// restricted to the `valid` mask.  This is how the fault simulator turns a
+/// word-level mismatch into per-pattern detections.
+pub fn differing_slots(good: u64, faulty: u64, valid: u64) -> Vec<usize> {
+    let mut diff = (good ^ faulty) & valid;
+    let mut slots = Vec::new();
+    while diff != 0 {
+        let slot = diff.trailing_zeros() as usize;
+        slots.push(slot);
+        diff &= diff - 1;
+    }
+    slots
+}
+
+/// The earliest differing pattern slot, if any, restricted to `valid`.
+pub fn first_differing_slot(good: u64, faulty: u64, valid: u64) -> Option<usize> {
+    let diff = (good ^ faulty) & valid;
+    if diff == 0 {
+        None
+    } else {
+        Some(diff.trailing_zeros() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_mask_edges() {
+        assert_eq!(valid_mask(0), 0);
+        assert_eq!(valid_mask(1), 1);
+        assert_eq!(valid_mask(3), 0b111);
+        assert_eq!(valid_mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn oversized_mask_panics() {
+        let _ = valid_mask(65);
+    }
+
+    #[test]
+    fn broadcast_and_bit() {
+        assert_eq!(broadcast(true), u64::MAX);
+        assert_eq!(broadcast(false), 0);
+        assert!(bit(0b100, 2));
+        assert!(!bit(0b100, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn bit_slot_out_of_range_panics() {
+        let _ = bit(0, 64);
+    }
+
+    #[test]
+    fn differing_slots_lists_all_mismatches() {
+        let good = 0b1010_1010;
+        let faulty = 0b1010_0110;
+        assert_eq!(differing_slots(good, faulty, u64::MAX), vec![2, 3]);
+        // Restricting the valid mask hides mismatches outside it.
+        assert_eq!(differing_slots(good, faulty, 0b0111), vec![2]);
+        assert!(differing_slots(good, good, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn first_differing_slot_matches_list_head() {
+        let good = 0b1000;
+        let faulty = 0b0010;
+        assert_eq!(first_differing_slot(good, faulty, u64::MAX), Some(1));
+        assert_eq!(first_differing_slot(good, good, u64::MAX), None);
+        assert_eq!(first_differing_slot(good, faulty, 0b1000), Some(3));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared by the numerical routines in this crate.
+
+use std::fmt;
+
+/// Error returned by constructors and solvers in `lsiq-stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A root-finding bracket did not enclose a sign change.
+    InvalidBracket {
+        /// Lower end of the bracket.
+        lo: f64,
+        /// Upper end of the bracket.
+        hi: f64,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations that were attempted.
+        iterations: usize,
+    },
+    /// The input data set was empty or otherwise too small for the operation.
+    InsufficientData {
+        /// Number of points required.
+        required: usize,
+        /// Number of points supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            StatsError::InvalidBracket { lo, hi } => {
+                write!(f, "bracket [{lo}, {hi}] does not enclose a root")
+            }
+            StatsError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            StatsError::InsufficientData { required, actual } => write!(
+                f,
+                "insufficient data: {actual} points supplied, at least {required} required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = StatsError::InvalidParameter {
+            name: "mean",
+            value: -1.0,
+            expected: "a finite value > 0",
+        };
+        let text = err.to_string();
+        assert!(text.contains("mean"));
+        assert!(text.contains("-1"));
+    }
+
+    #[test]
+    fn display_invalid_bracket() {
+        let err = StatsError::InvalidBracket { lo: 0.0, hi: 1.0 };
+        assert!(err.to_string().contains("bracket"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let err = StatsError::NoConvergence { iterations: 100 };
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn display_insufficient_data() {
+        let err = StatsError::InsufficientData {
+            required: 2,
+            actual: 0,
+        };
+        assert!(err.to_string().contains("2"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

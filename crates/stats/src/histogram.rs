@@ -1,0 +1,169 @@
+//! Simple fixed-bin histograms for Monte-Carlo diagnostics.
+
+use crate::error::StatsError;
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// Values below the range are counted in an underflow bucket, values at or
+/// above `hi` in an overflow bucket, so no observation is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins spanning `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins` is zero or the
+    /// range is empty or not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                expected: "at least one bin",
+            });
+        }
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+                expected: "a finite, non-empty range",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let index = ((value - self.lo) / width) as usize;
+            let index = index.min(self.counts.len() - 1);
+            self.counts[index] += 1;
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for value in values {
+            self.record(value);
+        }
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Midpoint of bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn bin_center(&self, index: usize) -> f64 {
+        assert!(index < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (index as f64 + 0.5)
+    }
+
+    /// The empirical fraction of observations falling in bin `index`,
+    /// relative to all in-range observations (zero if nothing in range).
+    pub fn fraction(&self, index: usize) -> f64 {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            0.0
+        } else {
+            self.counts[index] as f64 / in_range as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn records_into_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).expect("valid");
+        h.record_all([0.5, 1.5, 1.7, 9.9]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn tracks_underflow_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).expect("valid");
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(0.25);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_centers_and_fractions() {
+        let mut h = Histogram::new(0.0, 4.0, 4).expect("valid");
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(3) - 3.5).abs() < 1e-12);
+        h.record_all([0.1, 0.2, 2.5, 3.9]);
+        assert!((h.fraction(0) - 0.5).abs() < 1e-12);
+        assert!((h.fraction(1) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_of_empty_histogram_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).expect("valid");
+        assert_eq!(h.fraction(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin index out of range")]
+    fn bin_center_out_of_range_panics() {
+        let h = Histogram::new(0.0, 1.0, 3).expect("valid");
+        let _ = h.bin_center(3);
+    }
+}

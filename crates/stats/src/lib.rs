@@ -1,0 +1,34 @@
+//! Numerical substrate for the LSI product-quality reproduction.
+//!
+//! This crate provides the deterministic random-number generation, special
+//! functions, probability distributions, root finding and least-squares
+//! machinery that the rest of the workspace builds on.  Everything is
+//! implemented in-tree so that the Monte-Carlo experiments in
+//! `lsiq-manufacturing` and the analytic model in `lsiq-core` are
+//! bit-reproducible across platforms and independent of external crate
+//! version churn.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lsiq_stats::rng::Xoshiro256StarStar;
+//! use lsiq_stats::dist::Poisson;
+//! use lsiq_stats::dist::Sample;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let poisson = Poisson::new(7.0).expect("positive mean");
+//! let draw = poisson.sample(&mut rng);
+//! assert!(draw < 1_000);
+//! ```
+
+pub mod dist;
+pub mod error;
+pub mod fit;
+pub mod histogram;
+pub mod rng;
+pub mod roots;
+pub mod special;
+pub mod summary;
+
+pub use error::StatsError;
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};

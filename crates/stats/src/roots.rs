@@ -1,0 +1,214 @@
+//! One-dimensional root finding.
+//!
+//! The quality model needs to invert monotone relations such as eq. (8)
+//! (field reject rate as a function of fault coverage) for which a bracketing
+//! bisection is robust and more than fast enough, plus a safeguarded Newton
+//! iteration for smooth well-behaved cases.
+
+use crate::error::StatsError;
+
+/// Options controlling an iterative root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the argument.
+    pub x_tolerance: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tolerance: f64,
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tolerance: 1e-12,
+            f_tolerance: 1e-12,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in the bracket `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidBracket`] if `f(lo)` and `f(hi)` have the
+/// same sign, and [`StatsError::NoConvergence`] if the iteration budget is
+/// exhausted (which cannot happen with the default options and a finite
+/// bracket, but is reported rather than looping forever).
+pub fn bisect<F>(mut f: F, lo: f64, hi: f64, options: RootOptions) -> Result<f64, StatsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut lo, mut hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(StatsError::InvalidBracket { lo, hi });
+    }
+    for _ in 0..options.max_iterations {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid.abs() <= options.f_tolerance || (hi - lo) <= options.x_tolerance {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(StatsError::NoConvergence {
+        iterations: options.max_iterations,
+    })
+}
+
+/// Finds a root of `f` with Newton's method, falling back to bisection inside
+/// `[lo, hi]` whenever a Newton step leaves the bracket or the derivative is
+/// too small.
+///
+/// # Errors
+///
+/// Returns the same errors as [`bisect`].
+pub fn newton_bracketed<F, D>(
+    mut f: F,
+    mut derivative: D,
+    lo: f64,
+    hi: f64,
+    initial: f64,
+    options: RootOptions,
+) -> Result<f64, StatsError>
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    let (mut lo, mut hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(StatsError::InvalidBracket { lo, hi });
+    }
+    let mut x = initial.clamp(lo, hi);
+    for _ in 0..options.max_iterations {
+        let fx = f(x);
+        if fx.abs() <= options.f_tolerance {
+            return Ok(x);
+        }
+        // Shrink the bracket around the sign change.
+        if fx.signum() == f_lo.signum() {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        if (hi - lo) <= options.x_tolerance {
+            return Ok(0.5 * (lo + hi));
+        }
+        let dfx = derivative(x);
+        let newton_step = if dfx.abs() > 1e-300 { x - fx / dfx } else { f64::NAN };
+        x = if newton_step.is_finite() && newton_step > lo && newton_step < hi {
+            newton_step
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    Err(StatsError::NoConvergence {
+        iterations: options.max_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_square_root() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).expect("bracketed");
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_accepts_reversed_bracket() {
+        let root = bisect(|x| x - 1.0, 3.0, 0.0, RootOptions::default()).expect("bracketed");
+        assert!((root - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_returns_endpoint_roots() {
+        let root = bisect(|x| x, 0.0, 5.0, RootOptions::default()).expect("root at endpoint");
+        assert_eq!(root, 0.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()).unwrap_err();
+        assert!(matches!(err, StatsError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn newton_converges_quadratically_on_smooth_function() {
+        let root = newton_bracketed(
+            |x| x.exp() - 3.0,
+            |x| x.exp(),
+            0.0,
+            2.0,
+            1.0,
+            RootOptions::default(),
+        )
+        .expect("bracketed");
+        assert!((root - 3.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_falls_back_to_bisection_on_flat_derivative() {
+        // Derivative reported as zero everywhere: should still converge by
+        // bisection fallback.
+        let root = newton_bracketed(
+            |x| x - 0.25,
+            |_| 0.0,
+            0.0,
+            1.0,
+            0.9,
+            RootOptions::default(),
+        )
+        .expect("bracketed");
+        assert!((root - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_rejects_bad_bracket() {
+        let err = newton_bracketed(
+            |x| x * x + 1.0,
+            |x| 2.0 * x,
+            -1.0,
+            1.0,
+            0.0,
+            RootOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StatsError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn tight_iteration_budget_reports_no_convergence() {
+        let options = RootOptions {
+            x_tolerance: 0.0,
+            f_tolerance: 0.0,
+            max_iterations: 3,
+        };
+        let err = bisect(|x| x * x - 2.0, 0.0, 2.0, options).unwrap_err();
+        assert!(matches!(err, StatsError::NoConvergence { iterations: 3 }));
+    }
+}

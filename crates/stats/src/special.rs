@@ -1,0 +1,337 @@
+//! Special functions used by the probability distributions and by the
+//! analytic model in `lsiq-core`.
+//!
+//! The implementations favour clarity and accuracy over raw speed; every
+//! function here is evaluated at most a few million times per experiment.
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, n = 9), which is accurate to about
+/// 1e-13 over the positive real axis.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite or not strictly positive.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps the approximation in its accurate region.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural logarithm of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small values from a table for exactness; larger values via ln_gamma.
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_894,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n < TABLE.len() as u64 {
+        TABLE[n as usize]
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns negative infinity when `k > n`, matching the convention that the
+/// coefficient is zero outside its support.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial coefficient `C(n, k)` as a float.
+///
+/// Exact for small arguments, computed through logarithms for large ones.
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    if n <= 62 {
+        // Exact integer arithmetic: after each step `acc` equals C(n, i+1),
+        // which is an integer, so the division is exact and nothing overflows
+        // for n up to 62.
+        let mut acc: u128 = 1;
+        for i in 0..k {
+            acc = acc * (n - i) as u128 / (i as u128 + 1);
+        }
+        acc as f64
+    } else {
+        ln_binomial(n, k).exp()
+    }
+}
+
+/// The regularised lower incomplete gamma function `P(a, x)`.
+///
+/// Used for Poisson CDF evaluation.  Follows the series/continued-fraction
+/// split of Numerical Recipes.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "regularized_gamma_p requires a > 0, got {a}");
+    assert!(x >= 0.0, "regularized_gamma_p requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// The regularised upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    1.0 - regularized_gamma_p(a, x)
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut denom = a;
+    for _ in 0..MAX_ITER {
+        denom += 1.0;
+        term *= x / denom;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Numerically stable `ln(1 + x)` wrapper (thin alias for discoverability).
+pub fn ln_1p(x: f64) -> f64 {
+    x.ln_1p()
+}
+
+/// Numerically stable `exp(x) - 1` wrapper (thin alias for discoverability).
+pub fn exp_m1(x: f64) -> f64 {
+    x.exp_m1()
+}
+
+/// Computes `log(sum(exp(values)))` without overflow.
+///
+/// Returns negative infinity for an empty slice.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = values.iter().map(|v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol * expected.abs().max(1.0),
+            "actual {actual} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..20 {
+            let expected: f64 = (1..n).map(|k| (k as f64).ln()).sum();
+            assert_close(ln_gamma(n as f64), expected, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = sqrt(pi)/2
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_product() {
+        for n in 0u64..30 {
+            let direct: f64 = (1..=n).map(|k| (k as f64).ln()).sum();
+            assert_close(ln_factorial(n), direct, 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_small_values_exact() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 5), 252.0);
+        assert_eq!(binomial(52, 5), 2_598_960.0);
+        assert_eq!(binomial(4, 7), 0.0);
+    }
+
+    #[test]
+    fn binomial_large_values_consistent_with_logs() {
+        let direct = binomial(200, 17);
+        let via_log = ln_binomial(200, 17).exp();
+        assert_close(direct, via_log, 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_out_of_support() {
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pascals_rule_holds() {
+        for n in 1u64..60 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                assert_close(lhs, rhs, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn regularized_gamma_p_known_values() {
+        // P(1, x) = 1 - exp(-x)
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            assert_close(regularized_gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+        }
+        // P(a, 0) = 0
+        assert_eq!(regularized_gamma_p(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn regularized_gamma_p_q_sum_to_one() {
+        for &a in &[0.5, 1.0, 2.5, 10.0, 40.0] {
+            for &x in &[0.1, 1.0, 5.0, 20.0, 60.0] {
+                let p = regularized_gamma_p(a, x);
+                let q = regularized_gamma_q(a, x);
+                assert_close(p + q, 1.0, 1e-12);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn regularized_gamma_p_is_monotone_in_x() {
+        let a = 3.7;
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.1;
+            let p = regularized_gamma_p(a, x);
+            assert!(p + 1e-15 >= prev, "P(a,x) must be non-decreasing in x");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_basic() {
+        let values = [0.0_f64.ln(), 1.0_f64.ln(), 2.0_f64.ln()];
+        // log(0 + 1 + 2) = ln 3.  ln(0) is -inf and must be handled.
+        assert_close(log_sum_exp(&values), 3.0_f64.ln(), 1e-12);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_magnitudes() {
+        let values = [1000.0, 1000.0];
+        assert_close(log_sum_exp(&values), 1000.0 + 2.0_f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_1p_and_exp_m1_are_consistent() {
+        for &x in &[1e-12, 1e-6, 0.1, 1.0] {
+            assert_close(exp_m1(ln_1p(x)), x, 1e-12);
+        }
+    }
+}

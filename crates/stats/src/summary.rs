@@ -1,0 +1,140 @@
+//! Descriptive statistics for simulation output.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean, or zero for an empty sample.
+    pub mean: f64,
+    /// Population variance (divides by `count`), or zero for an empty sample.
+    pub variance: f64,
+    /// Smallest observation, or positive infinity for an empty sample.
+    pub min: f64,
+    /// Largest observation, or negative infinity for an empty sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over an iterator of observations.
+    pub fn from_iter<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut count = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for value in values {
+            count += 1;
+            let delta = value - mean;
+            mean += delta / count as f64;
+            m2 += delta * (value - mean);
+            min = min.min(value);
+            max = max.max(value);
+        }
+        let variance = if count > 0 { m2 / count as f64 } else { 0.0 };
+        let mean = if count > 0 { mean } else { 0.0 };
+        Summary {
+            count,
+            mean,
+            variance,
+            min,
+            max,
+        }
+    }
+
+    /// Standard deviation of the sample.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean, or zero for an empty sample.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Computes the `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation
+/// between order statistics.  Returns `None` for an empty sample.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let position = q * (sorted.len() - 1) as f64;
+    let lower = position.floor() as usize;
+    let upper = position.ceil() as usize;
+    let weight = position - lower as f64;
+    Some(sorted[lower] * (1.0 - weight) + sorted[upper] * weight)
+}
+
+/// The median of a sample, or `None` if it is empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = Summary::from_iter(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_iter([3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_sample_size() {
+        let small = Summary::from_iter((0..10).map(|i| i as f64));
+        let large = Summary::from_iter((0..1000).map(|i| (i % 10) as f64));
+        assert!(large.std_error() < small.std_error());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&values, 0.0), Some(1.0));
+        assert_eq!(quantile(&values, 1.0), Some(4.0));
+        assert_eq!(median(&values), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let values = [10.0, 20.0];
+        assert_eq!(quantile(&values, -1.0), Some(10.0));
+        assert_eq!(quantile(&values, 2.0), Some(20.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Static test-set compaction.
+//!
+//! Reverse-order fault-simulation compaction: patterns are examined in
+//! reverse application order and kept only if they detect at least one fault
+//! not detected by the already-kept (later) patterns.  Random pattern sets
+//! usually shrink substantially, which matters to the paper's cost argument
+//! ("test application costs increase very rapidly" as coverage approaches
+//! 100 percent).
+
+use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::pattern::PatternSet;
+
+/// The result of compacting a pattern set.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// The kept patterns, in their original relative order.
+    pub compacted: PatternSet,
+    /// Number of patterns in the original set.
+    pub original_len: usize,
+    /// Coverage of the original set over the supplied universe.
+    pub original_coverage: f64,
+    /// Coverage of the compacted set over the supplied universe.
+    pub compacted_coverage: f64,
+}
+
+impl CompactionResult {
+    /// The compaction ratio `compacted / original` (1.0 for an empty input).
+    pub fn ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            1.0
+        } else {
+            self.compacted.len() as f64 / self.original_len as f64
+        }
+    }
+}
+
+/// Compacts `patterns` against `universe` by reverse-order fault simulation.
+pub fn reverse_order_compaction(
+    circuit: &Circuit,
+    universe: &FaultUniverse,
+    patterns: &PatternSet,
+) -> CompactionResult {
+    let simulator = PpsfpSimulator::new(circuit);
+    let original_list = simulator.run(universe, patterns);
+    let original_coverage = original_list.coverage();
+
+    // Walk patterns from last to first, keeping those that add detections.
+    let mut kept_reversed: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = original_list.undetected_indices();
+    let mut detected = vec![false; universe.len()];
+    for index in original_list
+        .undetected_indices()
+        .iter()
+        .copied()
+        .collect::<std::collections::HashSet<_>>()
+    {
+        // Faults never detected by the full set can be ignored entirely.
+        detected[index] = true;
+    }
+    remaining.clear();
+
+    for pattern_index in (0..patterns.len()).rev() {
+        let single: PatternSet = [patterns
+            .get(pattern_index)
+            .expect("index is in range")
+            .clone()]
+        .into_iter()
+        .collect();
+        let undetected_universe = FaultUniverse::from_faults(
+            universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !detected[*i])
+                .map(|(_, f)| *f)
+                .collect(),
+        );
+        if undetected_universe.is_empty() {
+            break;
+        }
+        let list = simulator.run(&undetected_universe, &single);
+        if list.detected_count() == 0 {
+            continue;
+        }
+        kept_reversed.push(pattern_index);
+        // Map detections back to the original universe indices.
+        let mut cursor = 0usize;
+        for (original_index, is_detected) in detected.iter_mut().enumerate() {
+            if *is_detected {
+                continue;
+            }
+            if list.state(cursor).is_detected() {
+                *is_detected = true;
+            }
+            cursor += 1;
+            let _ = original_index;
+        }
+    }
+
+    kept_reversed.reverse();
+    let compacted: PatternSet = kept_reversed
+        .into_iter()
+        .map(|i| patterns.get(i).expect("kept index is valid").clone())
+        .collect();
+    let compacted_coverage = simulator.run(universe, &compacted).coverage();
+    CompactionResult {
+        compacted,
+        original_len: patterns.len(),
+        original_coverage,
+        compacted_coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomPatternGenerator;
+    use lsiq_netlist::library;
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = RandomPatternGenerator::new(&circuit, 11).generate(200);
+        let result = reverse_order_compaction(&circuit, &universe, &patterns);
+        assert!(
+            (result.compacted_coverage - result.original_coverage).abs() < 1e-12,
+            "coverage changed: {} vs {}",
+            result.compacted_coverage,
+            result.original_coverage
+        );
+        assert!(result.compacted.len() <= result.original_len);
+    }
+
+    #[test]
+    fn redundant_patterns_are_removed() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        // 200 random patterns over 5 inputs are heavily redundant.
+        let patterns = RandomPatternGenerator::new(&circuit, 3).generate(200);
+        let result = reverse_order_compaction(&circuit, &universe, &patterns);
+        assert!(
+            result.compacted.len() < 40,
+            "expected strong compaction, kept {}",
+            result.compacted.len()
+        );
+        assert!(result.ratio() < 0.25);
+    }
+
+    #[test]
+    fn empty_pattern_set_is_handled() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let result = reverse_order_compaction(&circuit, &universe, &PatternSet::new());
+        assert_eq!(result.compacted.len(), 0);
+        assert_eq!(result.ratio(), 1.0);
+        assert_eq!(result.original_coverage, 0.0);
+    }
+
+    #[test]
+    fn kept_patterns_preserve_relative_order() {
+        let circuit = library::full_adder();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = RandomPatternGenerator::new(&circuit, 9).generate(50);
+        let result = reverse_order_compaction(&circuit, &universe, &patterns);
+        // Every kept pattern must appear in the original set, in order.
+        let mut search_from = 0usize;
+        for kept in result.compacted.iter() {
+            let position = (search_from..patterns.len())
+                .find(|&i| patterns.get(i) == Some(kept))
+                .expect("kept pattern comes from the original set, in order");
+            search_from = position + 1;
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end test-suite construction.
+//!
+//! Combines random pattern generation with PODEM top-up to produce the
+//! ordered pattern set whose cumulative coverage curve drives the paper's
+//! Section 5 procedure: patterns are "evaluated on a fault simulator in the
+//! same order as they would be applied to the chip".
+
+use crate::podem::{Podem, TestOutcome};
+use crate::random::RandomPatternGenerator;
+use lsiq_fault::coverage::CoverageCurve;
+use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_fault::list::FaultList;
+use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::pattern::PatternSet;
+
+/// Configuration for [`TestSuiteBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestSuiteBuilder {
+    /// Seed for the random phase.
+    pub seed: u64,
+    /// Number of random patterns generated per chunk before re-evaluating
+    /// coverage.
+    pub chunk: usize,
+    /// Maximum number of random patterns.
+    pub max_random_patterns: usize,
+    /// Stop the random phase once this coverage is reached.
+    pub target_coverage: f64,
+    /// Whether to run PODEM for faults the random phase missed.
+    pub podem_top_up: bool,
+    /// Backtrack limit handed to PODEM.
+    pub podem_backtracks: usize,
+}
+
+impl Default for TestSuiteBuilder {
+    fn default() -> Self {
+        TestSuiteBuilder {
+            seed: 1,
+            chunk: 32,
+            max_random_patterns: 512,
+            target_coverage: 0.95,
+            podem_top_up: true,
+            podem_backtracks: 200,
+        }
+    }
+}
+
+/// An ordered pattern set together with its fault-simulation results.
+#[derive(Debug, Clone)]
+pub struct TestSuite {
+    /// The ordered patterns, exactly as they would be applied by the tester.
+    pub patterns: PatternSet,
+    /// Per-fault detection results of the final ordered set.
+    pub fault_list: FaultList,
+    /// Cumulative coverage after each pattern.
+    pub coverage_curve: CoverageCurve,
+    /// First-failing-pattern dictionary for the final ordered set.
+    pub dictionary: FaultDictionary,
+    /// Number of patterns contributed by the PODEM top-up phase.
+    pub deterministic_patterns: usize,
+}
+
+impl TestSuite {
+    /// Final fault coverage of the whole suite.
+    pub fn coverage(&self) -> f64 {
+        self.fault_list.coverage()
+    }
+}
+
+impl TestSuiteBuilder {
+    /// Builds an ordered test suite for `circuit` against `universe`.
+    pub fn build(&self, circuit: &Circuit, universe: &FaultUniverse) -> TestSuite {
+        let simulator = PpsfpSimulator::new(circuit);
+        let mut generator = RandomPatternGenerator::new(circuit, self.seed);
+        let mut patterns = PatternSet::new();
+
+        // Random phase: add chunks until the target coverage or the pattern
+        // budget is reached.
+        loop {
+            let list = simulator.run(universe, &patterns);
+            if list.coverage() >= self.target_coverage
+                || patterns.len() >= self.max_random_patterns
+            {
+                break;
+            }
+            for _ in 0..self.chunk.max(1) {
+                patterns.push(generator.next_pattern());
+            }
+        }
+
+        // Deterministic phase: target whatever the random phase missed.
+        let mut deterministic_patterns = 0usize;
+        if self.podem_top_up {
+            let list = simulator.run(universe, &patterns);
+            let podem = Podem::new(circuit).with_max_backtracks(self.podem_backtracks);
+            for fault_index in list.undetected_indices() {
+                let fault = list.fault(fault_index);
+                if let TestOutcome::Test(pattern) = podem.generate_test(fault) {
+                    patterns.push(pattern);
+                    deterministic_patterns += 1;
+                }
+            }
+        }
+
+        let fault_list = simulator.run(universe, &patterns);
+        let coverage_curve = CoverageCurve::from_fault_list(&fault_list, patterns.len());
+        let dictionary = FaultDictionary::from_fault_list(&fault_list);
+        TestSuite {
+            patterns,
+            fault_list,
+            coverage_curve,
+            dictionary,
+            deterministic_patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsiq_netlist::library;
+
+    #[test]
+    fn suite_reaches_high_coverage_on_c17() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let suite = TestSuiteBuilder::default().build(&circuit, &universe);
+        assert!(suite.coverage() >= 0.95, "coverage {}", suite.coverage());
+        assert_eq!(suite.coverage_curve.pattern_count(), suite.patterns.len());
+        assert_eq!(suite.dictionary.len(), universe.len());
+    }
+
+    #[test]
+    fn podem_top_up_raises_coverage_over_random_alone() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let few_random = TestSuiteBuilder {
+            max_random_patterns: 16,
+            target_coverage: 1.0,
+            podem_top_up: false,
+            ..TestSuiteBuilder::default()
+        };
+        let with_top_up = TestSuiteBuilder {
+            max_random_patterns: 16,
+            target_coverage: 1.0,
+            podem_top_up: true,
+            ..TestSuiteBuilder::default()
+        };
+        let random_only = few_random.build(&circuit, &universe);
+        let topped_up = with_top_up.build(&circuit, &universe);
+        assert!(topped_up.coverage() > random_only.coverage());
+        assert!(topped_up.deterministic_patterns > 0);
+        assert_eq!(random_only.deterministic_patterns, 0);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let circuit = library::full_adder();
+        let universe = FaultUniverse::full(&circuit);
+        let suite = TestSuiteBuilder::default().build(&circuit, &universe);
+        let mut previous = 0.0;
+        for (_, coverage) in suite.coverage_curve.points() {
+            assert!(coverage + 1e-15 >= previous);
+            previous = coverage;
+        }
+    }
+
+    #[test]
+    fn random_phase_respects_pattern_budget() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let builder = TestSuiteBuilder {
+            max_random_patterns: 8,
+            chunk: 8,
+            target_coverage: 1.0,
+            podem_top_up: false,
+            ..TestSuiteBuilder::default()
+        };
+        let suite = builder.build(&circuit, &universe);
+        assert!(suite.patterns.len() <= 8);
+    }
+}

@@ -1,0 +1,51 @@
+//! Fine-line scaling study (the paper's Concluding Remarks).
+//!
+//! Shrinking a circuit raises its yield (smaller area) but also raises `n0`
+//! (one physical defect hits more logic), and both effects *lower* the fault
+//! coverage required for a given field reject rate.  This example sweeps a
+//! scaling factor and prints the required coverage at each node.
+//!
+//! Run with: `cargo run --example fine_line_scaling`
+
+use lsi_quality::quality::coverage_requirement::required_fault_coverage;
+use lsi_quality::quality::params::{ModelParams, RejectRate, Yield};
+use lsi_quality::quality::yield_model::YieldModel;
+use lsi_quality::quality::QualityError;
+
+fn main() -> Result<(), QualityError> {
+    // Baseline process: the Section 7 chip (about 7 percent yield, n0 = 8).
+    let baseline_defects = YieldModel::NegativeBinomial { lambda: 1.0 }
+        .defects_for_yield(Yield::new(0.07)?)?;
+    let baseline_n0 = 8.0;
+    let target = RejectRate::new(0.001)?;
+
+    println!("field reject target: 1 in 1000");
+    println!("scale  | area  | yield  | n0    | required coverage");
+    println!("-------|-------|--------|-------|------------------");
+    for step in 0..=4 {
+        // Each step shrinks linear dimensions by 20 percent.
+        let linear_scale = 1.0 - 0.2 * step as f64 / 2.0;
+        let area_scale = linear_scale * linear_scale;
+        // Yield improves because the chip collects fewer defects...
+        let defects = baseline_defects * area_scale;
+        let chip_yield = YieldModel::NegativeBinomial { lambda: 1.0 }.yield_for_defects(defects)?;
+        // ...while each remaining defect clobbers more of the (denser) logic.
+        let n0 = baseline_n0 / area_scale;
+        let params = ModelParams::new(chip_yield, n0)?;
+        let required = required_fault_coverage(&params, target)?;
+        println!(
+            "{:>5.2}x | {:>4.2}x | {:>5.1}% | {:>5.1} | {:>16.1}%",
+            linear_scale,
+            area_scale,
+            chip_yield.percent(),
+            n0,
+            required.percent()
+        );
+    }
+    println!();
+    println!(
+        "Both effects push the requirement down: the finer the process, the\n\
+         less single-stuck-at coverage is needed for the same outgoing quality."
+    );
+    Ok(())
+}

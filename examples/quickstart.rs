@@ -1,0 +1,50 @@
+//! Quickstart: the paper's Section 7 analysis in a dozen lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lsi_quality::quality::baseline::WadsackModel;
+use lsi_quality::quality::chip_test::ChipTestTable;
+use lsi_quality::quality::coverage_requirement::required_fault_coverage;
+use lsi_quality::quality::estimate::N0Estimator;
+use lsi_quality::quality::params::{ModelParams, RejectRate, Yield};
+use lsi_quality::quality::reject::field_reject_rate;
+use lsi_quality::quality::QualityError;
+
+fn main() -> Result<(), QualityError> {
+    // The paper's Table 1: 277 chips from a ~7 percent-yield LSI lot, with
+    // the cumulative fraction of failing chips recorded against the
+    // cumulative fault coverage of the applied patterns.
+    let table = ChipTestTable::paper_table_1();
+    println!("{}", table.to_table());
+
+    // Step 1 — estimate n0, the average number of faults on a defective chip.
+    let chip_yield = Yield::new(0.07)?;
+    let estimate = N0Estimator::default().estimate(&table, chip_yield)?;
+    println!(
+        "n0 estimate: curve fit = {:.1}, origin slope P'(0) = {:.1}, slope-derived n0 = {:.1}",
+        estimate.curve_fit_n0, estimate.origin_slope, estimate.slope_n0
+    );
+
+    // Step 2 — with (y, n0) characterised, ask what fault coverage any
+    // field-reject target needs.
+    let params = ModelParams::new(chip_yield, estimate.curve_fit_n0.round())?;
+    for target in [0.01, 0.005, 0.001] {
+        let reject = RejectRate::new(target)?;
+        let needed = required_fault_coverage(&params, reject)?;
+        let wadsack = WadsackModel::new(chip_yield).required_fault_coverage(reject)?;
+        println!(
+            "reject target {:>5.3}: this model needs {:>5.1}% coverage, Wadsack needs {:>5.1}%",
+            target,
+            needed.percent(),
+            wadsack.percent()
+        );
+    }
+
+    // Step 3 — sanity check: what reject rate does 80 percent coverage give?
+    let achieved = field_reject_rate(&params, lsi_quality::quality::params::FaultCoverage::new(0.80)?);
+    println!(
+        "at 80% coverage the predicted field reject rate is {:.2}%",
+        achieved.percent()
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Integration test: the headline numbers of the paper's Section 4, 6 and 7
+//! come out of the library end to end.
+
+use lsi_quality::quality::baseline::{WadsackModel, WilliamsBrownModel};
+use lsi_quality::quality::chip_test::ChipTestTable;
+use lsi_quality::quality::coverage_requirement::{
+    required_coverage_at_yield, required_fault_coverage,
+};
+use lsi_quality::quality::estimate::N0Estimator;
+use lsi_quality::quality::params::{FaultCoverage, ModelParams, RejectRate, Yield};
+use lsi_quality::quality::reject::field_reject_rate;
+
+fn yield_of(value: f64) -> Yield {
+    Yield::new(value).expect("valid yield")
+}
+
+fn reject(value: f64) -> RejectRate {
+    RejectRate::new(value).expect("valid reject rate")
+}
+
+#[test]
+fn section_seven_n0_estimation_from_table_1() {
+    let table = ChipTestTable::paper_table_1();
+    let estimate = N0Estimator::default()
+        .estimate(&table, yield_of(0.07))
+        .expect("estimation succeeds");
+    // "The experimental points closely match the curve corresponding to n0 = 8."
+    assert!(
+        (estimate.curve_fit_n0 - 8.0).abs() < 1.0,
+        "curve-fit n0 = {}",
+        estimate.curve_fit_n0
+    );
+    // "P'(0) = 0.41/0.05 = 8.2" and "n0 = 8.2/0.93 = 8.8".
+    assert!((estimate.origin_slope - 8.2).abs() < 0.5);
+    assert!((estimate.slope_n0 - 8.8).abs() < 0.6);
+}
+
+#[test]
+fn section_seven_required_coverage() {
+    // "Taking n0 = 8 ... for a 1 percent field reject rate, the fault
+    // coverage should be about 80 percent ... improved to 95 percent in order
+    // to achieve a field reject rate of 1-in-1000."
+    let params = ModelParams::new(yield_of(0.07), 8.0).expect("valid");
+    let at_1_percent = required_fault_coverage(&params, reject(0.01)).expect("solves");
+    assert!((at_1_percent.value() - 0.80).abs() < 0.04, "{}", at_1_percent.value());
+    let at_1_in_1000 = required_fault_coverage(&params, reject(0.001)).expect("solves");
+    assert!((at_1_in_1000.value() - 0.95).abs() < 0.03, "{}", at_1_in_1000.value());
+}
+
+#[test]
+fn section_seven_wadsack_comparison() {
+    // "From this formula, for r = 0.01, y = 0.07, we get f = 99 percent and
+    // for r = 0.001, f = 99.9 percent."
+    let wadsack = WadsackModel::new(yield_of(0.07));
+    let at_1_percent = wadsack.required_fault_coverage(reject(0.01)).expect("valid");
+    assert!((at_1_percent.value() - 0.99).abs() < 0.005);
+    let at_1_in_1000 = wadsack.required_fault_coverage(reject(0.001)).expect("valid");
+    assert!((at_1_in_1000.value() - 0.999).abs() < 0.001);
+    // Williams-Brown is similarly demanding at this yield.
+    let williams_brown = WilliamsBrownModel::new(yield_of(0.07));
+    assert!(
+        williams_brown
+            .required_fault_coverage(reject(0.01))
+            .expect("valid")
+            .value()
+            > 0.98
+    );
+}
+
+#[test]
+fn section_four_figure_1_reference_points() {
+    // y = 0.80: reject below 0.5 percent needs ~95 percent coverage at n0 = 2
+    // but only ~38 percent at n0 = 10.
+    let msi_n0_2 = ModelParams::new(yield_of(0.80), 2.0).expect("valid");
+    let msi_n0_10 = ModelParams::new(yield_of(0.80), 10.0).expect("valid");
+    let f_2 = required_fault_coverage(&msi_n0_2, reject(0.005)).expect("solves");
+    let f_10 = required_fault_coverage(&msi_n0_10, reject(0.005)).expect("solves");
+    assert!((f_2.value() - 0.95).abs() < 0.02, "n0=2: {}", f_2.value());
+    assert!((f_10.value() - 0.38).abs() < 0.04, "n0=10: {}", f_10.value());
+    // y = 0.20, n0 = 10: about 63 percent.
+    let lsi_n0_10 = ModelParams::new(yield_of(0.20), 10.0).expect("valid");
+    let f_lsi = required_fault_coverage(&lsi_n0_10, reject(0.005)).expect("solves");
+    assert!((f_lsi.value() - 0.63).abs() < 0.04, "{}", f_lsi.value());
+}
+
+#[test]
+fn section_six_figure_4_spot_check() {
+    // "if the field reject rate was specified as one in a thousand ... for
+    // yield y = 0.3 and n0 = 8, the fault coverage should be about 85 percent."
+    let coverage = required_coverage_at_yield(8.0, reject(0.001), yield_of(0.3)).expect("solves");
+    assert!((coverage.value() - 0.85).abs() < 0.03, "{}", coverage.value());
+}
+
+#[test]
+fn reject_rate_and_requirement_are_mutually_consistent() {
+    // Whatever coverage the solver proposes must achieve the target when fed
+    // back through eq. 8, across a sweep of parameters.
+    for &y in &[0.05, 0.2, 0.5, 0.9] {
+        for &n0 in &[1.0, 2.0, 8.0, 20.0] {
+            for &r in &[0.02, 0.005, 0.0005] {
+                let params = ModelParams::new(yield_of(y), n0).expect("valid");
+                let coverage = required_fault_coverage(&params, reject(r)).expect("solves");
+                let achieved = field_reject_rate(&params, coverage);
+                assert!(
+                    achieved.value() <= r + 1e-9,
+                    "y={y} n0={n0} r={r}: achieved {}",
+                    achieved.value()
+                );
+                // And one point less coverage would miss the target (unless
+                // the requirement was already zero).
+                if coverage.value() > 0.02 {
+                    let slack = FaultCoverage::new(coverage.value() - 0.02).expect("valid");
+                    assert!(field_reject_rate(&params, slack).value() > r);
+                }
+            }
+        }
+    }
+}
