@@ -1,9 +1,11 @@
-//! Criterion benchmarks comparing the three fault-simulation algorithms.
+//! Criterion benchmarks comparing the four fault-simulation algorithms.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsiq_fault::deductive::DeductiveSimulator;
+use lsiq_fault::parallel::ParallelSimulator;
 use lsiq_fault::ppsfp::PpsfpSimulator;
 use lsiq_fault::serial::SerialSimulator;
+use lsiq_fault::simulator::FaultSimulator;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::library;
 use lsiq_sim::pattern::{Pattern, PatternSet};
@@ -23,17 +25,22 @@ fn bench_fault_sim(c: &mut Criterion) {
     let patterns = random_patterns(circuit.primary_inputs().len(), 64, 7);
     let mut group = c.benchmark_group("fault_sim_alu4_64_patterns");
     group.bench_with_input(BenchmarkId::new("serial", universe.len()), &(), |b, _| {
-        b.iter(|| {
-            SerialSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns))
-        })
+        b.iter(|| SerialSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
     });
     group.bench_with_input(BenchmarkId::new("ppsfp", universe.len()), &(), |b, _| {
         b.iter(|| PpsfpSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
     });
-    group.bench_with_input(BenchmarkId::new("deductive", universe.len()), &(), |b, _| {
-        b.iter(|| {
-            DeductiveSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns))
-        })
+    group.bench_with_input(
+        BenchmarkId::new("deductive", universe.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                DeductiveSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns))
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("parallel", universe.len()), &(), |b, _| {
+        b.iter(|| ParallelSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lsiq_fault::dictionary::FaultDictionary;
-use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::parallel::ParallelSimulator;
+use lsiq_fault::simulator::FaultSimulator;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_manufacturing::defect::DefectModel;
 use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
@@ -38,8 +39,10 @@ fn bench_lot_simulation(c: &mut Criterion) {
     // Wafer test of a lot against a precomputed dictionary.
     let circuit = library::alu4();
     let universe = FaultUniverse::full(&circuit);
-    let patterns: PatternSet = (0..256).map(|v| Pattern::from_integer(v * 5 + 1, 10)).collect();
-    let list = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+    let patterns: PatternSet = (0..256)
+        .map(|v| Pattern::from_integer(v * 5 + 1, 10))
+        .collect();
+    let list = ParallelSimulator::new(&circuit).run(&universe, &patterns);
     let dictionary = FaultDictionary::from_fault_list(&list);
     let lot = ChipLot::from_model(&ModelLotConfig {
         chips: 1_000,

@@ -22,8 +22,7 @@ fn main() {
     let target = RejectRate::new(0.001).expect("valid reject rate");
     for &lambda in &[0.25, 1.0, 4.0] {
         for &extra in &[0.0, 3.0, 9.0] {
-            let defect_model =
-                DefectModel::new(2.66, lambda).expect("valid defect model");
+            let defect_model = DefectModel::new(2.66, lambda).expect("valid defect model");
             let lot = ChipLot::from_physical(&PhysicalLotConfig {
                 chips: 5_000,
                 defect_model,
@@ -33,11 +32,8 @@ fn main() {
             });
             let emergent_yield = lot.observed_yield().clamp(0.001, 0.999);
             let emergent_n0 = lot.observed_n0().max(1.0);
-            let params = ModelParams::new(
-                Yield::new(emergent_yield).expect("valid"),
-                emergent_n0,
-            )
-            .expect("valid parameters");
+            let params = ModelParams::new(Yield::new(emergent_yield).expect("valid"), emergent_n0)
+                .expect("valid parameters");
             let required = required_fault_coverage(&params, target).expect("solves");
             println!(
                 "{:>6.2} | {:>13.1} | {:>14.3} | {:>11.1} | {:>20.1}%",

@@ -18,12 +18,9 @@ fn main() {
         let points: Vec<(f64, f64)> = yields
             .iter()
             .map(|&y| {
-                let coverage = required_coverage_at_yield(
-                    n0,
-                    target,
-                    Yield::new(y).expect("valid"),
-                )
-                .expect("solves");
+                let coverage =
+                    required_coverage_at_yield(n0, target, Yield::new(y).expect("valid"))
+                        .expect("solves");
                 (y, coverage.value())
             })
             .collect();

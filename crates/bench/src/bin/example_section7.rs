@@ -20,7 +20,10 @@ fn main() {
     println!("=== Section 7 worked example ===");
     println!("chip: ~25,000 transistors, yield ~ 7%, 277 chips tested\n");
     println!("n0 estimation:");
-    println!("  curve fit        : n0 = {:.1}   (paper: 8)", estimate.curve_fit_n0);
+    println!(
+        "  curve fit        : n0 = {:.1}   (paper: 8)",
+        estimate.curve_fit_n0
+    );
     println!(
         "  origin slope     : P'(0) = {:.1} (paper: 0.41/0.05 = 8.2)",
         estimate.origin_slope

@@ -10,11 +10,8 @@ use lsiq_core::reject::reject_rate_curve;
 fn main() {
     println!("Reproduction of Fig. 1 — field reject rate r(f)\n");
     for (yield_fraction, n0) in [(0.80, 2.0), (0.80, 10.0), (0.20, 2.0), (0.20, 10.0)] {
-        let params = ModelParams::new(
-            Yield::new(yield_fraction).expect("valid yield"),
-            n0,
-        )
-        .expect("valid parameters");
+        let params = ModelParams::new(Yield::new(yield_fraction).expect("valid yield"), n0)
+            .expect("valid parameters");
         let curve = reject_rate_curve(&params, 51);
         print_series(
             &format!("y = {yield_fraction}, n0 = {n0}"),

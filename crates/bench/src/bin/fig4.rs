@@ -24,12 +24,8 @@ fn main() {
             &points,
         );
     }
-    let spot = required_coverage_at_yield(
-        8.0,
-        target,
-        Yield::new(0.3).expect("valid yield"),
-    )
-    .expect("solves");
+    let spot = required_coverage_at_yield(8.0, target, Yield::new(0.3).expect("valid yield"))
+        .expect("solves");
     println!(
         "Spot check (paper, Section 6): y = 0.3, n0 = 8 -> f = {:.1}% (paper: about 85%)",
         spot.percent()

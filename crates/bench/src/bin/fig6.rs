@@ -18,8 +18,8 @@ fn main() {
             let points: Vec<(f64, f64)> = (0..=20)
                 .map(|step| {
                     let covered = universe * step / 20;
-                    let escape = EscapeProbability::new(universe, covered)
-                        .expect("covered <= universe");
+                    let escape =
+                        EscapeProbability::new(universe, covered).expect("covered <= universe");
                     (
                         escape.coverage(),
                         escape.escape(n, approximation).expect("valid"),

@@ -76,10 +76,7 @@ impl ChipTestTable {
     /// # Errors
     ///
     /// Same validation as [`ChipTestTable::new`].
-    pub fn from_fractions(
-        points: &[(f64, f64)],
-        total_chips: usize,
-    ) -> Result<Self, QualityError> {
+    pub fn from_fractions(points: &[(f64, f64)], total_chips: usize) -> Result<Self, QualityError> {
         let rows = points
             .iter()
             .map(|&(coverage, fraction)| ChipTestRow {

@@ -163,12 +163,9 @@ mod tests {
     fn figure_four_spot_check() {
         // Section 6: "for yield y = 0.3 and n0 = 8, the fault coverage should
         // be about 85 percent" at r = 0.001.
-        let coverage = required_coverage_at_yield(
-            8.0,
-            reject(0.001),
-            Yield::new(0.3).expect("valid"),
-        )
-        .expect("solves");
+        let coverage =
+            required_coverage_at_yield(8.0, reject(0.001), Yield::new(0.3).expect("valid"))
+                .expect("solves");
         assert!(
             (coverage.value() - 0.85).abs() < 0.03,
             "f = {}",
@@ -225,9 +222,8 @@ mod tests {
         let n0 = 6.0;
         let curve = requirement_curve(n0, target, 2_001).expect("valid");
         for &y in &[0.1, 0.3, 0.5, 0.7] {
-            let solved =
-                required_coverage_at_yield(n0, target, Yield::new(y).expect("valid"))
-                    .expect("solves");
+            let solved = required_coverage_at_yield(n0, target, Yield::new(y).expect("valid"))
+                .expect("solves");
             // Find the curve point with the nearest yield.
             let nearest = curve
                 .iter()

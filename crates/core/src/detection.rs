@@ -95,9 +95,8 @@ mod tests {
         let p = params(0.3, 6.0);
         for &f in &[0.0, 0.1, 0.4, 0.8] {
             let h = 1e-6;
-            let numeric = (rejected_fraction(&p, coverage(f + h))
-                - rejected_fraction(&p, coverage(f)))
-                / h;
+            let numeric =
+                (rejected_fraction(&p, coverage(f + h)) - rejected_fraction(&p, coverage(f))) / h;
             let analytic = rejected_fraction_slope(&p, coverage(f));
             assert!(
                 (numeric - analytic).abs() < 1e-4,

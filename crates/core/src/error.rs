@@ -32,7 +32,10 @@ impl fmt::Display for QualityError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             QualityError::InvalidData { message } => write!(f, "invalid data: {message}"),
             QualityError::Numerical(inner) => write!(f, "numerical failure: {inner}"),
         }

@@ -82,8 +82,8 @@ impl EscapeProbability {
 
     /// Probability of detecting exactly `k` of `n` present faults (eq. 4).
     pub fn detect_exactly(&self, k: u64, n: u64) -> Result<f64, QualityError> {
-        let hypergeometric = Hypergeometric::new(self.universe_size, n, self.covered)
-            .map_err(QualityError::from)?;
+        let hypergeometric =
+            Hypergeometric::new(self.universe_size, n, self.covered).map_err(QualityError::from)?;
         Ok(hypergeometric.pmf(k))
     }
 

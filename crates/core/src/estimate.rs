@@ -199,10 +199,8 @@ mod tests {
             .iter()
             .map(|&f| ChipTestRow {
                 fault_coverage: f,
-                chips_failed: (rejected_fraction(
-                    &truth,
-                    FaultCoverage::new(f).expect("valid"),
-                ) * 10_000.0)
+                chips_failed: (rejected_fraction(&truth, FaultCoverage::new(f).expect("valid"))
+                    * 10_000.0)
                     .round() as usize,
             })
             .collect();

@@ -153,9 +153,11 @@ mod tests {
         let d = dist(0.07, 8.0);
         let mut rng = Xoshiro256StarStar::seed_from_u64(11);
         let draws: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
-        let zero_fraction =
-            draws.iter().filter(|&&n| n == 0).count() as f64 / draws.len() as f64;
-        assert!((zero_fraction - 0.07).abs() < 0.005, "yield {zero_fraction}");
+        let zero_fraction = draws.iter().filter(|&&n| n == 0).count() as f64 / draws.len() as f64;
+        assert!(
+            (zero_fraction - 0.07).abs() < 0.005,
+            "yield {zero_fraction}"
+        );
         let defective: Vec<u64> = draws.iter().copied().filter(|&n| n > 0).collect();
         let n0 = defective.iter().sum::<u64>() as f64 / defective.len() as f64;
         assert!((n0 - 8.0).abs() < 0.05, "n0 {n0}");

@@ -166,8 +166,7 @@ mod tests {
 
     #[test]
     fn average_faults_matches_equation_two() {
-        let params =
-            ModelParams::new(Yield::new(0.2).expect("valid"), 10.0).expect("valid");
+        let params = ModelParams::new(Yield::new(0.2).expect("valid"), 10.0).expect("valid");
         assert!((params.average_faults_per_chip() - 8.0).abs() < 1e-12);
         assert!(params.to_string().contains("n0 = 10.00"));
     }

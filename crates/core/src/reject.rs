@@ -25,11 +25,7 @@ pub fn field_reject_rate(params: &ModelParams, coverage: FaultCoverage) -> Rejec
 ///
 /// This is the relation plotted in the paper's Figs. 2–4 (with `f` on the
 /// vertical axis).
-pub fn yield_for_reject_target(
-    n0: f64,
-    coverage: FaultCoverage,
-    reject: RejectRate,
-) -> Yield {
+pub fn yield_for_reject_target(n0: f64, coverage: FaultCoverage, reject: RejectRate) -> Yield {
     let f = coverage.value();
     let r = reject.value();
     let kernel = (1.0 - r) * (1.0 - f) * (-(n0 - 1.0) * f).exp();
@@ -142,19 +138,13 @@ mod tests {
 
     #[test]
     fn yield_for_reject_target_handles_extremes() {
-        let full = yield_for_reject_target(
-            8.0,
-            coverage(1.0),
-            RejectRate::new(0.01).expect("valid"),
-        );
+        let full =
+            yield_for_reject_target(8.0, coverage(1.0), RejectRate::new(0.01).expect("valid"));
         // At full coverage any yield meets any reject target; the formula
         // degenerates to 0/r = 0.
         assert!(full.value() < 1e-12);
-        let no_reject = yield_for_reject_target(
-            8.0,
-            coverage(0.5),
-            RejectRate::new(0.0).expect("valid"),
-        );
+        let no_reject =
+            yield_for_reject_target(8.0, coverage(0.5), RejectRate::new(0.0).expect("valid"));
         assert!((no_reject.value() - 1.0).abs() < 1e-12);
     }
 }

@@ -180,8 +180,12 @@ mod tests {
         // For the same defect count the classical ordering is
         // Poisson <= Murphy <= Seeds.
         for &defects in &[0.5, 1.0, 3.0] {
-            let poisson = YieldModel::Poisson.yield_for_defects(defects).expect("valid");
-            let murphy = YieldModel::Murphy.yield_for_defects(defects).expect("valid");
+            let poisson = YieldModel::Poisson
+                .yield_for_defects(defects)
+                .expect("valid");
+            let murphy = YieldModel::Murphy
+                .yield_for_defects(defects)
+                .expect("valid");
             let seeds = YieldModel::Seeds.yield_for_defects(defects).expect("valid");
             assert!(poisson.value() <= murphy.value() + 1e-12);
             assert!(murphy.value() <= seeds.value() + 1e-12);

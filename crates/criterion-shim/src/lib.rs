@@ -1,0 +1,330 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, API-compatible with the subset this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real criterion
+//! cannot be vendored.  This shim implements honest wall-clock measurement
+//! (warm-up, then timed batches, reporting min/mean/max per iteration) behind
+//! the same `criterion_group!`/`criterion_main!`/`Criterion` surface, so the
+//! benches under `crates/bench/benches/` compile and run unchanged and can be
+//! swapped back to the real crate by editing one `Cargo.toml` line.
+//!
+//! Tuning knobs (environment variables):
+//!
+//! * `CRITERION_WARMUP_MS` — warm-up time per benchmark (default 100),
+//! * `CRITERION_MEASUREMENT_MS` — measurement time per benchmark
+//!   (default 400),
+//! * `CRITERION_SAMPLES` — number of timed batches (default 20).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default))
+}
+
+fn env_count(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: env_ms("CRITERION_WARMUP_MS", 100),
+            measurement: env_ms("CRITERION_MEASUREMENT_MS", 400),
+            samples: env_count("CRITERION_SAMPLES", 20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!("{id:<44} {report}"),
+            None => println!("{id:<44} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a common name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a routine parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks an unparameterised routine inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"serial/1234"` from a name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Per-iteration timing statistics of one benchmark.
+struct Report {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    iterations: u64,
+}
+
+impl Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time: [{} {} {}]  ({} iters)",
+            fmt_duration(self.min),
+            fmt_duration(self.mean),
+            fmt_duration(self.max),
+            self.iterations,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warms it up, then times `samples` batches sized to
+    /// fill the measurement window, recording per-iteration min/mean/max.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up window elapses (at least once) and
+        // estimate the per-iteration cost from it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = div_duration(warm_start.elapsed(), warm_iters);
+
+        // Size each batch so all samples together roughly fill the
+        // measurement window.
+        let batch = (self.measurement.as_nanos()
+            / (per_iter.as_nanos().max(1) * self.samples as u128))
+            .clamp(1, u64::MAX as u128) as u64;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per = div_duration(elapsed, batch);
+            min = min.min(per);
+            max = max.max(per);
+            total += elapsed;
+            iterations += batch;
+        }
+        self.report = Some(Report {
+            min,
+            mean: div_duration(total, iterations),
+            max,
+            iterations,
+        });
+    }
+}
+
+/// Divides a duration by a (possibly > `u32::MAX`) iteration count without
+/// the wrap of `Duration / u32`.
+fn div_duration(total: Duration, count: u64) -> Duration {
+    let nanos = total.as_nanos() / u128::from(count.max(1));
+    Duration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64)
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, target_a, target_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                println!("-- {} --", stringify!($target));
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_a_trivial_routine() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            samples: 3,
+        };
+        let mut ran = false;
+        criterion.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_render_names_and_parameters() {
+        assert_eq!(BenchmarkId::new("serial", 42).label, "serial/42");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(3),
+            samples: 2,
+        };
+        let mut count = 0;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.bench_with_input(BenchmarkId::new("a", 1), &7, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            count += 1;
+            group.finish();
+        }
+        assert_eq!(count, 1);
+    }
+}

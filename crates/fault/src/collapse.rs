@@ -82,11 +82,8 @@ impl UnionFind {
 ///   the driver's output fault of the same polarity.
 pub fn collapse_equivalence(circuit: &Circuit) -> CollapseResult {
     let universe = FaultUniverse::full(circuit);
-    let index_of: HashMap<Fault, usize> = universe
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (*f, i))
-        .collect();
+    let index_of: HashMap<Fault, usize> =
+        universe.iter().enumerate().map(|(i, f)| (*f, i)).collect();
     let mut union_find = UnionFind::new(universe.len());
     let merge = |a: Fault, b: Fault, uf: &mut UnionFind| {
         if let (Some(&ia), Some(&ib)) = (index_of.get(&a), index_of.get(&b)) {
@@ -189,9 +186,7 @@ pub fn collapse_dominance(circuit: &Circuit) -> CollapseResult {
         let fault = Fault::output(id, removable_stuck);
         let universe = FaultUniverse::full(circuit);
         if let Some(original_index) = universe.position(&fault) {
-            if let Some(Some(representative)) =
-                equivalence.representative_of.get(original_index)
-            {
+            if let Some(Some(representative)) = equivalence.representative_of.get(original_index) {
                 // Only remove the class if the output fault is its own class
                 // (dominance does not licence removing merged input faults).
                 if equivalence.collapsed.get(*representative) == Some(&fault) {
@@ -224,6 +219,7 @@ pub fn collapse_dominance(circuit: &Circuit) -> CollapseResult {
 mod tests {
     use super::*;
     use crate::ppsfp::PpsfpSimulator;
+    use crate::simulator::FaultSimulator;
     use lsiq_netlist::library;
     use lsiq_sim::pattern::{Pattern, PatternSet};
 
@@ -305,8 +301,7 @@ mod tests {
             for value in 0u64..32 {
                 let pattern = Pattern::from_integer(value, 5);
                 let good = compiled.outputs(&pattern);
-                let faulty =
-                    crate::inject::outputs_with_fault(&compiled, pattern.bits(), fault);
+                let faulty = crate::inject::outputs_with_fault(&compiled, pattern.bits(), fault);
                 if good != faulty {
                     signature |= 1 << value;
                 }
@@ -324,7 +319,8 @@ mod tests {
             let first = signatures[members[0]];
             for &member in &members[1..] {
                 assert_eq!(
-                    signatures[member], first,
+                    signatures[member],
+                    first,
                     "fault {} differs from its class representative",
                     universe.get(member).expect("valid").describe(&circuit)
                 );

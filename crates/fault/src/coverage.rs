@@ -104,6 +104,7 @@ impl CoverageCurve {
 mod tests {
     use super::*;
     use crate::ppsfp::PpsfpSimulator;
+    use crate::simulator::FaultSimulator;
     use crate::universe::FaultUniverse;
     use lsiq_netlist::library;
     use lsiq_sim::pattern::{Pattern, PatternSet};

@@ -10,6 +10,7 @@
 
 use crate::list::FaultList;
 use crate::model::{Fault, StuckValue};
+use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_netlist::GateKind;
@@ -22,32 +23,29 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug)]
 pub struct DeductiveSimulator<'c> {
     compiled: CompiledCircuit<'c>,
+    drop_detected: bool,
 }
 
 impl<'c> DeductiveSimulator<'c> {
-    /// Prepares a deductive fault simulator for `circuit`.
+    /// Prepares a deductive fault simulator for `circuit` with fault dropping
+    /// enabled.
     pub fn new(circuit: &'c Circuit) -> Self {
         DeductiveSimulator {
             compiled: CompiledCircuit::new(circuit),
+            drop_detected: true,
         }
     }
 
-    /// Runs the pattern set against every fault of `universe` and returns the
-    /// per-fault detection states.
-    pub fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
-        let mut list = FaultList::new(universe);
-        let index_of: HashMap<Fault, usize> = universe
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (*f, i))
-            .collect();
-        for (pattern_index, pattern) in patterns.iter().enumerate() {
-            let detected = self.detected_by_pattern(pattern, &index_of);
-            for fault_index in detected {
-                list.mark_detected(fault_index, pattern_index);
-            }
-        }
-        list
+    /// Controls fault dropping (see
+    /// [`SerialSimulator::with_fault_dropping`](crate::serial::SerialSimulator::with_fault_dropping)).
+    ///
+    /// The deductive algorithm computes every pattern's full detection set in
+    /// one pass regardless, so the flag only controls whether faults already
+    /// detected are excluded from later passes; the reported first detections
+    /// are identical either way.
+    pub fn with_fault_dropping(mut self, enabled: bool) -> Self {
+        self.drop_detected = enabled;
+        self
     }
 
     /// Computes the set of universe fault indices detected by one pattern.
@@ -78,9 +76,7 @@ impl<'c> DeductiveSimulator<'c> {
                         } else {
                             StuckValue::One
                         };
-                        if let Some(&index) =
-                            index_of.get(&Fault::input_pin(id, pin, opposing))
-                        {
+                        if let Some(&index) = index_of.get(&Fault::input_pin(id, pin, opposing)) {
                             pin_list.insert(index);
                         }
                         pin_list
@@ -91,7 +87,11 @@ impl<'c> DeductiveSimulator<'c> {
             // The gate's own output stuck fault complements the output when
             // its stuck value opposes the good value.
             let good = values[id.index()];
-            let opposing = if good { StuckValue::Zero } else { StuckValue::One };
+            let opposing = if good {
+                StuckValue::Zero
+            } else {
+                StuckValue::One
+            };
             if let Some(&index) = index_of.get(&Fault::output(id, opposing)) {
                 own.insert(index);
             }
@@ -110,6 +110,28 @@ impl<'c> DeductiveSimulator<'c> {
     }
 }
 
+impl FaultSimulator for DeductiveSimulator<'_> {
+    fn name(&self) -> &'static str {
+        "deductive"
+    }
+
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+        let mut list = FaultList::new(universe);
+        let mut index_of: HashMap<Fault, usize> =
+            universe.iter().enumerate().map(|(i, f)| (*f, i)).collect();
+        for (pattern_index, pattern) in patterns.iter().enumerate() {
+            let detected = self.detected_by_pattern(pattern, &index_of);
+            for fault_index in detected {
+                list.mark_detected(fault_index, pattern_index);
+            }
+            if self.drop_detected {
+                index_of.retain(|_, index| !list.state(*index).is_detected());
+            }
+        }
+        list
+    }
+}
+
 /// Applies the deductive propagation rule of a single gate.
 fn propagate_through_gate(
     kind: GateKind,
@@ -120,8 +142,7 @@ fn propagate_through_gate(
     match kind {
         GateKind::Buf | GateKind::Not => pin_lists[0].clone(),
         GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-            let control =
-                controlling_value(kind).expect("AND/OR family has a controlling value");
+            let control = controlling_value(kind).expect("AND/OR family has a controlling value");
             let controlling_pins: Vec<usize> = fanin
                 .iter()
                 .enumerate()
@@ -139,8 +160,7 @@ fn propagate_through_gate(
             } else {
                 // The output flips only if every controlling input flips and
                 // no non-controlling input flips.
-                let mut intersection: HashSet<usize> =
-                    pin_lists[controlling_pins[0]].clone();
+                let mut intersection: HashSet<usize> = pin_lists[controlling_pins[0]].clone();
                 for &pin in &controlling_pins[1..] {
                     intersection = intersection
                         .intersection(&pin_lists[pin])

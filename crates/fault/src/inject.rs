@@ -6,9 +6,9 @@
 //! serial and parallel-pattern fault simulators.
 
 use crate::model::{Fault, FaultSite};
+use lsiq_netlist::GateKind;
 use lsiq_sim::eval::{eval_bool, eval_packed};
 use lsiq_sim::levelized::CompiledCircuit;
-use lsiq_netlist::GateKind;
 
 /// Scalar simulation of one pattern with `fault` injected; returns the value
 /// of every gate indexed by gate id.

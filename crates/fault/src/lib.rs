@@ -7,9 +7,11 @@
 //! * [`universe`] — enumeration of the complete fault universe `N`,
 //! * [`collapse`] — structural equivalence and dominance collapsing,
 //! * [`list`] — fault lists with detection status and coverage accounting,
-//! * [`serial`], [`ppsfp`], [`deductive`] — three independent fault-simulation
-//!   algorithms (serial, 64-pattern-parallel single fault propagation, and
-//!   deductive), which cross-check each other in the test suites,
+//! * [`simulator`] — the [`FaultSimulator`] trait every engine implements,
+//! * [`serial`], [`ppsfp`], [`deductive`], [`parallel`] — four independent
+//!   fault-simulation algorithms (serial, 64-pattern-parallel single fault
+//!   propagation, deductive, and the multi-threaded sharded engine), which
+//!   cross-check each other in the test suites,
 //! * [`coverage`] — cumulative fault-coverage curves as a function of the
 //!   number of applied patterns (the paper's `f` axis), and
 //! * [`dictionary`] — per-fault first-failing-pattern records, the raw
@@ -21,12 +23,13 @@
 //! use lsiq_netlist::library;
 //! use lsiq_sim::pattern::{Pattern, PatternSet};
 //! use lsiq_fault::universe::FaultUniverse;
-//! use lsiq_fault::ppsfp::PpsfpSimulator;
+//! use lsiq_fault::parallel::ParallelSimulator;
+//! use lsiq_fault::simulator::FaultSimulator;
 //!
 //! let circuit = library::c17();
 //! let universe = FaultUniverse::full(&circuit);
 //! let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
-//! let result = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+//! let result = ParallelSimulator::new(&circuit).run(&universe, &patterns);
 //! assert!(result.coverage() > 0.99); // exhaustive patterns detect everything
 //! ```
 
@@ -37,11 +40,15 @@ pub mod dictionary;
 pub mod inject;
 pub mod list;
 pub mod model;
+pub mod parallel;
 pub mod ppsfp;
 pub mod serial;
+pub mod simulator;
 pub mod universe;
 
 pub use coverage::CoverageCurve;
 pub use list::{DetectionState, FaultList};
 pub use model::{Fault, FaultSite, StuckValue};
+pub use parallel::ParallelSimulator;
+pub use simulator::FaultSimulator;
 pub use universe::FaultUniverse;

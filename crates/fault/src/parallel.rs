@@ -1,0 +1,268 @@
+//! Multi-threaded, 64-pattern-parallel fault simulation.
+//!
+//! The production engine of the workspace: the (collapsed or full) fault
+//! universe is sharded into contiguous index ranges, one per worker thread,
+//! and every shard simulates its faults against 64-packed pattern words with
+//! fault dropping, exactly like the single-threaded
+//! [`PpsfpSimulator`](crate::ppsfp::PpsfpSimulator).  The good-machine
+//! responses of every pattern block are computed once up front and shared
+//! read-only across shards, so the per-shard work is pure fault injection.
+//! Per-shard results are merged into one [`FaultList`] at the end.
+//!
+//! Because shards partition the *faults* (not the patterns), fault dropping
+//! stays exact: each fault's patterns are always evaluated in application
+//! order by a single thread, so the recorded first detection is identical to
+//! the serial reference — the equivalence is enforced by
+//! `tests/fault_sim_equivalence.rs`.
+
+use crate::inject::output_words_with_fault;
+use crate::list::FaultList;
+use crate::model::Fault;
+use crate::simulator::FaultSimulator;
+use crate::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::levelized::CompiledCircuit;
+use lsiq_sim::packed::{first_differing_slot, valid_mask, PATTERNS_PER_WORD};
+use lsiq_sim::pattern::PatternSet;
+
+/// One precomputed 64-pattern block: the packed primary-input words, the
+/// good-machine output words, and the valid-slot mask.
+struct Block {
+    inputs: Vec<u64>,
+    good_outputs: Vec<u64>,
+    valid: u64,
+}
+
+/// A multi-threaded fault simulator sharding the fault universe across
+/// worker threads, each simulating 64-packed pattern words.
+#[derive(Debug)]
+pub struct ParallelSimulator<'c> {
+    compiled: CompiledCircuit<'c>,
+    drop_detected: bool,
+    threads: usize,
+}
+
+impl<'c> ParallelSimulator<'c> {
+    /// Minimum number of faults per shard; below this, extra threads cost
+    /// more in spawn overhead than they recover in parallelism.
+    const MIN_FAULTS_PER_SHARD: usize = 64;
+
+    /// Prepares a parallel fault simulator for `circuit` with fault dropping
+    /// enabled and one worker per available hardware thread.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        ParallelSimulator {
+            compiled: CompiledCircuit::new(circuit),
+            drop_detected: true,
+            threads: 0,
+        }
+    }
+
+    /// Controls fault dropping (see
+    /// [`SerialSimulator::with_fault_dropping`](crate::serial::SerialSimulator::with_fault_dropping)).
+    pub fn with_fault_dropping(mut self, enabled: bool) -> Self {
+        self.drop_detected = enabled;
+        self
+    }
+
+    /// Overrides the worker-thread count; `0` (the default) uses the
+    /// available hardware parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count a run would use for `fault_count` faults.
+    fn shard_count(&self, fault_count: usize) -> usize {
+        let requested = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let useful = fault_count.div_ceil(Self::MIN_FAULTS_PER_SHARD);
+        requested.min(useful).max(1)
+    }
+
+    /// Packs every 64-pattern block and computes its good-machine response.
+    fn precompute_blocks(&self, patterns: &PatternSet) -> Vec<Block> {
+        let input_count = self.compiled.circuit().primary_inputs().len();
+        let mut blocks = Vec::with_capacity(patterns.block_count());
+        for block in 0..patterns.block_count() {
+            let (inputs, pattern_count) = patterns.pack_block(input_count, block);
+            if pattern_count == 0 {
+                break;
+            }
+            let good_outputs = self.compiled.output_words(&inputs);
+            blocks.push(Block {
+                inputs,
+                good_outputs,
+                valid: valid_mask(pattern_count),
+            });
+        }
+        blocks
+    }
+
+    /// Simulates one contiguous shard of faults over all blocks, returning
+    /// the first detecting pattern per fault (shard-local order).
+    fn simulate_shard(&self, faults: &[Fault], blocks: &[Block]) -> Vec<Option<usize>> {
+        let mut first_detection = vec![None; faults.len()];
+        for (local, fault) in faults.iter().enumerate() {
+            for (block_index, block) in blocks.iter().enumerate() {
+                if first_detection[local].is_some() && self.drop_detected {
+                    break;
+                }
+                let faulty = output_words_with_fault(&self.compiled, &block.inputs, fault);
+                let earliest = block
+                    .good_outputs
+                    .iter()
+                    .zip(faulty.iter())
+                    .filter_map(|(&good, &bad)| first_differing_slot(good, bad, block.valid))
+                    .min();
+                if let Some(slot) = earliest {
+                    let pattern = block_index * PATTERNS_PER_WORD + slot;
+                    // Blocks are scanned in application order, so the first
+                    // hit is the earliest pattern; later blocks cannot
+                    // improve it even when dropping is disabled.
+                    if first_detection[local].is_none() {
+                        first_detection[local] = Some(pattern);
+                    }
+                }
+            }
+        }
+        first_detection
+    }
+}
+
+impl FaultSimulator for ParallelSimulator<'_> {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+        let mut list = FaultList::new(universe);
+        if universe.is_empty() || patterns.is_empty() {
+            return list;
+        }
+        let blocks = self.precompute_blocks(patterns);
+        let faults = universe.faults();
+        let shards = self.shard_count(faults.len());
+        let chunk = faults.len().div_ceil(shards);
+
+        let detections: Vec<Vec<Option<usize>>> = if shards == 1 {
+            vec![self.simulate_shard(faults, &blocks)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = faults
+                    .chunks(chunk)
+                    .map(|shard_faults| {
+                        let blocks = &blocks;
+                        scope.spawn(move || self.simulate_shard(shard_faults, blocks))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("fault-simulation shard panicked"))
+                    .collect()
+            })
+        };
+
+        for (shard, shard_detections) in detections.into_iter().enumerate() {
+            let base = shard * chunk;
+            for (local, detection) in shard_detections.into_iter().enumerate() {
+                if let Some(pattern) = detection {
+                    list.mark_detected(base + local, pattern);
+                }
+            }
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialSimulator;
+    use lsiq_netlist::generator::{random_circuit, RandomCircuitConfig};
+    use lsiq_netlist::library;
+    use lsiq_sim::pattern::Pattern;
+
+    fn exhaustive_patterns(width: usize) -> PatternSet {
+        (0..1u64 << width)
+            .map(|v| Pattern::from_integer(v, width))
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_simulator_on_c17() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = exhaustive_patterns(5);
+        let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        let parallel = ParallelSimulator::new(&circuit).run(&universe, &patterns);
+        for index in 0..universe.len() {
+            assert_eq!(
+                serial.state(index).first_pattern(),
+                parallel.state(index).first_pattern(),
+                "fault {}",
+                universe.get(index).expect("valid").describe(&circuit)
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_each_other() {
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 12,
+            gates: 150,
+            seed: 11,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = exhaustive_patterns(7);
+        let single = ParallelSimulator::new(&circuit)
+            .with_threads(1)
+            .run(&universe, &patterns);
+        for threads in [2, 3, 8] {
+            let multi = ParallelSimulator::new(&circuit)
+                .with_threads(threads)
+                .run(&universe, &patterns);
+            assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fault_dropping_does_not_change_results() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = exhaustive_patterns(10);
+        let dropped = ParallelSimulator::new(&circuit).run(&universe, &patterns);
+        let undropped = ParallelSimulator::new(&circuit)
+            .with_fault_dropping(false)
+            .run(&universe, &patterns);
+        assert_eq!(dropped, undropped);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_results() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let no_patterns = ParallelSimulator::new(&circuit).run(&universe, &PatternSet::new());
+        assert_eq!(no_patterns.detected_count(), 0);
+        let empty_universe = FaultUniverse::from_faults(Vec::new());
+        let patterns = exhaustive_patterns(5);
+        let list = ParallelSimulator::new(&circuit).run(&empty_universe, &patterns);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn shard_count_scales_down_for_tiny_universes() {
+        let circuit = library::c17();
+        let simulator = ParallelSimulator::new(&circuit).with_threads(16);
+        // 46 faults fit in a single minimum-size shard.
+        assert_eq!(simulator.shard_count(46), 1);
+        assert_eq!(simulator.shard_count(0), 1);
+        assert_eq!(simulator.shard_count(64 * 16), 16);
+        assert_eq!(simulator.shard_count(65), 2);
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::inject::output_words_with_fault;
 use crate::list::FaultList;
+use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::levelized::CompiledCircuit;
@@ -35,11 +36,17 @@ impl<'c> PpsfpSimulator<'c> {
         self.drop_detected = enabled;
         self
     }
+}
+
+impl FaultSimulator for PpsfpSimulator<'_> {
+    fn name(&self) -> &'static str {
+        "ppsfp"
+    }
 
     /// Runs the pattern set against every fault of `universe` and returns the
     /// per-fault detection states (first detecting pattern in application
     /// order, exactly as the serial simulator reports them).
-    pub fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
         let mut list = FaultList::new(universe);
         let circuit = self.compiled.circuit();
         let input_count = circuit.primary_inputs().len();

@@ -6,6 +6,7 @@
 
 use crate::inject::outputs_with_fault;
 use crate::list::FaultList;
+use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::levelized::CompiledCircuit;
@@ -35,10 +36,14 @@ impl<'c> SerialSimulator<'c> {
         self.drop_detected = enabled;
         self
     }
+}
 
-    /// Runs the pattern set against every fault of `universe` and returns the
-    /// per-fault detection states.
-    pub fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+impl FaultSimulator for SerialSimulator<'_> {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
         let mut list = FaultList::new(universe);
         for (pattern_index, pattern) in patterns.iter().enumerate() {
             let good = self.compiled.outputs(pattern);
@@ -87,8 +92,7 @@ mod tests {
         // For the half adder with a=1, b=1: carry SA0 flips carry from 1 to 0.
         let circuit = library::half_adder();
         let carry = circuit.find_signal("carry").expect("exists");
-        let universe =
-            FaultUniverse::from_faults(vec![Fault::output(carry, StuckValue::Zero)]);
+        let universe = FaultUniverse::from_faults(vec![Fault::output(carry, StuckValue::Zero)]);
         let patterns: PatternSet = [Pattern::from_bits([true, true])].into_iter().collect();
         let list = SerialSimulator::new(&circuit).run(&universe, &patterns);
         assert_eq!(list.detected_count(), 1);
@@ -99,8 +103,7 @@ mod tests {
     fn first_detection_pattern_is_recorded_in_order() {
         let circuit = library::half_adder();
         let carry = circuit.find_signal("carry").expect("exists");
-        let universe =
-            FaultUniverse::from_faults(vec![Fault::output(carry, StuckValue::Zero)]);
+        let universe = FaultUniverse::from_faults(vec![Fault::output(carry, StuckValue::Zero)]);
         // First pattern cannot detect carry SA0 (carry is 0 anyway); second can.
         let patterns: PatternSet = [
             Pattern::from_bits([true, false]),

@@ -1,0 +1,84 @@
+//! The common interface of every fault-simulation engine.
+//!
+//! Four engines implement [`FaultSimulator`]:
+//!
+//! * [`SerialSimulator`](crate::serial::SerialSimulator) — one fault, one
+//!   pattern at a time; the reference implementation,
+//! * [`PpsfpSimulator`](crate::ppsfp::PpsfpSimulator) — 64 patterns packed
+//!   into machine words, one fault at a time,
+//! * [`DeductiveSimulator`](crate::deductive::DeductiveSimulator) — all
+//!   faults of a pattern at once via signal fault lists,
+//! * [`ParallelSimulator`](crate::parallel::ParallelSimulator) — the default
+//!   production engine: the fault universe sharded across threads, each shard
+//!   simulating 64-packed pattern words with fault dropping.
+//!
+//! All engines report *identical* detection results (the first detecting
+//! pattern of every fault, in application order); they differ only in speed.
+//! The cross-checks live in `tests/fault_sim_equivalence.rs`.
+
+use crate::coverage::CoverageCurve;
+use crate::list::FaultList;
+use crate::universe::FaultUniverse;
+use lsiq_sim::pattern::PatternSet;
+
+/// A fault-simulation engine: evaluates an ordered pattern set against a
+/// fault universe and reports, per fault, the first detecting pattern.
+pub trait FaultSimulator {
+    /// Short engine name for benchmarks and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pattern set against every fault of `universe` and returns the
+    /// per-fault detection states.
+    ///
+    /// Patterns are evaluated in application order, so
+    /// [`DetectionState::first_pattern`](crate::list::DetectionState::first_pattern)
+    /// is the index of the earliest detecting pattern — the quantity the
+    /// paper's "chip fails at its first failing pattern" procedure needs.
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList;
+
+    /// Runs the simulation and folds the result into a cumulative
+    /// fault-coverage curve (the paper's `f` as a function of the number of
+    /// applied patterns).
+    fn coverage_curve(&self, universe: &FaultUniverse, patterns: &PatternSet) -> CoverageCurve {
+        let list = self.run(universe, patterns);
+        CoverageCurve::from_fault_list(&list, patterns.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::ParallelSimulator;
+    use crate::ppsfp::PpsfpSimulator;
+    use crate::serial::SerialSimulator;
+    use lsiq_netlist::library;
+    use lsiq_sim::pattern::Pattern;
+
+    #[test]
+    fn engines_are_usable_through_the_trait_object() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        let serial = SerialSimulator::new(&circuit);
+        let ppsfp = PpsfpSimulator::new(&circuit);
+        let parallel = ParallelSimulator::new(&circuit);
+        let engines: Vec<&dyn FaultSimulator> = vec![&serial, &ppsfp, &parallel];
+        for engine in engines {
+            let list = engine.run(&universe, &patterns);
+            assert_eq!(list.detected_count(), universe.len(), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn default_coverage_curve_matches_manual_construction() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..8).map(|v| Pattern::from_integer(v, 5)).collect();
+        let engine = PpsfpSimulator::new(&circuit);
+        let curve = engine.coverage_curve(&universe, &patterns);
+        let manual =
+            CoverageCurve::from_fault_list(&engine.run(&universe, &patterns), patterns.len());
+        assert_eq!(curve, manual);
+        assert_eq!(curve.pattern_count(), 8);
+    }
+}

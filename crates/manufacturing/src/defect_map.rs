@@ -61,8 +61,8 @@ impl DefectToFaultMapper {
             // window, clamped to the universe.
             let offset = rng.next_index(2 * self.locality_window + 1) as isize
                 - self.locality_window as isize;
-            let index = (anchor as isize + offset)
-                .clamp(0, self.universe_size as isize - 1) as usize;
+            let index =
+                (anchor as isize + offset).clamp(0, self.universe_size as isize - 1) as usize;
             faults.push(index);
         }
         (kind, faults)
@@ -109,9 +109,7 @@ mod tests {
             let anchor = faults[0] as isize;
             for &fault in &faults[1..] {
                 assert!(
-                    (fault as isize - anchor).abs() <= 8
-                        || fault == 0
-                        || fault == 999,
+                    (fault as isize - anchor).abs() <= 8 || fault == 0 || fault == 999,
                     "fault {fault} too far from anchor {anchor}"
                 );
             }

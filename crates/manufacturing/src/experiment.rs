@@ -120,6 +120,7 @@ mod tests {
     use crate::tester::WaferTester;
     use lsiq_fault::dictionary::FaultDictionary;
     use lsiq_fault::ppsfp::PpsfpSimulator;
+    use lsiq_fault::simulator::FaultSimulator;
     use lsiq_fault::universe::FaultUniverse;
     use lsiq_netlist::library;
     use lsiq_sim::pattern::{Pattern, PatternSet};
@@ -127,7 +128,9 @@ mod tests {
     fn run_experiment(chips: usize, yield_fraction: f64, seed: u64) -> RejectExperiment {
         let circuit = library::alu4();
         let universe = FaultUniverse::full(&circuit);
-        let patterns: PatternSet = (0..256).map(|v| Pattern::from_integer(v * 7 + 3, 10)).collect();
+        let patterns: PatternSet = (0..256)
+            .map(|v| Pattern::from_integer(v * 7 + 3, 10))
+            .collect();
         let list = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
         let coverage = CoverageCurve::from_fault_list(&list, patterns.len());
         let dictionary = FaultDictionary::from_fault_list(&list);
@@ -149,10 +152,11 @@ mod tests {
         for row in experiment.rows() {
             assert!(row.fraction_failed + 1e-15 >= previous);
             assert!(row.fraction_failed <= 1.0);
-            assert!((row.fraction_failed
-                - row.chips_failed as f64 / experiment.total_chips() as f64)
-                .abs()
-                < 1e-12);
+            assert!(
+                (row.fraction_failed - row.chips_failed as f64 / experiment.total_chips() as f64)
+                    .abs()
+                    < 1e-12
+            );
             previous = row.fraction_failed;
         }
     }

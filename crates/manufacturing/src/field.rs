@@ -70,11 +70,11 @@ mod tests {
     #[test]
     fn counts_are_consistent() {
         let records = vec![
-            record(0, None, false),       // good, shipped
-            record(1, None, true),        // escape
-            record(2, Some(3), true),     // rejected
-            record(3, Some(0), true),     // rejected
-            record(4, None, false),       // good, shipped
+            record(0, None, false),   // good, shipped
+            record(1, None, true),    // escape
+            record(2, Some(3), true), // rejected
+            record(3, Some(0), true), // rejected
+            record(4, None, false),   // good, shipped
         ];
         let outcome = FieldOutcome::from_records(&records);
         assert_eq!(outcome.total, 5);

@@ -64,12 +64,18 @@ impl ChipLot {
     /// Panics if the fault universe is empty, `yield_fraction` is outside
     /// `[0, 1]`, or `n0 < 1` (a defective chip has at least one fault).
     pub fn from_model(config: &ModelLotConfig) -> ChipLot {
-        assert!(config.fault_universe_size > 0, "fault universe must not be empty");
+        assert!(
+            config.fault_universe_size > 0,
+            "fault universe must not be empty"
+        );
         assert!(
             (0.0..=1.0).contains(&config.yield_fraction),
             "yield must be a probability"
         );
-        assert!(config.n0 >= 1.0, "n0 is the mean fault count of defective chips and must be >= 1");
+        assert!(
+            config.n0 >= 1.0,
+            "n0 is the mean fault count of defective chips and must be >= 1"
+        );
         let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
         // Shifted Poisson: n = 1 + Poisson(n0 - 1).
         let extra = config.n0 - 1.0;
@@ -86,8 +92,7 @@ impl ChipLot {
                         0
                     };
                     let fault_count = fault_count.min(config.fault_universe_size);
-                    let faults =
-                        sample_indices(config.fault_universe_size, fault_count, &mut rng);
+                    let faults = sample_indices(config.fault_universe_size, fault_count, &mut rng);
                     Chip::new(id, faults, 0)
                 }
             })
@@ -106,7 +111,10 @@ impl ChipLot {
     /// Panics if the fault universe is empty or `extra_faults_per_defect` is
     /// negative.
     pub fn from_physical(config: &PhysicalLotConfig) -> ChipLot {
-        assert!(config.fault_universe_size > 0, "fault universe must not be empty");
+        assert!(
+            config.fault_universe_size > 0,
+            "fault universe must not be empty"
+        );
         let faults_per_defect = FaultsPerDefect::new(config.extra_faults_per_defect)
             .expect("extra_faults_per_defect must be finite and non-negative");
         let mapper = DefectToFaultMapper::new(config.fault_universe_size, faults_per_defect);
@@ -164,7 +172,10 @@ impl ChipLot {
         if defective.is_empty() {
             return 0.0;
         }
-        defective.iter().map(|chip| chip.fault_count()).sum::<usize>() as f64
+        defective
+            .iter()
+            .map(|chip| chip.fault_count())
+            .sum::<usize>() as f64
             / defective.len() as f64
     }
 
@@ -173,7 +184,10 @@ impl ChipLot {
         if self.chips.is_empty() {
             return 0.0;
         }
-        self.chips.iter().map(|chip| chip.fault_count()).sum::<usize>() as f64
+        self.chips
+            .iter()
+            .map(|chip| chip.fault_count())
+            .sum::<usize>() as f64
             / self.chips.len() as f64
     }
 }
@@ -196,8 +210,16 @@ mod tests {
     fn model_lot_matches_requested_parameters() {
         let lot = model_lot(5_000, 1);
         assert_eq!(lot.len(), 5_000);
-        assert!((lot.observed_yield() - 0.3).abs() < 0.03, "yield {}", lot.observed_yield());
-        assert!((lot.observed_n0() - 6.0).abs() < 0.2, "n0 {}", lot.observed_n0());
+        assert!(
+            (lot.observed_yield() - 0.3).abs() < 0.03,
+            "yield {}",
+            lot.observed_yield()
+        );
+        assert!(
+            (lot.observed_n0() - 6.0).abs() < 0.2,
+            "n0 {}",
+            lot.observed_n0()
+        );
         // eq. 2: n_av = (1 - y) * n0.
         let expected_nav = (1.0 - lot.observed_yield()) * lot.observed_n0();
         assert!((lot.observed_nav() - expected_nav).abs() < 1e-9);

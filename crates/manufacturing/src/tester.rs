@@ -63,7 +63,10 @@ impl<'d> WaferTester<'d> {
 
     /// Tests every chip of a lot, in lot order.
     pub fn test_lot(&self, lot: &ChipLot) -> Vec<TestRecord> {
-        lot.chips().iter().map(|chip| self.test_chip(chip)).collect()
+        lot.chips()
+            .iter()
+            .map(|chip| self.test_chip(chip))
+            .collect()
     }
 }
 
@@ -72,6 +75,7 @@ mod tests {
     use super::*;
     use crate::lot::ModelLotConfig;
     use lsiq_fault::ppsfp::PpsfpSimulator;
+    use lsiq_fault::simulator::FaultSimulator;
     use lsiq_fault::universe::FaultUniverse;
     use lsiq_netlist::library;
     use lsiq_sim::pattern::{Pattern, PatternSet};
@@ -127,7 +131,7 @@ mod tests {
             assert_eq!(record.chip_id, index);
         }
         // With an exhaustive dictionary every defective chip fails.
-        assert!(records.iter().all(|r| r.passed() == !r.is_defective));
+        assert!(records.iter().all(|r| r.passed() != r.is_defective));
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl WaferMap {
     ///
     /// Panics if the coordinates are out of range.
     pub fn defects_at(&self, row: usize, column: usize) -> u64 {
-        assert!(row < self.rows && column < self.columns, "site out of range");
+        assert!(
+            row < self.rows && column < self.columns,
+            "site out of range"
+        );
         self.defects[row * self.columns + column]
     }
 

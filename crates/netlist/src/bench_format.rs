@@ -360,7 +360,10 @@ y = NOT(a)
     #[test]
     fn input_on_rhs_is_rejected() {
         let text = "INPUT(a)\nOUTPUT(z)\nz = INPUT(a)\n";
-        assert!(matches!(parse("bad", text), Err(NetlistError::Parse { .. })));
+        assert!(matches!(
+            parse("bad", text),
+            Err(NetlistError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl fmt::Display for NetlistError {
                 kind,
                 actual,
                 expected,
-            } => write!(f, "gate kind {kind} given {actual} inputs; expected {expected}"),
+            } => write!(
+                f,
+                "gate kind {kind} given {actual} inputs; expected {expected}"
+            ),
             NetlistError::CombinationalCycle { signal } => {
                 write!(f, "combinational cycle through signal `{signal}`")
             }
@@ -67,7 +70,10 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
             NetlistError::InvalidGateId { id, gate_count } => {
-                write!(f, "gate id {id} out of range for circuit with {gate_count} gates")
+                write!(
+                    f,
+                    "gate id {id} out of range for circuit with {gate_count} gates"
+                )
             }
         }
     }
@@ -82,18 +88,8 @@ mod tests {
     #[test]
     fn display_messages_mention_key_facts() {
         let cases: Vec<(NetlistError, &str)> = vec![
-            (
-                NetlistError::UnknownSignal {
-                    name: "foo".into(),
-                },
-                "foo",
-            ),
-            (
-                NetlistError::DuplicateSignal {
-                    name: "bar".into(),
-                },
-                "bar",
-            ),
+            (NetlistError::UnknownSignal { name: "foo".into() }, "foo"),
+            (NetlistError::DuplicateSignal { name: "bar".into() }, "bar"),
             (
                 NetlistError::BadFanin {
                     kind: "NOT",

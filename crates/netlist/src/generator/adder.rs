@@ -72,7 +72,9 @@ pub fn ripple_carry_adder(bits: usize) -> Circuit {
         builder.mark_output(sum);
     }
     builder.mark_output(carry);
-    builder.finish().expect("generated adder is structurally valid")
+    builder
+        .finish()
+        .expect("generated adder is structurally valid")
 }
 
 #[cfg(test)]
@@ -112,9 +114,7 @@ mod tests {
         b.mark_output(carry);
         let c = b.finish().expect("valid");
         // A constant-zero source must exist.
-        assert!(c
-            .iter()
-            .any(|(_, gate)| gate.kind() == GateKind::Const0));
+        assert!(c.iter().any(|(_, gate)| gate.kind() == GateKind::Const0));
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub fn comparator_block(
     prefix: &str,
 ) -> (GateId, GateId) {
     assert!(!a.is_empty(), "comparator width must be at least one bit");
-    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "comparator operands must have equal width"
+    );
     // Per-bit equality.
     let eq_bits: Vec<GateId> = a
         .iter()

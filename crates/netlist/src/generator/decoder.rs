@@ -16,7 +16,10 @@ pub fn decoder_block(
     address: &[GateId],
     prefix: &str,
 ) -> Vec<GateId> {
-    assert!(!address.is_empty(), "decoder needs at least one address bit");
+    assert!(
+        !address.is_empty(),
+        "decoder needs at least one address bit"
+    );
     let complements: Vec<GateId> = address
         .iter()
         .enumerate()

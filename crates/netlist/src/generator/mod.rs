@@ -33,7 +33,11 @@ use crate::builder::CircuitBuilder;
 use crate::circuit::GateId;
 
 /// Creates `count` fresh primary inputs named `prefix0..prefixN`.
-pub(crate) fn fresh_inputs(builder: &mut CircuitBuilder, prefix: &str, count: usize) -> Vec<GateId> {
+pub(crate) fn fresh_inputs(
+    builder: &mut CircuitBuilder,
+    prefix: &str,
+    count: usize,
+) -> Vec<GateId> {
     (0..count)
         .map(|i| builder.input(format!("{prefix}{i}")))
         .collect()

@@ -24,7 +24,11 @@ pub fn array_multiplier_block(
     prefix: &str,
 ) -> Vec<GateId> {
     assert!(!a.is_empty(), "multiplier width must be at least one bit");
-    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "multiplier operands must have equal width"
+    );
     let width = a.len();
     // Partial product rows: row j is a AND b[j], shifted left by j.
     let rows: Vec<Vec<GateId>> = b

@@ -11,11 +11,7 @@ use crate::gate::GateKind;
 /// # Panics
 ///
 /// Panics if `inputs` is empty.
-pub fn parity_tree_block(
-    builder: &mut CircuitBuilder,
-    inputs: &[GateId],
-    prefix: &str,
-) -> GateId {
+pub fn parity_tree_block(builder: &mut CircuitBuilder, inputs: &[GateId], prefix: &str) -> GateId {
     assert!(!inputs.is_empty(), "parity tree needs at least one input");
     let mut layer: Vec<GateId> = inputs.to_vec();
     let mut stage = 0usize;

@@ -77,8 +77,7 @@ const KIND_WEIGHTS: [(GateKind, f64); 8] = [
 pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
     let config = config.normalised();
     let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
-    let kind_chooser =
-        Categorical::new(&KIND_WEIGHTS.map(|(_, w)| w)).expect("weights are valid");
+    let kind_chooser = Categorical::new(&KIND_WEIGHTS.map(|(_, w)| w)).expect("weights are valid");
     let mut builder = CircuitBuilder::new(format!("rand_{}g_{}", config.gates, config.seed));
     let mut pool: Vec<GateId> = (0..config.inputs)
         .map(|i| builder.input(format!("pi{i}")))

@@ -8,11 +8,11 @@
 use crate::bench_format;
 use crate::builder::CircuitBuilder;
 use crate::circuit::Circuit;
+use crate::generator::{alu, ripple_carry_adder};
 use crate::generator::{
     alu_block, array_multiplier_block, comparator_block, decoder_block, mux_tree_block,
     parity_tree_block, random_circuit, ripple_carry_adder_block, AluWidth, RandomCircuitConfig,
 };
-use crate::generator::{alu, ripple_carry_adder};
 
 /// The ISCAS-85 `c17` benchmark: 5 inputs, 2 outputs, 6 NAND gates.
 ///
@@ -148,8 +148,13 @@ pub fn lsi_class(config: LsiClassConfig) -> Circuit {
                 }
             }
             2 => {
-                let (result, carry) =
-                    alu_block(&mut builder, &bus_a[..8], &bus_b[..8], &control[..2], &prefix);
+                let (result, carry) = alu_block(
+                    &mut builder,
+                    &bus_a[..8],
+                    &bus_b[..8],
+                    &control[..2],
+                    &prefix,
+                );
                 for r in result {
                     builder.mark_output(r);
                 }
@@ -174,8 +179,7 @@ pub fn lsi_class(config: LsiClassConfig) -> Circuit {
                 builder.mark_output(signature);
             }
             4 => {
-                let (equal, greater) =
-                    comparator_block(&mut builder, &bus_a, &bus_b, &prefix);
+                let (equal, greater) = comparator_block(&mut builder, &bus_a, &bus_b, &prefix);
                 builder.mark_output(equal);
                 builder.mark_output(greater);
                 let selected = mux_tree_block(

@@ -33,23 +33,11 @@ pub fn eval_value3(kind: GateKind, inputs: &[Value3]) -> Value3 {
         GateKind::Buf => inputs[0],
         GateKind::Not => inputs[0].not(),
         GateKind::And => inputs.iter().copied().fold(Value3::One, Value3::and),
-        GateKind::Nand => inputs
-            .iter()
-            .copied()
-            .fold(Value3::One, Value3::and)
-            .not(),
+        GateKind::Nand => inputs.iter().copied().fold(Value3::One, Value3::and).not(),
         GateKind::Or => inputs.iter().copied().fold(Value3::Zero, Value3::or),
-        GateKind::Nor => inputs
-            .iter()
-            .copied()
-            .fold(Value3::Zero, Value3::or)
-            .not(),
+        GateKind::Nor => inputs.iter().copied().fold(Value3::Zero, Value3::or).not(),
         GateKind::Xor => inputs.iter().copied().fold(Value3::Zero, Value3::xor),
-        GateKind::Xnor => inputs
-            .iter()
-            .copied()
-            .fold(Value3::Zero, Value3::xor)
-            .not(),
+        GateKind::Xnor => inputs.iter().copied().fold(Value3::Zero, Value3::xor).not(),
     }
 }
 

@@ -118,8 +118,7 @@ impl<'c> EventSim<'c> {
 
     fn schedule_fanout(&mut self, id: GateId) {
         for &load in self.circuit.fanout(id) {
-            self.pending
-                .insert((self.levelization.level(load), load));
+            self.pending.insert((self.levelization.level(load), load));
         }
     }
 

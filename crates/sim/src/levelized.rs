@@ -233,8 +233,11 @@ mod tests {
         let sim = CompiledCircuit::new(&circuit);
         for value in 0u64..8 {
             let pattern = Pattern::from_integer(value, 3);
-            let assignment: Vec<Value3> =
-                pattern.bits().iter().map(|&b| Value3::from_bool(b)).collect();
+            let assignment: Vec<Value3> = pattern
+                .bits()
+                .iter()
+                .map(|&b| Value3::from_bool(b))
+                .collect();
             let scalar = sim.node_values(&pattern);
             let ternary = sim.node_values3(&assignment);
             for (id, (&b, &v)) in scalar.iter().zip(ternary.iter()).enumerate() {

@@ -42,6 +42,7 @@ impl Value3 {
     }
 
     /// Three-valued inversion.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Value3 {
         match self {
             Value3::Zero => Value3::One,

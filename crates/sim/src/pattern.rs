@@ -230,9 +230,7 @@ mod tests {
 
     #[test]
     fn pack_block_past_end_is_empty() {
-        let set: PatternSet = (0..70)
-            .map(|i| Pattern::from_integer(i, 4))
-            .collect();
+        let set: PatternSet = (0..70).map(|i| Pattern::from_integer(i, 4)).collect();
         assert_eq!(set.block_count(), 2);
         let (_, count0) = set.pack_block(4, 0);
         let (_, count1) = set.pack_block(4, 1);

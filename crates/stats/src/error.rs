@@ -42,7 +42,10 @@ impl fmt::Display for StatsError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             StatsError::InvalidBracket { lo, hi } => {
                 write!(f, "bracket [{lo}, {hi}] does not enclose a root")
             }

@@ -56,7 +56,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, StatsError> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok(LinearFit {
         slope,
         intercept,
@@ -151,7 +155,9 @@ pub fn scan_minimize<F>(
 where
     F: FnMut(f64) -> f64,
 {
-    if !(lo < hi) {
+    // NaN-aware: anything but a strictly increasing, comparable pair is
+    // rejected.
+    if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
         return Err(StatsError::InvalidParameter {
             name: "range",
             value: hi - lo,

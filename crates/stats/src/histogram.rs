@@ -30,7 +30,10 @@ impl Histogram {
                 expected: "at least one bin",
             });
         }
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less)
+            || !lo.is_finite()
+            || !hi.is_finite()
+        {
             return Err(StatsError::InvalidParameter {
                 name: "range",
                 value: hi - lo,

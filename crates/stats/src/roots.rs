@@ -117,7 +117,11 @@ where
             return Ok(0.5 * (lo + hi));
         }
         let dfx = derivative(x);
-        let newton_step = if dfx.abs() > 1e-300 { x - fx / dfx } else { f64::NAN };
+        let newton_step = if dfx.abs() > 1e-300 {
+            x - fx / dfx
+        } else {
+            f64::NAN
+        };
         x = if newton_step.is_finite() && newton_step > lo && newton_step < hi {
             newton_step
         } else {
@@ -175,15 +179,8 @@ mod tests {
     fn newton_falls_back_to_bisection_on_flat_derivative() {
         // Derivative reported as zero everywhere: should still converge by
         // bisection fallback.
-        let root = newton_bracketed(
-            |x| x - 0.25,
-            |_| 0.0,
-            0.0,
-            1.0,
-            0.9,
-            RootOptions::default(),
-        )
-        .expect("bracketed");
+        let root = newton_bracketed(|x| x - 0.25, |_| 0.0, 0.0, 1.0, 0.9, RootOptions::default())
+            .expect("bracketed");
         assert!((root - 0.25).abs() < 1e-9);
     }
 

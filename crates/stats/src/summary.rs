@@ -17,6 +17,11 @@ pub struct Summary {
 
 impl Summary {
     /// Computes summary statistics over an iterator of observations.
+    ///
+    /// Not the `FromIterator` trait method: this inherent constructor keeps
+    /// the call explicit (`Summary::from_iter(...)`) rather than hiding the
+    /// accumulation behind `collect()`.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I>(values: I) -> Self
     where
         I: IntoIterator<Item = f64>,

@@ -8,6 +8,7 @@
 //! 100 percent).
 
 use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::simulator::FaultSimulator;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;

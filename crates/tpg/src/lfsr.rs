@@ -85,7 +85,10 @@ mod tests {
     fn patterns_do_not_repeat_quickly() {
         let patterns = Lfsr::new(16, 0xACE1).generate(200);
         let mut seen = std::collections::HashSet::new();
-        let repeats = patterns.iter().filter(|p| !seen.insert(p.to_string())).count();
+        let repeats = patterns
+            .iter()
+            .filter(|p| !seen.insert(p.to_string()))
+            .count();
         assert!(repeats < 5, "{repeats} repeated patterns in 200");
     }
 

@@ -77,11 +77,8 @@ impl<'c> Podem<'c> {
         loop {
             let (good, faulty) = self.simulate_pair(&assignment, fault);
             if self.is_detected(&good, &faulty) {
-                let pattern = Pattern::from_bits(
-                    assignment
-                        .iter()
-                        .map(|v| v.to_bool().unwrap_or(false)),
-                );
+                let pattern =
+                    Pattern::from_bits(assignment.iter().map(|v| v.to_bool().unwrap_or(false)));
                 return TestOutcome::Test(pattern);
             }
             let must_backtrack = self.is_hopeless(fault, &good, &faulty);
@@ -131,20 +128,13 @@ impl<'c> Podem<'c> {
     }
 
     /// Three-valued good/faulty machine pair under a partial PI assignment.
-    fn simulate_pair(
-        &self,
-        assignment: &[Value3],
-        fault: &Fault,
-    ) -> (Vec<Value3>, Vec<Value3>) {
+    fn simulate_pair(&self, assignment: &[Value3], fault: &Fault) -> (Vec<Value3>, Vec<Value3>) {
         let good = self.compiled.node_values3(assignment);
         let circuit = self.circuit;
         let stuck = Value3::from_bool(fault.stuck.as_bool());
         let mut faulty = vec![Value3::Unknown; circuit.gate_count()];
         for (position, &input) in circuit.primary_inputs().iter().enumerate() {
-            faulty[input.index()] = assignment
-                .get(position)
-                .copied()
-                .unwrap_or(Value3::Unknown);
+            faulty[input.index()] = assignment.get(position).copied().unwrap_or(Value3::Unknown);
         }
         if let FaultSite::Output(gate) = fault.site {
             if circuit.gate(gate).kind() == GateKind::Input {
@@ -317,6 +307,7 @@ impl<'c> Podem<'c> {
 mod tests {
     use super::*;
     use lsiq_fault::ppsfp::PpsfpSimulator;
+    use lsiq_fault::simulator::FaultSimulator;
     use lsiq_fault::universe::FaultUniverse;
     use lsiq_netlist::library;
     use lsiq_sim::pattern::PatternSet;
@@ -342,7 +333,10 @@ mod tests {
         for fault in &universe {
             match podem.generate_test(fault) {
                 TestOutcome::Test(pattern) => verify_detection(&circuit, fault, &pattern),
-                other => panic!("{}: expected a test, got {other:?}", fault.describe(&circuit)),
+                other => panic!(
+                    "{}: expected a test, got {other:?}",
+                    fault.describe(&circuit)
+                ),
             }
         }
     }
@@ -355,7 +349,10 @@ mod tests {
         for fault in &universe {
             match podem.generate_test(fault) {
                 TestOutcome::Test(pattern) => verify_detection(&circuit, fault, &pattern),
-                other => panic!("{}: expected a test, got {other:?}", fault.describe(&circuit)),
+                other => panic!(
+                    "{}: expected a test, got {other:?}",
+                    fault.describe(&circuit)
+                ),
             }
         }
     }

@@ -10,7 +10,8 @@ use crate::random::RandomPatternGenerator;
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::list::FaultList;
-use lsiq_fault::ppsfp::PpsfpSimulator;
+use lsiq_fault::parallel::ParallelSimulator;
+use lsiq_fault::simulator::FaultSimulator;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
@@ -69,30 +70,37 @@ impl TestSuite {
 }
 
 impl TestSuiteBuilder {
-    /// Builds an ordered test suite for `circuit` against `universe`.
+    /// Builds an ordered test suite for `circuit` against `universe`, fault
+    /// simulating with the default multi-threaded parallel engine.
     pub fn build(&self, circuit: &Circuit, universe: &FaultUniverse) -> TestSuite {
-        let simulator = PpsfpSimulator::new(circuit);
+        self.build_with(&ParallelSimulator::new(circuit), circuit, universe)
+    }
+
+    /// Builds an ordered test suite using a caller-supplied fault-simulation
+    /// engine (any [`FaultSimulator`]).
+    pub fn build_with(
+        &self,
+        simulator: &dyn FaultSimulator,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+    ) -> TestSuite {
         let mut generator = RandomPatternGenerator::new(circuit, self.seed);
         let mut patterns = PatternSet::new();
 
         // Random phase: add chunks until the target coverage or the pattern
-        // budget is reached.
-        loop {
-            let list = simulator.run(universe, &patterns);
-            if list.coverage() >= self.target_coverage
-                || patterns.len() >= self.max_random_patterns
-            {
-                break;
-            }
+        // budget is reached.  The fault list of the final iteration is kept
+        // so the later phases never re-simulate an unchanged pattern set.
+        let mut list = simulator.run(universe, &patterns);
+        while list.coverage() < self.target_coverage && patterns.len() < self.max_random_patterns {
             for _ in 0..self.chunk.max(1) {
                 patterns.push(generator.next_pattern());
             }
+            list = simulator.run(universe, &patterns);
         }
 
         // Deterministic phase: target whatever the random phase missed.
         let mut deterministic_patterns = 0usize;
         if self.podem_top_up {
-            let list = simulator.run(universe, &patterns);
             let podem = Podem::new(circuit).with_max_backtracks(self.podem_backtracks);
             for fault_index in list.undetected_indices() {
                 let fault = list.fault(fault_index);
@@ -103,7 +111,11 @@ impl TestSuiteBuilder {
             }
         }
 
-        let fault_list = simulator.run(universe, &patterns);
+        let fault_list = if deterministic_patterns > 0 {
+            simulator.run(universe, &patterns)
+        } else {
+            list
+        };
         let coverage_curve = CoverageCurve::from_fault_list(&fault_list, patterns.len());
         let dictionary = FaultDictionary::from_fault_list(&fault_list);
         TestSuite {

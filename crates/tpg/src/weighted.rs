@@ -73,8 +73,7 @@ mod tests {
 
     #[test]
     fn per_input_weights_are_respected() {
-        let generator =
-            WeightedPatternGenerator::with_weights(vec![0.0, 1.0, 0.5], 9);
+        let generator = WeightedPatternGenerator::with_weights(vec![0.0, 1.0, 0.5], 9);
         assert_eq!(generator.weights(), &[0.0, 1.0, 0.5]);
         let patterns = generator.generate(500);
         assert!(patterns.iter().all(|p| !p.bit(0)));

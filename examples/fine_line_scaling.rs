@@ -14,8 +14,8 @@ use lsi_quality::quality::QualityError;
 
 fn main() -> Result<(), QualityError> {
     // Baseline process: the Section 7 chip (about 7 percent yield, n0 = 8).
-    let baseline_defects = YieldModel::NegativeBinomial { lambda: 1.0 }
-        .defects_for_yield(Yield::new(0.07)?)?;
+    let baseline_defects =
+        YieldModel::NegativeBinomial { lambda: 1.0 }.defects_for_yield(Yield::new(0.07)?)?;
     let baseline_n0 = 8.0;
     let target = RejectRate::new(0.001)?;
 

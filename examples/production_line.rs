@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rng = Xoshiro256StarStar::seed_from_u64(42);
     let wafer = WaferMap::simulate(12, 24, &defect_model, &mut rng);
-    println!("one wafer ({} sites, observed yield {:.1}%):", wafer.site_count(), wafer.observed_yield() * 100.0);
+    println!(
+        "one wafer ({} sites, observed yield {:.1}%):",
+        wafer.site_count(),
+        wafer.observed_yield() * 100.0
+    );
     println!("{}", wafer.ascii());
 
     // The test programme: random patterns topped up by PODEM.
@@ -78,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Compare with the paper's prediction using the lot's emergent (y, n0).
-    let params = ModelParams::new(Yield::new(lot.observed_yield())?, lot.observed_n0().max(1.0))?;
+    let params = ModelParams::new(
+        Yield::new(lot.observed_yield())?,
+        lot.observed_n0().max(1.0),
+    )?;
     let predicted = field_reject_rate(&params, FaultCoverage::new(suite.coverage())?);
     println!(
         "model prediction at f = {:.1}% with y = {:.2}, n0 = {:.1}: {:.3}%",

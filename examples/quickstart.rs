@@ -41,7 +41,10 @@ fn main() -> Result<(), QualityError> {
     }
 
     // Step 3 — sanity check: what reject rate does 80 percent coverage give?
-    let achieved = field_reject_rate(&params, lsi_quality::quality::params::FaultCoverage::new(0.80)?);
+    let achieved = field_reject_rate(
+        &params,
+        lsi_quality::quality::params::FaultCoverage::new(0.80)?,
+    );
     println!(
         "at 80% coverage the predicted field reject rate is {:.2}%",
         achieved.percent()

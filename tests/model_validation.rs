@@ -11,7 +11,7 @@ use lsi_quality::quality::escape::{BadChipYield, EscapeApproximation, EscapeProb
 use lsi_quality::quality::fault_distribution::FaultCountDistribution;
 use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
 use lsi_quality::quality::reject::field_reject_rate;
-use lsi_quality::stats::rng::{sample_indices, Rng, Xoshiro256StarStar};
+use lsi_quality::stats::rng::{sample_indices, Xoshiro256StarStar};
 
 struct MonteCarloOutcome {
     rejected_fraction: f64,
@@ -21,7 +21,13 @@ struct MonteCarloOutcome {
 
 /// Simulates `chips` chips under the statistical model with a fault universe
 /// of `universe` sites of which a fraction `coverage` is covered by tests.
-fn simulate(params: &ModelParams, universe: usize, coverage: f64, chips: usize, seed: u64) -> MonteCarloOutcome {
+fn simulate(
+    params: &ModelParams,
+    universe: usize,
+    coverage: f64,
+    chips: usize,
+    seed: u64,
+) -> MonteCarloOutcome {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let covered = (coverage * universe as f64).round() as usize;
     let distribution = FaultCountDistribution::new(*params);

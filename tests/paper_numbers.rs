@@ -42,9 +42,17 @@ fn section_seven_required_coverage() {
     // to achieve a field reject rate of 1-in-1000."
     let params = ModelParams::new(yield_of(0.07), 8.0).expect("valid");
     let at_1_percent = required_fault_coverage(&params, reject(0.01)).expect("solves");
-    assert!((at_1_percent.value() - 0.80).abs() < 0.04, "{}", at_1_percent.value());
+    assert!(
+        (at_1_percent.value() - 0.80).abs() < 0.04,
+        "{}",
+        at_1_percent.value()
+    );
     let at_1_in_1000 = required_fault_coverage(&params, reject(0.001)).expect("solves");
-    assert!((at_1_in_1000.value() - 0.95).abs() < 0.03, "{}", at_1_in_1000.value());
+    assert!(
+        (at_1_in_1000.value() - 0.95).abs() < 0.03,
+        "{}",
+        at_1_in_1000.value()
+    );
 }
 
 #[test]
@@ -52,9 +60,13 @@ fn section_seven_wadsack_comparison() {
     // "From this formula, for r = 0.01, y = 0.07, we get f = 99 percent and
     // for r = 0.001, f = 99.9 percent."
     let wadsack = WadsackModel::new(yield_of(0.07));
-    let at_1_percent = wadsack.required_fault_coverage(reject(0.01)).expect("valid");
+    let at_1_percent = wadsack
+        .required_fault_coverage(reject(0.01))
+        .expect("valid");
     assert!((at_1_percent.value() - 0.99).abs() < 0.005);
-    let at_1_in_1000 = wadsack.required_fault_coverage(reject(0.001)).expect("valid");
+    let at_1_in_1000 = wadsack
+        .required_fault_coverage(reject(0.001))
+        .expect("valid");
     assert!((at_1_in_1000.value() - 0.999).abs() < 0.001);
     // Williams-Brown is similarly demanding at this yield.
     let williams_brown = WilliamsBrownModel::new(yield_of(0.07));
@@ -76,7 +88,11 @@ fn section_four_figure_1_reference_points() {
     let f_2 = required_fault_coverage(&msi_n0_2, reject(0.005)).expect("solves");
     let f_10 = required_fault_coverage(&msi_n0_10, reject(0.005)).expect("solves");
     assert!((f_2.value() - 0.95).abs() < 0.02, "n0=2: {}", f_2.value());
-    assert!((f_10.value() - 0.38).abs() < 0.04, "n0=10: {}", f_10.value());
+    assert!(
+        (f_10.value() - 0.38).abs() < 0.04,
+        "n0=10: {}",
+        f_10.value()
+    );
     // y = 0.20, n0 = 10: about 63 percent.
     let lsi_n0_10 = ModelParams::new(yield_of(0.20), 10.0).expect("valid");
     let f_lsi = required_fault_coverage(&lsi_n0_10, reject(0.005)).expect("solves");
@@ -88,7 +104,11 @@ fn section_six_figure_4_spot_check() {
     // "if the field reject rate was specified as one in a thousand ... for
     // yield y = 0.3 and n0 = 8, the fault coverage should be about 85 percent."
     let coverage = required_coverage_at_yield(8.0, reject(0.001), yield_of(0.3)).expect("solves");
-    assert!((coverage.value() - 0.85).abs() < 0.03, "{}", coverage.value());
+    assert!(
+        (coverage.value() - 0.85).abs() < 0.03,
+        "{}",
+        coverage.value()
+    );
 }
 
 #[test]

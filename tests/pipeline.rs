@@ -3,6 +3,7 @@
 //! field-reject prediction — hangs together and recovers known ground truth.
 
 use lsi_quality::fault::coverage::CoverageCurve;
+use lsi_quality::fault::simulator::FaultSimulator;
 use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::manufacturing::experiment::RejectExperiment;
 use lsi_quality::manufacturing::field::FieldOutcome;
@@ -26,7 +27,12 @@ struct PipelineOutcome {
 /// Runs the whole pipeline for a lot drawn from the statistical model with
 /// known parameters, applying only the first `patterns_applied` patterns of
 /// the suite (so the tests are deliberately incomplete, as in the paper).
-fn run_pipeline(true_yield: f64, true_n0: f64, patterns_applied: usize, seed: u64) -> PipelineOutcome {
+fn run_pipeline(
+    true_yield: f64,
+    true_n0: f64,
+    patterns_applied: usize,
+    seed: u64,
+) -> PipelineOutcome {
     let circuit = library::alu4();
     let universe = FaultUniverse::full(&circuit);
     let suite = TestSuiteBuilder {
@@ -60,11 +66,9 @@ fn run_pipeline(true_yield: f64, true_n0: f64, patterns_applied: usize, seed: u6
 
     let checkpoints: Vec<usize> = (1..=truncated.len()).collect();
     let experiment = RejectExperiment::tabulate(&records, &coverage_curve, &checkpoints);
-    let table = ChipTestTable::from_fractions(
-        &experiment.coverage_vs_fraction(),
-        experiment.total_chips(),
-    )
-    .expect("experiment table is valid");
+    let table =
+        ChipTestTable::from_fractions(&experiment.coverage_vs_fraction(), experiment.total_chips())
+            .expect("experiment table is valid");
     let estimate = N0Estimator::default()
         .estimate(&table, Yield::new(lot.observed_yield()).expect("valid"))
         .expect("estimation succeeds");

@@ -1,17 +1,25 @@
-//! Integration test: the three fault-simulation algorithms and the two logic
-//! simulators agree with each other on generated circuits, and property-based
-//! checks hold for the core model functions.
+//! Integration test: the fault-simulation algorithms and the two logic
+//! simulators agree with each other on generated circuits, and property-style
+//! checks (randomised over seeded parameter draws) hold for the core model
+//! functions.
 
 use lsi_quality::fault::deductive::DeductiveSimulator;
 use lsi_quality::fault::ppsfp::PpsfpSimulator;
 use lsi_quality::fault::serial::SerialSimulator;
+use lsi_quality::fault::simulator::FaultSimulator;
 use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::netlist::generator::{random_circuit, RandomCircuitConfig};
 use lsi_quality::sim::event::EventSim;
 use lsi_quality::sim::levelized::CompiledCircuit;
 use lsi_quality::sim::pattern::{Pattern, PatternSet};
 use lsi_quality::stats::rng::{Rng, Xoshiro256StarStar};
-use proptest::prelude::*;
+
+/// Number of randomised cases each property-style test draws.
+const PROPERTY_CASES: usize = 64;
+
+fn uniform_in(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
 
 fn random_patterns(width: usize, count: usize, seed: u64) -> PatternSet {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
@@ -67,86 +75,99 @@ fn logic_simulators_agree_on_generated_circuits() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn reject_rate_stays_in_unit_interval_and_decreases(
-        y in 0.01f64..0.99,
-        n0 in 1.0f64..40.0,
-        f in 0.0f64..1.0,
-    ) {
-        use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
-        use lsi_quality::quality::reject::field_reject_rate;
+#[test]
+fn reject_rate_stays_in_unit_interval_and_decreases() {
+    use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
+    use lsi_quality::quality::reject::field_reject_rate;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xA11CE);
+    for case in 0..PROPERTY_CASES {
+        let y = uniform_in(&mut rng, 0.01, 0.99);
+        let n0 = uniform_in(&mut rng, 1.0, 40.0);
+        let f = uniform_in(&mut rng, 0.0, 1.0);
         let params = ModelParams::new(Yield::new(y).unwrap(), n0).unwrap();
         let coverage = FaultCoverage::new(f).unwrap();
         let rate = field_reject_rate(&params, coverage).value();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&rate), "case {case}: rate {rate}");
         // Monotone: a bit more coverage can only reduce the reject rate.
         let more = FaultCoverage::new((f + 0.05).min(1.0)).unwrap();
         let better = field_reject_rate(&params, more).value();
-        prop_assert!(better <= rate + 1e-12);
+        assert!(better <= rate + 1e-12, "case {case}: {better} > {rate}");
         // Bounded above by the untested reject rate 1 - y.
-        prop_assert!(rate <= 1.0 - y + 1e-12);
+        assert!(rate <= 1.0 - y + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn rejected_fraction_is_a_cdf_like_curve(
-        y in 0.01f64..0.99,
-        n0 in 1.0f64..40.0,
-        f in 0.0f64..1.0,
-    ) {
-        use lsi_quality::quality::detection::rejected_fraction;
-        use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
+#[test]
+fn rejected_fraction_is_a_cdf_like_curve() {
+    use lsi_quality::quality::detection::rejected_fraction;
+    use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xB0B);
+    for case in 0..PROPERTY_CASES {
+        let y = uniform_in(&mut rng, 0.01, 0.99);
+        let n0 = uniform_in(&mut rng, 1.0, 40.0);
+        let f = uniform_in(&mut rng, 0.0, 1.0);
         let params = ModelParams::new(Yield::new(y).unwrap(), n0).unwrap();
         let value = rejected_fraction(&params, FaultCoverage::new(f).unwrap());
-        prop_assert!(value >= -1e-12);
-        prop_assert!(value <= 1.0 - y + 1e-12);
+        assert!(value >= -1e-12, "case {case}");
+        assert!(value <= 1.0 - y + 1e-12, "case {case}");
         let further = rejected_fraction(&params, FaultCoverage::new((f + 0.05).min(1.0)).unwrap());
-        prop_assert!(further + 1e-12 >= value);
+        assert!(further + 1e-12 >= value, "case {case}");
     }
+}
 
-    #[test]
-    fn required_coverage_meets_its_target(
-        y in 0.01f64..0.95,
-        n0 in 1.0f64..30.0,
-        r in 0.0005f64..0.05,
-    ) {
-        use lsi_quality::quality::coverage_requirement::required_fault_coverage;
-        use lsi_quality::quality::params::{ModelParams, RejectRate, Yield};
-        use lsi_quality::quality::reject::field_reject_rate;
+#[test]
+fn required_coverage_meets_its_target() {
+    use lsi_quality::quality::coverage_requirement::required_fault_coverage;
+    use lsi_quality::quality::params::{ModelParams, RejectRate, Yield};
+    use lsi_quality::quality::reject::field_reject_rate;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0FFEE);
+    for case in 0..PROPERTY_CASES {
+        let y = uniform_in(&mut rng, 0.01, 0.95);
+        let n0 = uniform_in(&mut rng, 1.0, 30.0);
+        let r = uniform_in(&mut rng, 0.0005, 0.05);
         let params = ModelParams::new(Yield::new(y).unwrap(), n0).unwrap();
         let target = RejectRate::new(r).unwrap();
         let coverage = required_fault_coverage(&params, target).unwrap();
-        prop_assert!(field_reject_rate(&params, coverage).value() <= r + 1e-9);
+        assert!(
+            field_reject_rate(&params, coverage).value() <= r + 1e-9,
+            "case {case}: y={y} n0={n0} r={r}"
+        );
     }
+}
 
-    #[test]
-    fn escape_probability_is_decreasing_in_coverage(
-        covered in 0u64..1000,
-        n in 1u64..20,
-    ) {
-        use lsi_quality::quality::escape::{EscapeApproximation, EscapeProbability};
-        let universe = 1000u64;
+#[test]
+fn escape_probability_is_decreasing_in_coverage() {
+    use lsi_quality::quality::escape::{EscapeApproximation, EscapeProbability};
+    let universe = 1000u64;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xDEC);
+    for case in 0..PROPERTY_CASES {
+        let covered = rng.next_bounded(1000);
+        let n = 1 + rng.next_bounded(19);
         let low = EscapeProbability::new(universe, covered).unwrap();
         let high = EscapeProbability::new(universe, (covered + 50).min(universe)).unwrap();
         let escape_low = low.escape(n, EscapeApproximation::Exact).unwrap();
         let escape_high = high.escape(n, EscapeApproximation::Exact).unwrap();
-        prop_assert!(escape_high <= escape_low + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&escape_low));
+        assert!(escape_high <= escape_low + 1e-12, "case {case}");
+        assert!((0.0..=1.0).contains(&escape_low), "case {case}");
     }
+}
 
-    #[test]
-    fn pattern_packing_round_trips(values in prop::collection::vec(0u64..(1 << 12), 1..100)) {
-        use lsi_quality::sim::pattern::{Pattern, PatternSet};
-        let width = 12;
-        let set: PatternSet = values.iter().map(|&v| Pattern::from_integer(v, width)).collect();
+#[test]
+fn pattern_packing_round_trips() {
+    use lsi_quality::sim::pattern::{Pattern, PatternSet};
+    let width = 12;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xFACADE);
+    for _ in 0..PROPERTY_CASES {
+        let count = 1 + rng.next_index(99);
+        let set: PatternSet = (0..count)
+            .map(|_| Pattern::from_integer(rng.next_bounded(1 << 12), width))
+            .collect();
         for block in 0..set.block_count() {
-            let (words, count) = set.pack_block(width, block);
-            for slot in 0..count {
+            let (words, packed) = set.pack_block(width, block);
+            for slot in 0..packed {
                 let pattern = set.get(block * 64 + slot).unwrap();
                 for (input, &word) in words.iter().enumerate() {
-                    prop_assert_eq!((word >> slot) & 1 == 1, pattern.bit(input));
+                    assert_eq!((word >> slot) & 1 == 1, pattern.bit(input));
                 }
             }
         }
