@@ -7,6 +7,7 @@ use lsiq_fault::ppsfp::PpsfpSimulator;
 use lsiq_fault::serial::SerialSimulator;
 use lsiq_fault::simulator::FaultSimulator;
 use lsiq_fault::universe::FaultUniverse;
+use lsiq_netlist::generator::{random_circuit, RandomCircuitConfig};
 use lsiq_netlist::library;
 use lsiq_sim::pattern::{Pattern, PatternSet};
 use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
@@ -39,11 +40,64 @@ fn bench_fault_sim(c: &mut Criterion) {
             })
         },
     );
+    group.bench_with_input(
+        BenchmarkId::new("deductive_uncollapsed", universe.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                DeductiveSimulator::new(&circuit)
+                    .with_collapsing(false)
+                    .run(black_box(&universe), black_box(&patterns))
+            })
+        },
+    );
     group.bench_with_input(BenchmarkId::new("parallel", universe.len()), &(), |b, _| {
         b.iter(|| ParallelSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fault_sim);
+/// The same engines on a larger random circuit: the regime the ROADMAP's
+/// "order-of-magnitude win" refers to (the serial engine is omitted — it is
+/// two orders of magnitude off the pace here).
+fn bench_fault_sim_large(c: &mut Criterion) {
+    let circuit = random_circuit(&RandomCircuitConfig {
+        inputs: 32,
+        gates: 1200,
+        seed: 1981,
+        ..RandomCircuitConfig::default()
+    });
+    let universe = FaultUniverse::full(&circuit);
+    let patterns = random_patterns(circuit.primary_inputs().len(), 128, 11);
+    let mut group = c.benchmark_group("fault_sim_random1200_128_patterns");
+    group.bench_with_input(BenchmarkId::new("ppsfp", universe.len()), &(), |b, _| {
+        b.iter(|| PpsfpSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("deductive", universe.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                DeductiveSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("deductive_uncollapsed", universe.len()),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                DeductiveSimulator::new(&circuit)
+                    .with_collapsing(false)
+                    .run(black_box(&universe), black_box(&patterns))
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("parallel", universe.len()), &(), |b, _| {
+        b.iter(|| ParallelSimulator::new(&circuit).run(black_box(&universe), black_box(&patterns)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim, bench_fault_sim_large);
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_fault::simulator::EngineKind;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_manufacturing::experiment::RejectExperiment;
 use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
@@ -56,9 +57,31 @@ pub struct LineExperiment {
     pub observed_n0: f64,
 }
 
+/// The fault-simulation engine the reproduction binaries use, selectable via
+/// the `LSIQ_ENGINE` environment variable (`serial`, `ppsfp`, `deductive` or
+/// `parallel`; default `parallel`).  This lets every figure/table binary —
+/// and the CI bench-smoke job — pit the engines against each other on
+/// identical inputs without recompiling.
+///
+/// # Panics
+///
+/// Panics with the list of valid names when `LSIQ_ENGINE` is set to an
+/// unknown engine, since silently falling back would invalidate an intended
+/// comparison.
+pub fn engine_from_env() -> EngineKind {
+    match std::env::var("LSIQ_ENGINE") {
+        Ok(name) => name
+            .parse()
+            .unwrap_or_else(|message: String| panic!("LSIQ_ENGINE: {message}")),
+        Err(std::env::VarError::NotPresent) => EngineKind::default(),
+        Err(error @ std::env::VarError::NotUnicode(_)) => panic!("LSIQ_ENGINE: {error}"),
+    }
+}
+
 /// Runs the standard Section 7 style line experiment: an LSI-class device, a
 /// random+PODEM pattern suite, and a lot of `chips` chips drawn from the
-/// statistical model with the given ground truth.
+/// statistical model with the given ground truth.  The fault-simulation
+/// engine is chosen by [`engine_from_env`].
 pub fn run_line_experiment(
     chips: usize,
     yield_fraction: f64,
@@ -74,6 +97,7 @@ pub fn run_line_experiment(
         max_random_patterns: 192,
         target_coverage: 0.95,
         podem_top_up: false,
+        engine: engine_from_env(),
         ..TestSuiteBuilder::default()
     }
     .build(&circuit, &universe);

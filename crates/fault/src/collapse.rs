@@ -9,10 +9,9 @@
 //! long as it is applied consistently, and the bench harness reports both.
 
 use crate::model::{Fault, StuckValue};
-use crate::universe::FaultUniverse;
+use crate::universe::{FaultUniverse, SiteTable};
 use lsiq_netlist::circuit::Circuit;
 use lsiq_netlist::GateKind;
-use std::collections::HashMap;
 
 /// The outcome of a collapsing pass.
 #[derive(Debug, Clone)]
@@ -82,12 +81,11 @@ impl UnionFind {
 ///   the driver's output fault of the same polarity.
 pub fn collapse_equivalence(circuit: &Circuit) -> CollapseResult {
     let universe = FaultUniverse::full(circuit);
-    let index_of: HashMap<Fault, usize> =
-        universe.iter().enumerate().map(|(i, f)| (*f, i)).collect();
+    let index_of = SiteTable::new(circuit, &universe);
     let mut union_find = UnionFind::new(universe.len());
     let merge = |a: Fault, b: Fault, uf: &mut UnionFind| {
-        if let (Some(&ia), Some(&ib)) = (index_of.get(&a), index_of.get(&b)) {
-            uf.union(ia, ib);
+        if let (Some(ia), Some(ib)) = (index_of.position(&a), index_of.position(&b)) {
+            uf.union(ia as usize, ib as usize);
         }
     };
 
@@ -142,12 +140,12 @@ pub fn collapse_equivalence(circuit: &Circuit) -> CollapseResult {
     }
 
     // Gather representatives in original enumeration order.
-    let mut representative_index: HashMap<usize, usize> = HashMap::new();
+    let mut representative_index: Vec<Option<usize>> = vec![None; universe.len()];
     let mut collapsed_faults = Vec::new();
     let mut representative_of = Vec::with_capacity(universe.len());
     for index in 0..universe.len() {
         let root = union_find.find(index);
-        let entry = *representative_index.entry(root).or_insert_with(|| {
+        let entry = *representative_index[root].get_or_insert_with(|| {
             collapsed_faults.push(*universe.get(root).expect("root is in range"));
             collapsed_faults.len() - 1
         });
@@ -168,6 +166,8 @@ pub fn collapse_equivalence(circuit: &Circuit) -> CollapseResult {
 /// faults also detects it.  The mapping for removed classes is `None`.
 pub fn collapse_dominance(circuit: &Circuit) -> CollapseResult {
     let equivalence = collapse_equivalence(circuit);
+    let universe = FaultUniverse::full(circuit);
+    let index_of = SiteTable::new(circuit, &universe);
     let mut removable = vec![false; equivalence.collapsed.len()];
     for (id, gate) in circuit.iter() {
         if gate.fanin_count() < 2 {
@@ -184,8 +184,7 @@ pub fn collapse_dominance(circuit: &Circuit) -> CollapseResult {
             _ => continue,
         };
         let fault = Fault::output(id, removable_stuck);
-        let universe = FaultUniverse::full(circuit);
-        if let Some(original_index) = universe.position(&fault) {
+        if let Some(original_index) = index_of.position(&fault).map(|i| i as usize) {
             if let Some(Some(representative)) = equivalence.representative_of.get(original_index) {
                 // Only remove the class if the output fault is its own class
                 // (dominance does not licence removing merged input faults).
@@ -284,6 +283,132 @@ mod tests {
         let sim = PpsfpSimulator::new(&circuit);
         let collapsed_list = sim.run(&result.collapsed, &patterns);
         assert_eq!(collapsed_list.detected_count(), result.collapsed.len());
+    }
+
+    #[test]
+    fn structured_generators_collapse_without_losing_detection() {
+        // For the regular structures (ripple-carry adder, mux tree, decoder)
+        // the equivalence classes are known-shaped and exhaustive patterns
+        // detect every fault: coverage of the collapsed universe must equal
+        // coverage of the full universe (both 100 percent), and each full
+        // fault's first detecting pattern must equal its representative's.
+        use lsiq_netlist::generator;
+        let circuits = [
+            ("adder", generator::ripple_carry_adder(3)),
+            ("mux", generator::mux_tree(2)),
+            ("decoder", generator::decoder(3)),
+        ];
+        for (name, circuit) in &circuits {
+            let width = circuit.primary_inputs().len();
+            assert!(width <= 10, "{name}: exhaustive sweep stays cheap");
+            let patterns: PatternSet = (0..1u64 << width)
+                .map(|value| Pattern::from_integer(value, width))
+                .collect();
+            let full = FaultUniverse::full(circuit);
+            let equivalence = collapse_equivalence(circuit);
+            assert!(equivalence.ratio() < 1.0, "{name}: nothing collapsed");
+            let sim = PpsfpSimulator::new(circuit);
+            let full_list = sim.run(&full, &patterns);
+            let collapsed_list = sim.run(&equivalence.collapsed, &patterns);
+            assert_eq!(
+                full_list.coverage(),
+                1.0,
+                "{name}: exhaustive patterns must detect the full universe"
+            );
+            assert_eq!(
+                collapsed_list.coverage(),
+                full_list.coverage(),
+                "{name}: collapsed-universe coverage differs from full-universe coverage"
+            );
+            for (index, representative) in equivalence.representative_of.iter().enumerate() {
+                let representative = representative.expect("equivalence removes nothing");
+                assert_eq!(
+                    full_list.state(index).first_pattern(),
+                    collapsed_list.state(representative).first_pattern(),
+                    "{name}: fault {} detected at a different pattern than its representative",
+                    full.get(index).expect("valid").describe(circuit)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structured_generators_collapse_classes_survive_sparse_patterns() {
+        // The first-detection agreement must hold for *any* pattern set, not
+        // just exhaustive ones: equivalent faults are indistinguishable.
+        use lsiq_netlist::generator;
+        use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
+        let circuits = [
+            ("adder", generator::ripple_carry_adder(4)),
+            ("mux", generator::mux_tree(3)),
+            ("decoder", generator::decoder(4)),
+        ];
+        for (name, circuit) in &circuits {
+            let width = circuit.primary_inputs().len();
+            let mut rng = Xoshiro256StarStar::seed_from_u64(7 + width as u64);
+            let patterns: PatternSet = (0..12)
+                .map(|_| Pattern::from_bits((0..width).map(|_| rng.next_bool(0.5))))
+                .collect();
+            let full = FaultUniverse::full(circuit);
+            let equivalence = collapse_equivalence(circuit);
+            let sim = PpsfpSimulator::new(circuit);
+            let full_list = sim.run(&full, &patterns);
+            let collapsed_list = sim.run(&equivalence.collapsed, &patterns);
+            for (index, representative) in equivalence.representative_of.iter().enumerate() {
+                let representative = representative.expect("equivalence removes nothing");
+                assert_eq!(
+                    full_list.state(index).first_pattern(),
+                    collapsed_list.state(representative).first_pattern(),
+                    "{name}: fault {} disagrees with its class under sparse patterns",
+                    full.get(index).expect("valid").describe(circuit)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structured_generators_dominance_keeps_full_detectability() {
+        // Dominance reduction may only remove faults whose detection is
+        // implied: when every kept fault is detected, every removed fault is
+        // detected too, so 100 percent collapsed coverage must mean
+        // 100 percent full-universe coverage.
+        use lsiq_netlist::generator;
+        let circuits = [
+            ("adder", generator::ripple_carry_adder(3)),
+            ("mux", generator::mux_tree(2)),
+            ("decoder", generator::decoder(3)),
+        ];
+        for (name, circuit) in &circuits {
+            let width = circuit.primary_inputs().len();
+            let patterns: PatternSet = (0..1u64 << width)
+                .map(|value| Pattern::from_integer(value, width))
+                .collect();
+            let dominance = collapse_dominance(circuit);
+            let equivalence = collapse_equivalence(circuit);
+            assert!(
+                dominance.collapsed.len() < equivalence.collapsed.len(),
+                "{name}: dominance removed nothing"
+            );
+            let sim = PpsfpSimulator::new(circuit);
+            let dominance_list = sim.run(&dominance.collapsed, &patterns);
+            let full_list = sim.run(&FaultUniverse::full(circuit), &patterns);
+            assert_eq!(dominance_list.coverage(), 1.0, "{name}");
+            assert_eq!(full_list.coverage(), 1.0, "{name}");
+            // Every kept class still detects at its equivalence-class time.
+            for (index, representative) in dominance.representative_of.iter().enumerate() {
+                if let Some(representative) = representative {
+                    assert_eq!(
+                        full_list.state(index).first_pattern(),
+                        dominance_list.state(*representative).first_pattern(),
+                        "{name}: kept fault {} shifted its first detection",
+                        FaultUniverse::full(circuit)
+                            .get(index)
+                            .expect("valid")
+                            .describe(circuit)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,32 +7,84 @@
 //! The algorithm simulates all faults of a pattern simultaneously and is the
 //! third, independent implementation used to cross-check the serial and
 //! PPSFP simulators.
+//!
+//! # List representation
+//!
+//! Signal fault lists are sorted, duplicate-free `u32` index lists stored in
+//! a bump arena ([`ListArena`]); union, intersection, subtraction and the
+//! XOR parity rule are linear merges over sorted slices.  Handles into the
+//! arena are freely shared, so a buffer's output list aliases its input list
+//! and a fanout branch without an own active fault aliases its stem — no
+//! bytes are copied for either.  The arena (and every other buffer of the
+//! pass) is reset and reused across patterns, so after the first pattern the
+//! engine allocates nothing.  This replaces a `HashSet<usize>` per gate per
+//! pattern and is roughly an order of magnitude faster.
+//!
+//! # Collapsed-universe simulation
+//!
+//! By default the engine partitions the requested fault universe into
+//! structural equivalence classes ([`collapse_equivalence`]) and propagates
+//! one representative per class; the detection of the representative is then
+//! credited to every member.  Equivalent faults are detected by exactly the
+//! same patterns, so the reported [`FaultList`] is identical to a
+//! full-universe run — the collapsed pass just carries ~60 percent fewer
+//! list entries.  Disable with
+//! [`with_collapsing(false)`](DeductiveSimulator::with_collapsing).
 
-use crate::list::FaultList;
+use crate::collapse::{collapse_equivalence, CollapseResult};
+use crate::list::{FaultList, ListArena, ListRef};
 use crate::model::{Fault, StuckValue};
 use crate::simulator::FaultSimulator;
-use crate::universe::FaultUniverse;
-use lsiq_netlist::circuit::Circuit;
+use crate::universe::{FaultUniverse, SiteTable};
+use lsiq_netlist::circuit::{Circuit, GateId};
 use lsiq_netlist::GateKind;
 use lsiq_sim::eval::controlling_value;
 use lsiq_sim::levelized::CompiledCircuit;
-use lsiq_sim::pattern::{Pattern, PatternSet};
-use std::collections::{HashMap, HashSet};
+use lsiq_sim::packed::PATTERNS_PER_WORD;
+use lsiq_sim::pattern::PatternSet;
+
+/// The circuit-only collapsing state a simulator reuses across `run` calls
+/// (suite builders re-simulate a growing pattern set many times; the
+/// equivalence classes never change).
+#[derive(Debug)]
+struct CollapseContext {
+    equivalence: CollapseResult,
+    full: FaultUniverse,
+    table: SiteTable,
+}
+
+impl CollapseContext {
+    fn new(circuit: &Circuit) -> CollapseContext {
+        let full = FaultUniverse::full(circuit);
+        CollapseContext {
+            equivalence: collapse_equivalence(circuit),
+            table: SiteTable::new(circuit, &full),
+            full,
+        }
+    }
+}
 
 /// A deductive fault simulator.
 #[derive(Debug)]
 pub struct DeductiveSimulator<'c> {
     compiled: CompiledCircuit<'c>,
     drop_detected: bool,
+    collapse: bool,
+    /// Lazily built on the first collapsing run and reused afterwards, so
+    /// disabling collapsing never pays for it and suite builders that call
+    /// [`run`](FaultSimulator::run) repeatedly pay for it once.
+    context: std::cell::OnceCell<CollapseContext>,
 }
 
 impl<'c> DeductiveSimulator<'c> {
     /// Prepares a deductive fault simulator for `circuit` with fault dropping
-    /// enabled.
+    /// and equivalence collapsing enabled.
     pub fn new(circuit: &'c Circuit) -> Self {
         DeductiveSimulator {
             compiled: CompiledCircuit::new(circuit),
             drop_detected: true,
+            collapse: true,
+            context: std::cell::OnceCell::new(),
         }
     }
 
@@ -48,65 +100,118 @@ impl<'c> DeductiveSimulator<'c> {
         self
     }
 
-    /// Computes the set of universe fault indices detected by one pattern.
-    fn detected_by_pattern(
-        &self,
-        pattern: &Pattern,
-        index_of: &HashMap<Fault, usize>,
-    ) -> HashSet<usize> {
-        let circuit = self.compiled.circuit();
-        let values = self.compiled.node_values(pattern);
-        let mut lists: Vec<HashSet<usize>> = vec![HashSet::new(); circuit.gate_count()];
+    /// Controls equivalence collapsing (enabled by default).
+    ///
+    /// When enabled, only one representative per structural equivalence class
+    /// of the requested universe is propagated and its detections are copied
+    /// to the whole class.  The results are identical either way (enforced by
+    /// `tests/engine_differential.rs`); disabling is useful to benchmark the
+    /// raw propagation or to sidestep the per-run collapsing pass on tiny
+    /// circuits.
+    pub fn with_collapsing(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
+        self
+    }
 
-        for &id in self.compiled.order() {
-            let gate = circuit.gate(id);
-            let mut own = HashSet::new();
-            if gate.kind() != GateKind::Input {
-                // Effective fault list seen at each pin: the driver's list
-                // plus the pin's own stuck fault when it opposes the value.
-                let pin_lists: Vec<HashSet<usize>> = gate
-                    .fanin()
-                    .iter()
-                    .enumerate()
-                    .map(|(pin, &driver)| {
-                        let mut pin_list = lists[driver.index()].clone();
-                        let pin_value = values[driver.index()];
-                        let opposing = if pin_value {
-                            StuckValue::Zero
-                        } else {
-                            StuckValue::One
-                        };
-                        if let Some(&index) = index_of.get(&Fault::input_pin(id, pin, opposing)) {
-                            pin_list.insert(index);
-                        }
-                        pin_list
-                    })
-                    .collect();
-                own = propagate_through_gate(gate.kind(), gate.fanin(), &values, &pin_lists);
-            }
-            // The gate's own output stuck fault complements the output when
-            // its stuck value opposes the good value.
-            let good = values[id.index()];
-            let opposing = if good {
-                StuckValue::Zero
+    /// Partitions the universe's fault indices into groups that provably
+    /// share their set of detecting patterns; each group is simulated through
+    /// its first member.
+    fn simulation_classes(&self, universe: &FaultUniverse) -> SimulationClasses {
+        assert!(
+            universe.len() <= u32::MAX as usize,
+            "fault universe exceeds u32 index space"
+        );
+        if !self.collapse {
+            return SimulationClasses::identity(universe.len());
+        }
+        let context = self
+            .context
+            .get_or_init(|| CollapseContext::new(self.compiled.circuit()));
+        // The common case is simulating exactly the full universe, where the
+        // fault → full-position mapping is the identity; otherwise resolve
+        // positions through the precomputed O(1) site table.
+        let identical = universe.faults() == context.full.faults();
+        let mut class_of: Vec<u32> = Vec::with_capacity(universe.len());
+        let mut class_of_representative: Vec<Option<u32>> =
+            vec![None; context.equivalence.collapsed.len()];
+        let mut class_count = 0u32;
+        for (index, fault) in universe.iter().enumerate() {
+            let full_position = if identical {
+                Some(index)
             } else {
-                StuckValue::One
+                context.table.position(fault).map(|p| p as usize)
             };
-            if let Some(&index) = index_of.get(&Fault::output(id, opposing)) {
-                own.insert(index);
-            }
-            // An output fault of the agreeing polarity masks every upstream
-            // effect (the line is held at its good value), but such a fault is
-            // a different single fault from those in the list, so under the
-            // single-fault assumption nothing needs to be removed.
-            lists[id.index()] = own;
+            let class = match full_position.and_then(|p| context.equivalence.representative_of[p]) {
+                Some(representative) => *class_of_representative[representative]
+                    .get_or_insert_with(|| {
+                        let fresh = class_count;
+                        class_count += 1;
+                        fresh
+                    }),
+                // A fault outside the full structural universe cannot be
+                // collapsed against it; simulate it individually.
+                None => {
+                    let fresh = class_count;
+                    class_count += 1;
+                    fresh
+                }
+            };
+            class_of.push(class);
         }
+        SimulationClasses::from_class_of(&class_of, class_count as usize)
+    }
+}
 
-        let mut detected = HashSet::new();
-        for &out in circuit.primary_outputs() {
-            detected.extend(lists[out.index()].iter().copied());
+/// The universe fault indices of a run grouped into simulation classes, in a
+/// flat CSR layout (no per-class allocation).  Members of one class are in
+/// ascending universe order; the first member is the propagated
+/// representative.
+struct SimulationClasses {
+    members: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl SimulationClasses {
+    /// One singleton class per universe index (collapsing disabled).
+    fn identity(len: usize) -> SimulationClasses {
+        SimulationClasses {
+            members: (0..len as u32).collect(),
+            offsets: (0..=len as u32).collect(),
         }
-        detected
+    }
+
+    /// Builds the CSR layout from a per-index class assignment.
+    fn from_class_of(class_of: &[u32], class_count: usize) -> SimulationClasses {
+        let mut offsets = vec![0u32; class_count + 1];
+        for &class in class_of {
+            offsets[class as usize + 1] += 1;
+        }
+        for class in 0..class_count {
+            offsets[class + 1] += offsets[class];
+        }
+        let mut cursor: Vec<u32> = offsets[..class_count].to_vec();
+        let mut members = vec![0u32; class_of.len()];
+        for (index, &class) in class_of.iter().enumerate() {
+            members[cursor[class as usize] as usize] = index as u32;
+            cursor[class as usize] += 1;
+        }
+        SimulationClasses { members, offsets }
+    }
+
+    /// Number of classes.
+    fn count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The universe indices belonging to `class`.
+    fn members_of(&self, class: u32) -> &[u32] {
+        &self.members
+            [self.offsets[class as usize] as usize..self.offsets[class as usize + 1] as usize]
+    }
+
+    /// The universe index whose fault is propagated for `class`.
+    fn representative(&self, class: u32) -> u32 {
+        self.members[self.offsets[class as usize] as usize]
     }
 }
 
@@ -117,81 +222,211 @@ impl FaultSimulator for DeductiveSimulator<'_> {
 
     fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
         let mut list = FaultList::new(universe);
-        let mut index_of: HashMap<Fault, usize> =
-            universe.iter().enumerate().map(|(i, f)| (*f, i)).collect();
-        for (pattern_index, pattern) in patterns.iter().enumerate() {
-            let detected = self.detected_by_pattern(pattern, &index_of);
-            for fault_index in detected {
-                list.mark_detected(fault_index, pattern_index);
+        if universe.is_empty() || patterns.is_empty() {
+            return list;
+        }
+        let classes = self.simulation_classes(universe);
+        let mut pass = Propagation::new(&self.compiled, universe, &classes);
+        let circuit = self.compiled.circuit();
+        let input_count = circuit.primary_inputs().len();
+        // Good-machine values are computed 64 patterns at a time with packed
+        // words (shared with the PPSFP engine) and unpacked per pattern; the
+        // word, value and detection buffers are all reused across blocks.
+        let mut words: Vec<u64> = Vec::new();
+        let mut values: Vec<bool> = vec![false; circuit.gate_count()];
+        let mut detected: Vec<u32> = Vec::new();
+        for block in 0..patterns.block_count() {
+            let (input_words, pattern_count) = patterns.pack_block(input_count, block);
+            if pattern_count == 0 {
+                break;
             }
-            if self.drop_detected {
-                index_of.retain(|_, index| !list.state(*index).is_detected());
+            self.compiled.node_words_into(&input_words, &mut words);
+            for slot in 0..pattern_count {
+                for (value, &word) in values.iter_mut().zip(words.iter()) {
+                    *value = (word >> slot) & 1 == 1;
+                }
+                let pattern_index = block * PATTERNS_PER_WORD + slot;
+                pass.detect_pattern(&values, &mut detected);
+                for &class in &detected {
+                    for &member in classes.members_of(class) {
+                        list.mark_detected(member as usize, pattern_index);
+                    }
+                    if self.drop_detected {
+                        pass.deactivate(class);
+                    }
+                }
             }
         }
         list
     }
 }
 
-/// Applies the deductive propagation rule of a single gate.
-fn propagate_through_gate(
-    kind: GateKind,
-    fanin: &[lsiq_netlist::circuit::GateId],
-    values: &[bool],
-    pin_lists: &[HashSet<usize>],
-) -> HashSet<usize> {
-    match kind {
-        GateKind::Buf | GateKind::Not => pin_lists[0].clone(),
-        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-            let control = controlling_value(kind).expect("AND/OR family has a controlling value");
-            let controlling_pins: Vec<usize> = fanin
-                .iter()
-                .enumerate()
-                .filter(|(_, &driver)| values[driver.index()] == control)
-                .map(|(pin, _)| pin)
-                .collect();
-            if controlling_pins.is_empty() {
-                // No input at the controlling value: any single flip flips the
-                // output.
-                let mut union = HashSet::new();
-                for pin_list in pin_lists {
-                    union.extend(pin_list.iter().copied());
-                }
-                union
+/// The [`StuckValue::index`] slot of the stuck value that *opposes* (and
+/// therefore complements) a line at `good` value.
+fn opposing_slot(good: bool) -> usize {
+    if good {
+        StuckValue::Zero.index()
+    } else {
+        StuckValue::One.index()
+    }
+}
+
+/// The reusable state of one deductive run: per-site fault-class tables, the
+/// list arena, and the per-gate list handles.  Everything here is allocated
+/// once per [`DeductiveSimulator::run`] and reused for every pattern.
+struct Propagation<'a, 'c> {
+    compiled: &'a CompiledCircuit<'c>,
+    /// Class index of each site's stuck faults: a [`SiteTable`] over the
+    /// one-representative-per-class universe, so a site's position *is* its
+    /// class.
+    sites: SiteTable,
+    /// Classes still being simulated (fault dropping clears entries).
+    active: Vec<bool>,
+    arena: ListArena,
+    /// Current fault list of every gate, indexed by gate id.
+    refs: Vec<ListRef>,
+    /// Scratch: the effective list seen at each pin of the current gate.
+    pin_refs: Vec<ListRef>,
+}
+
+impl<'a, 'c> Propagation<'a, 'c> {
+    fn new(
+        compiled: &'a CompiledCircuit<'c>,
+        universe: &FaultUniverse,
+        classes: &SimulationClasses,
+    ) -> Self {
+        let circuit = compiled.circuit();
+        let representatives: Vec<Fault> = (0..classes.count() as u32)
+            .map(|class| {
+                *universe
+                    .get(classes.representative(class) as usize)
+                    .expect("class member in range")
+            })
+            .collect();
+        Propagation {
+            compiled,
+            sites: SiteTable::new(circuit, &FaultUniverse::from_faults(representatives)),
+            active: vec![true; classes.count()],
+            arena: ListArena::new(),
+            refs: vec![ListRef::EMPTY; circuit.gate_count()],
+            pin_refs: Vec::new(),
+        }
+    }
+
+    /// Stops propagating a detected class (fault dropping).
+    fn deactivate(&mut self, class: u32) {
+        self.active[class as usize] = false;
+    }
+
+    /// Propagates fault lists for one pattern (whose good-machine `values`
+    /// are indexed by gate id) and writes the detected class indices (sorted,
+    /// duplicate-free) into `detected`.
+    fn detect_pattern(&mut self, values: &[bool], detected: &mut Vec<u32>) {
+        let compiled = self.compiled;
+        let circuit = compiled.circuit();
+        self.arena.reset();
+        for &id in compiled.order() {
+            let gate_index = id.index();
+            let kind = circuit.gate(id).kind();
+            let mut own = if kind == GateKind::Input {
+                ListRef::EMPTY
             } else {
-                // The output flips only if every controlling input flips and
-                // no non-controlling input flips.
-                let mut intersection: HashSet<usize> = pin_lists[controlling_pins[0]].clone();
-                for &pin in &controlling_pins[1..] {
-                    intersection = intersection
-                        .intersection(&pin_lists[pin])
-                        .copied()
-                        .collect();
+                self.propagate_gate(id, values)
+            };
+            // The gate's own output stuck fault complements the output when
+            // its stuck value opposes the good value.  An output fault of the
+            // agreeing polarity masks every upstream effect, but it is a
+            // different single fault from those in the list, so under the
+            // single-fault assumption nothing needs to be removed.
+            if let Some(class) =
+                self.sites.output_positions(gate_index)[opposing_slot(values[gate_index])]
+            {
+                if self.active[class as usize] {
+                    own = self.arena.insert(own, class);
                 }
-                for (pin, pin_list) in pin_lists.iter().enumerate() {
-                    if !controlling_pins.contains(&pin) {
-                        for fault in pin_list {
-                            intersection.remove(fault);
+            }
+            self.refs[gate_index] = own;
+        }
+        let mut union = ListRef::EMPTY;
+        for &out in circuit.primary_outputs() {
+            union = self.arena.union(union, self.refs[out.index()]);
+        }
+        detected.clear();
+        detected.extend_from_slice(self.arena.slice(union));
+    }
+
+    /// Applies the deductive propagation rule of one non-input gate.
+    fn propagate_gate(&mut self, id: GateId, values: &[bool]) -> ListRef {
+        let circuit = self.compiled.circuit();
+        let gate = circuit.gate(id);
+        let gate_index = id.index();
+        // Effective fault list seen at each pin: the driver's list plus the
+        // pin's own stuck fault when it opposes the value.  Without an active
+        // pin fault the handle aliases the driver's list — no copy.
+        self.pin_refs.clear();
+        for (pin, &driver) in gate.fanin().iter().enumerate() {
+            let mut seen = self.refs[driver.index()];
+            if let Some(class) =
+                self.sites.pin_positions(gate_index, pin)[opposing_slot(values[driver.index()])]
+            {
+                if self.active[class as usize] {
+                    seen = self.arena.insert(seen, class);
+                }
+            }
+            self.pin_refs.push(seen);
+        }
+        match gate.kind() {
+            GateKind::Buf | GateKind::Not => self.pin_refs[0],
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                let control =
+                    controlling_value(gate.kind()).expect("AND/OR family has a controlling value");
+                let any_controlling = gate
+                    .fanin()
+                    .iter()
+                    .any(|&driver| values[driver.index()] == control);
+                if !any_controlling {
+                    // No input at the controlling value: any single flip
+                    // flips the output.
+                    let mut acc = ListRef::EMPTY;
+                    for &pin_list in &self.pin_refs {
+                        acc = self.arena.union(acc, pin_list);
+                    }
+                    acc
+                } else {
+                    // The output flips only if every controlling input flips
+                    // and no non-controlling input flips.
+                    let mut acc: Option<ListRef> = None;
+                    for (pin, &driver) in gate.fanin().iter().enumerate() {
+                        if values[driver.index()] == control {
+                            let pin_list = self.pin_refs[pin];
+                            acc = Some(match acc {
+                                None => pin_list,
+                                Some(so_far) => self.arena.intersect(so_far, pin_list),
+                            });
                         }
                     }
+                    let mut acc = acc.expect("at least one controlling pin");
+                    for (pin, &driver) in gate.fanin().iter().enumerate() {
+                        if acc.is_empty() {
+                            break;
+                        }
+                        if values[driver.index()] != control {
+                            acc = self.arena.subtract(acc, self.pin_refs[pin]);
+                        }
+                    }
+                    acc
                 }
-                intersection
             }
-        }
-        GateKind::Xor | GateKind::Xnor => {
-            // The output flips when an odd number of inputs flip.
-            let mut parity: HashMap<usize, usize> = HashMap::new();
-            for pin_list in pin_lists {
-                for &fault in pin_list {
-                    *parity.entry(fault).or_insert(0) += 1;
+            GateKind::Xor | GateKind::Xnor => {
+                // The output flips when an odd number of inputs flip.
+                let mut acc = ListRef::EMPTY;
+                for &pin_list in &self.pin_refs {
+                    acc = self.arena.symmetric_difference(acc, pin_list);
                 }
+                acc
             }
-            parity
-                .into_iter()
-                .filter(|(_, count)| count % 2 == 1)
-                .map(|(fault, _)| fault)
-                .collect()
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => ListRef::EMPTY,
         }
-        GateKind::Input | GateKind::Const0 | GateKind::Const1 => HashSet::new(),
     }
 }
 
@@ -202,6 +437,7 @@ mod tests {
     use crate::serial::SerialSimulator;
     use lsiq_netlist::generator::{random_circuit, RandomCircuitConfig};
     use lsiq_netlist::library;
+    use lsiq_sim::pattern::Pattern;
     use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
 
     fn random_patterns(width: usize, count: usize, seed: u64) -> PatternSet {
@@ -211,6 +447,17 @@ mod tests {
             .collect()
     }
 
+    fn assert_identical(a: &FaultList, b: &FaultList, circuit: &Circuit, universe: &FaultUniverse) {
+        for index in 0..universe.len() {
+            assert_eq!(
+                a.state(index).first_pattern(),
+                b.state(index).first_pattern(),
+                "fault {}",
+                universe.get(index).expect("valid").describe(circuit)
+            );
+        }
+    }
+
     #[test]
     fn matches_serial_simulator_on_c17_exhaustive() {
         let circuit = library::c17();
@@ -218,14 +465,7 @@ mod tests {
         let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
         let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
         let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
-        for index in 0..universe.len() {
-            assert_eq!(
-                serial.state(index).first_pattern(),
-                deductive.state(index).first_pattern(),
-                "fault {}",
-                universe.get(index).expect("valid").describe(&circuit)
-            );
-        }
+        assert_identical(&serial, &deductive, &circuit, &universe);
     }
 
     #[test]
@@ -236,14 +476,7 @@ mod tests {
         let patterns: PatternSet = (0..8).map(|v| Pattern::from_integer(v, 3)).collect();
         let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
         let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
-        for index in 0..universe.len() {
-            assert_eq!(
-                serial.state(index).first_pattern(),
-                deductive.state(index).first_pattern(),
-                "fault {}",
-                universe.get(index).expect("valid").describe(&circuit)
-            );
-        }
+        assert_identical(&serial, &deductive, &circuit, &universe);
     }
 
     #[test]
@@ -258,14 +491,41 @@ mod tests {
         let patterns = random_patterns(10, 40, 3);
         let ppsfp = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
         let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
-        for index in 0..universe.len() {
-            assert_eq!(
-                ppsfp.state(index).first_pattern(),
-                deductive.state(index).first_pattern(),
-                "fault {}",
-                universe.get(index).expect("valid").describe(&circuit)
-            );
-        }
+        assert_identical(&ppsfp, &deductive, &circuit, &universe);
+    }
+
+    #[test]
+    fn collapsing_does_not_change_results() {
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 9,
+            gates: 70,
+            seed: 41,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = random_patterns(9, 50, 13);
+        let collapsed = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
+        let uncollapsed = DeductiveSimulator::new(&circuit)
+            .with_collapsing(false)
+            .run(&universe, &patterns);
+        assert_eq!(collapsed, uncollapsed);
+    }
+
+    #[test]
+    fn collapsing_handles_the_checkpoint_universe() {
+        // The checkpoint universe is a strict subset of the full universe;
+        // its classes must still simulate and expand correctly.
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 8,
+            gates: 60,
+            seed: 5,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::checkpoint(&circuit);
+        let patterns = random_patterns(8, 48, 23);
+        let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
+        let deductive = DeductiveSimulator::new(&circuit).run(&universe, &patterns);
+        assert_identical(&serial, &deductive, &circuit, &universe);
     }
 
     #[test]

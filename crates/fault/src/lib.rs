@@ -47,8 +47,8 @@ pub mod simulator;
 pub mod universe;
 
 pub use coverage::CoverageCurve;
-pub use list::{DetectionState, FaultList};
+pub use list::{DetectionState, FaultList, ListArena, ListRef};
 pub use model::{Fault, FaultSite, StuckValue};
 pub use parallel::ParallelSimulator;
-pub use simulator::FaultSimulator;
-pub use universe::FaultUniverse;
+pub use simulator::{EngineKind, FaultSimulator};
+pub use universe::{FaultUniverse, SiteTable};

@@ -34,6 +34,14 @@ impl StuckValue {
         }
     }
 
+    /// A dense `0`/`1` index for per-site lookup tables.
+    pub fn index(self) -> usize {
+        match self {
+            StuckValue::Zero => 0,
+            StuckValue::One => 1,
+        }
+    }
+
     /// Both stuck values.
     pub const BOTH: [StuckValue; 2] = [StuckValue::Zero, StuckValue::One];
 }

@@ -14,12 +14,52 @@
 //!
 //! All engines report *identical* detection results (the first detecting
 //! pattern of every fault, in application order); they differ only in speed.
-//! The cross-checks live in `tests/fault_sim_equivalence.rs`.
+//! The cross-checks live in `tests/fault_sim_equivalence.rs` and the seeded
+//! differential property test `tests/engine_differential.rs`.
+//!
+//! # Choosing an engine
+//!
+//! Pick by workload shape; [`EngineKind`] names the four choices for
+//! configuration knobs (`TestSuiteBuilder::engine`, the `LSIQ_ENGINE`
+//! environment variable of the bench binaries):
+//!
+//! * **Serial** re-simulates the whole circuit for every `(pattern, fault)`
+//!   pair — `O(patterns × faults × gates)`.  It exists to be obviously
+//!   correct; use it only as a cross-check oracle on small circuits.
+//! * **PPSFP** cuts the pattern dimension by 64 with packed words.  Strong
+//!   when patterns are plentiful and the fault count is moderate, and the
+//!   per-run setup is the cheapest of the fast engines, so it also wins on
+//!   very small circuits.
+//! * **Deductive** removes the fault dimension entirely: one topological
+//!   pass per pattern computes every signal's *fault list* (the set of
+//!   faults that would complement it).  Lists are sorted interned `u32`
+//!   slices in a bump [`ListArena`](crate::list::ListArena) — merges are
+//!   linear scans, handles are shared instead of copied, and all buffers
+//!   are reused across patterns — and by default only one representative
+//!   per structural equivalence class is propagated.  This makes it the
+//!   fastest single-threaded engine by roughly an order of magnitude on
+//!   LSI-scale circuits and the natural *oracle* for differential tests:
+//!   its cost is independent of the fault-universe size regime that slows
+//!   the fault-injection engines down.
+//! * **Parallel** shards the fault universe across hardware threads on top
+//!   of the PPSFP core.  Best wall-clock on large universes with many
+//!   patterns (the production-line Monte-Carlo); pointless for tiny runs
+//!   where thread spawn dominates.
+//!
+//! When in doubt: `Parallel` for throughput, `Deductive` for verification
+//! work and single-core latency, `Serial` for debugging a disagreement.
 
 use crate::coverage::CoverageCurve;
+use crate::deductive::DeductiveSimulator;
 use crate::list::FaultList;
+use crate::parallel::ParallelSimulator;
+use crate::ppsfp::PpsfpSimulator;
+use crate::serial::SerialSimulator;
 use crate::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
+use std::fmt;
+use std::str::FromStr;
 
 /// A fault-simulation engine: evaluates an ordered pattern set against a
 /// fault universe and reports, per fault, the first detecting pattern.
@@ -42,6 +82,93 @@ pub trait FaultSimulator {
     fn coverage_curve(&self, universe: &FaultUniverse, patterns: &PatternSet) -> CoverageCurve {
         let list = self.run(universe, patterns);
         CoverageCurve::from_fault_list(&list, patterns.len())
+    }
+}
+
+/// Names one of the four fault-simulation engines, for configuration
+/// surfaces that select an engine at run time (test-suite builders, bench
+/// binaries, differential harnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// One `(pattern, fault)` pair at a time — the reference implementation.
+    Serial,
+    /// 64 packed patterns, one fault at a time.
+    Ppsfp,
+    /// All faults of one pattern at a time via arena-backed fault lists.
+    Deductive,
+    /// Fault-sharded multi-threaded PPSFP — the production default.
+    #[default]
+    Parallel,
+}
+
+impl EngineKind {
+    /// Every engine, in cross-check order (reference first).
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Serial,
+        EngineKind::Ppsfp,
+        EngineKind::Deductive,
+        EngineKind::Parallel,
+    ];
+
+    /// The engine's short name (matches [`FaultSimulator::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Serial => "serial",
+            EngineKind::Ppsfp => "ppsfp",
+            EngineKind::Deductive => "deductive",
+            EngineKind::Parallel => "parallel",
+        }
+    }
+
+    /// Parses an engine name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|kind| kind.name().eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// Instantiates the engine for `circuit` with its default settings
+    /// (fault dropping on; collapsing on for the deductive engine).
+    pub fn build<'c>(self, circuit: &'c Circuit) -> Box<dyn FaultSimulator + 'c> {
+        self.build_with_fault_dropping(circuit, true)
+    }
+
+    /// Instantiates the engine with an explicit fault-dropping mode.
+    pub fn build_with_fault_dropping<'c>(
+        self,
+        circuit: &'c Circuit,
+        fault_dropping: bool,
+    ) -> Box<dyn FaultSimulator + 'c> {
+        match self {
+            EngineKind::Serial => {
+                Box::new(SerialSimulator::new(circuit).with_fault_dropping(fault_dropping))
+            }
+            EngineKind::Ppsfp => {
+                Box::new(PpsfpSimulator::new(circuit).with_fault_dropping(fault_dropping))
+            }
+            EngineKind::Deductive => {
+                Box::new(DeductiveSimulator::new(circuit).with_fault_dropping(fault_dropping))
+            }
+            EngineKind::Parallel => {
+                Box::new(ParallelSimulator::new(circuit).with_fault_dropping(fault_dropping))
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::from_name(s).ok_or_else(|| {
+            format!("unknown fault-simulation engine {s:?} (expected serial, ppsfp, deductive or parallel)")
+        })
     }
 }
 
@@ -80,5 +207,41 @@ mod tests {
             CoverageCurve::from_fault_list(&engine.run(&universe, &patterns), patterns.len());
         assert_eq!(curve, manual);
         assert_eq!(curve.pattern_count(), 8);
+    }
+
+    #[test]
+    fn engine_kind_builds_every_engine() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        for kind in EngineKind::ALL {
+            let engine = kind.build(&circuit);
+            assert_eq!(engine.name(), kind.name());
+            assert_eq!(
+                engine.run(&universe, &patterns).detected_count(),
+                universe.len()
+            );
+            let undropped = kind.build_with_fault_dropping(&circuit, false);
+            assert_eq!(
+                undropped.run(&universe, &patterns).detected_count(),
+                universe.len()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_kind_parses_names_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.name().to_uppercase().parse::<EngineKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(
+            EngineKind::from_name("  Deductive "),
+            Some(EngineKind::Deductive)
+        );
+        assert!(EngineKind::from_name("concurrent").is_none());
+        assert!("concurrent".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Parallel);
     }
 }

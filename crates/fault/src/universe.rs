@@ -95,8 +95,120 @@ impl FaultUniverse {
     }
 
     /// The position of `fault` in this universe, if present.
+    ///
+    /// This is a linear scan; for repeated lookups build a [`SiteTable`].
     pub fn position(&self, fault: &Fault) -> Option<usize> {
         self.faults.iter().position(|f| f == fault)
+    }
+
+    /// Builds an O(1) fault → position lookup table over this universe.
+    pub fn site_table(&self, circuit: &Circuit) -> SiteTable {
+        SiteTable::new(circuit, self)
+    }
+}
+
+/// An O(1) fault → universe-position lookup table, indexed by fault site.
+///
+/// The collapsing pass and the deductive simulator resolve every fault of a
+/// circuit once per run; a hash map over [`Fault`] keys is measurably slower
+/// than this flat per-site layout (one slot pair per gate output stem and one
+/// per input pin, addressed through a prefix-sum offset table).
+#[derive(Debug, Clone)]
+pub struct SiteTable {
+    /// Position of each gate's output-stem faults, `[gate][stuck]`.
+    output: Vec<[Option<u32>; 2]>,
+    /// Start of each gate's pin slots in `pin` (prefix sums of fanin counts).
+    pin_offset: Vec<u32>,
+    /// Position of each input-pin fault, flattened, `[pin][stuck]`.
+    pin: Vec<[Option<u32>; 2]>,
+}
+
+impl SiteTable {
+    /// Indexes `universe` (which must refer to gates of `circuit`) by site.
+    ///
+    /// Faults of the universe that point outside the circuit are skipped;
+    /// [`position`](SiteTable::position) reports `None` for them.
+    pub fn new(circuit: &Circuit, universe: &FaultUniverse) -> SiteTable {
+        assert!(
+            universe.len() <= u32::MAX as usize,
+            "fault universe exceeds u32 index space"
+        );
+        let mut pin_offset = Vec::with_capacity(circuit.gate_count() + 1);
+        let mut total = 0u32;
+        pin_offset.push(0);
+        for (_, gate) in circuit.iter() {
+            total += gate.fanin_count() as u32;
+            pin_offset.push(total);
+        }
+        let mut table = SiteTable {
+            output: vec![[None; 2]; circuit.gate_count()],
+            pin_offset,
+            pin: vec![[None; 2]; total as usize],
+        };
+        for (index, fault) in universe.iter().enumerate() {
+            if let Some(slot) = table.slot_mut(fault) {
+                *slot = Some(index as u32);
+            }
+        }
+        table
+    }
+
+    fn slot_mut(&mut self, fault: &Fault) -> Option<&mut Option<u32>> {
+        let slot = fault.stuck.index();
+        match fault.site {
+            crate::model::FaultSite::Output(gate) => self
+                .output
+                .get_mut(gate.index())
+                .map(|pair| &mut pair[slot]),
+            crate::model::FaultSite::InputPin { gate, pin } => {
+                let start = *self.pin_offset.get(gate.index())? as usize;
+                let end = *self.pin_offset.get(gate.index() + 1)? as usize;
+                if pin >= end - start {
+                    return None;
+                }
+                Some(&mut self.pin[start + pin][slot])
+            }
+        }
+    }
+
+    /// The universe position of `fault`, if present.
+    pub fn position(&self, fault: &Fault) -> Option<u32> {
+        let slot = fault.stuck.index();
+        match fault.site {
+            crate::model::FaultSite::Output(gate) => self.output.get(gate.index())?[slot],
+            crate::model::FaultSite::InputPin { gate, pin } => {
+                let start = *self.pin_offset.get(gate.index())? as usize;
+                let end = *self.pin_offset.get(gate.index() + 1)? as usize;
+                if pin >= end - start {
+                    return None;
+                }
+                self.pin[start + pin][slot]
+            }
+        }
+    }
+
+    /// The positions of both stuck faults (indexed by
+    /// [`StuckValue::index`]) on the output stem of the gate with index
+    /// `gate` — a hot-path accessor that skips [`Fault`] construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range for the indexed circuit.
+    pub fn output_positions(&self, gate: usize) -> [Option<u32>; 2] {
+        self.output[gate]
+    }
+
+    /// The positions of both stuck faults on input pin `pin` of the gate
+    /// with index `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is out of range; `pin` must be a valid pin of that
+    /// gate (checked in debug builds).
+    pub fn pin_positions(&self, gate: usize, pin: usize) -> [Option<u32>; 2] {
+        let start = self.pin_offset[gate] as usize;
+        debug_assert!(pin < (self.pin_offset[gate + 1] as usize - start));
+        self.pin[start + pin]
     }
 }
 
@@ -162,6 +274,30 @@ mod tests {
         }
         // And the plain adder's universe is simply non-empty and consistent.
         assert!(!FaultUniverse::full(&circuit).is_empty());
+    }
+
+    #[test]
+    fn site_table_matches_linear_position() {
+        let circuit = library::alu4();
+        for universe in [
+            FaultUniverse::full(&circuit),
+            FaultUniverse::checkpoint(&circuit),
+        ] {
+            let table = universe.site_table(&circuit);
+            for (index, fault) in universe.iter().enumerate() {
+                assert_eq!(table.position(fault), Some(index as u32));
+            }
+        }
+        // A fault absent from the (checkpoint) universe resolves to None.
+        let checkpoint = FaultUniverse::checkpoint(&circuit);
+        let table = checkpoint.site_table(&circuit);
+        let full = FaultUniverse::full(&circuit);
+        for fault in &full {
+            assert_eq!(
+                table.position(fault).map(|i| i as usize),
+                checkpoint.position(fault)
+            );
+        }
     }
 
     #[test]

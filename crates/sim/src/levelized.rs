@@ -58,7 +58,18 @@ impl<'c> CompiledCircuit<'c> {
     /// gate id.  Pattern bits are matched to primary inputs positionally;
     /// missing bits default to 0 and extra bits are ignored.
     pub fn node_values(&self, pattern: &Pattern) -> Vec<bool> {
-        let mut values = vec![false; self.circuit.gate_count()];
+        let mut values = Vec::new();
+        self.node_values_into(pattern, &mut values);
+        values
+    }
+
+    /// Like [`node_values`](CompiledCircuit::node_values), but reuses a
+    /// caller-owned buffer so repeated single-pattern sweeps (the deductive
+    /// fault simulator evaluates one good machine per pattern) allocate
+    /// nothing after the first call.
+    pub fn node_values_into(&self, pattern: &Pattern, values: &mut Vec<bool>) {
+        values.clear();
+        values.resize(self.circuit.gate_count(), false);
         for (position, &input) in self.circuit.primary_inputs().iter().enumerate() {
             values[input.index()] = position < pattern.width() && pattern.bit(position);
         }
@@ -72,7 +83,6 @@ impl<'c> CompiledCircuit<'c> {
             fanin_values.extend(gate.fanin().iter().map(|&d| values[d.index()]));
             values[id.index()] = eval_bool(gate.kind(), &fanin_values);
         }
-        values
     }
 
     /// Simulates one pattern and returns only the primary-output response, in
@@ -92,7 +102,17 @@ impl<'c> CompiledCircuit<'c> {
     /// words default to all-zero.  Returns one word per gate, indexed by gate
     /// id.
     pub fn node_words(&self, input_words: &[u64]) -> Vec<u64> {
-        let mut words = vec![0u64; self.circuit.gate_count()];
+        let mut words = Vec::new();
+        self.node_words_into(input_words, &mut words);
+        words
+    }
+
+    /// Like [`node_words`](CompiledCircuit::node_words), but reuses a
+    /// caller-owned buffer so per-block sweeps allocate nothing after the
+    /// first call.
+    pub fn node_words_into(&self, input_words: &[u64], words: &mut Vec<u64>) {
+        words.clear();
+        words.resize(self.circuit.gate_count(), 0);
         for (position, &input) in self.circuit.primary_inputs().iter().enumerate() {
             words[input.index()] = input_words.get(position).copied().unwrap_or(0);
         }
@@ -106,7 +126,6 @@ impl<'c> CompiledCircuit<'c> {
             fanin_words.extend(gate.fanin().iter().map(|&d| words[d.index()]));
             words[id.index()] = eval_packed(gate.kind(), &fanin_words);
         }
-        words
     }
 
     /// Simulates a block of up to 64 patterns and returns only the primary

@@ -10,8 +10,7 @@ use crate::random::RandomPatternGenerator;
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::list::FaultList;
-use lsiq_fault::parallel::ParallelSimulator;
-use lsiq_fault::simulator::FaultSimulator;
+use lsiq_fault::simulator::{EngineKind, FaultSimulator};
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
@@ -32,6 +31,10 @@ pub struct TestSuiteBuilder {
     pub podem_top_up: bool,
     /// Backtrack limit handed to PODEM.
     pub podem_backtracks: usize,
+    /// Which fault-simulation engine evaluates the patterns (see
+    /// [`EngineKind`] for guidance; the multi-threaded parallel engine is
+    /// the default).
+    pub engine: EngineKind,
 }
 
 impl Default for TestSuiteBuilder {
@@ -43,6 +46,7 @@ impl Default for TestSuiteBuilder {
             target_coverage: 0.95,
             podem_top_up: true,
             podem_backtracks: 200,
+            engine: EngineKind::Parallel,
         }
     }
 }
@@ -71,9 +75,9 @@ impl TestSuite {
 
 impl TestSuiteBuilder {
     /// Builds an ordered test suite for `circuit` against `universe`, fault
-    /// simulating with the default multi-threaded parallel engine.
+    /// simulating with the configured [`engine`](TestSuiteBuilder::engine).
     pub fn build(&self, circuit: &Circuit, universe: &FaultUniverse) -> TestSuite {
-        self.build_with(&ParallelSimulator::new(circuit), circuit, universe)
+        self.build_with(self.engine.build(circuit).as_ref(), circuit, universe)
     }
 
     /// Builds an ordered test suite using a caller-supplied fault-simulation
@@ -164,6 +168,29 @@ mod tests {
         assert!(topped_up.coverage() > random_only.coverage());
         assert!(topped_up.deterministic_patterns > 0);
         assert_eq!(random_only.deterministic_patterns, 0);
+    }
+
+    #[test]
+    fn every_engine_builds_the_same_suite() {
+        // The engine knob must not change the produced suite in any way:
+        // identical patterns, identical detection results.
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let reference = TestSuiteBuilder::default().build(&circuit, &universe);
+        for engine in EngineKind::ALL {
+            let suite = TestSuiteBuilder {
+                engine,
+                ..TestSuiteBuilder::default()
+            }
+            .build(&circuit, &universe);
+            assert_eq!(
+                suite.patterns.as_slice(),
+                reference.patterns.as_slice(),
+                "{engine}"
+            );
+            assert_eq!(suite.fault_list, reference.fault_list, "{engine}");
+            assert_eq!(suite.coverage_curve, reference.coverage_curve, "{engine}");
+        }
     }
 
     #[test]

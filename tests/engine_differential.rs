@@ -1,0 +1,155 @@
+//! Seeded differential property test across every fault-simulation engine.
+//!
+//! Each case draws a random netlist (`netlist::generator::random`) and a
+//! pattern set from one of two differently structured sources (uniform
+//! random or LFSR), then requires the serial, PPSFP, deductive and parallel
+//! engines to report *byte-identical* detection results — the full
+//! [`FaultList`], i.e. the first detecting pattern of every fault — with and
+//! without fault dropping, on full, equivalence-collapsed and checkpoint
+//! fault universes, and for the deductive engine additionally with its
+//! internal collapsing disabled.
+//!
+//! The case count is 100 in release builds (the CI release-test and
+//! bench-smoke jobs); debug builds run a reduced sweep so plain `cargo test`
+//! stays fast.
+
+use lsi_quality::fault::collapse::collapse_equivalence;
+use lsi_quality::fault::deductive::DeductiveSimulator;
+use lsi_quality::fault::list::FaultList;
+use lsi_quality::fault::simulator::{EngineKind, FaultSimulator};
+use lsi_quality::fault::universe::FaultUniverse;
+use lsi_quality::netlist::circuit::Circuit;
+use lsi_quality::netlist::generator::{random_circuit, RandomCircuitConfig};
+use lsi_quality::sim::pattern::{Pattern, PatternSet};
+use lsi_quality::stats::rng::{Rng, SplitMix64, Xoshiro256StarStar};
+use lsi_quality::tpg::lfsr::Lfsr;
+
+#[cfg(debug_assertions)]
+const CASES: u64 = 12;
+#[cfg(not(debug_assertions))]
+const CASES: u64 = 100;
+
+/// One generated scenario: a circuit, a fault universe and a pattern set.
+struct Case {
+    label: String,
+    circuit: Circuit,
+    patterns: PatternSet,
+}
+
+/// Deterministically derives case `index` from the suite seed.
+fn build_case(index: u64) -> Case {
+    let mut rng = SplitMix64::seed_from_u64(0x0198_1DAC ^ index);
+    let inputs = 5 + (rng.next_u64() % 8) as usize; // 5..=12
+    let gates = 20 + (rng.next_u64() % 100) as usize; // 20..=119
+    let max_fanin = 2 + (rng.next_u64() % 3) as usize; // 2..=4
+    let locality = 4 + (rng.next_u64() % 40) as usize;
+    let circuit = random_circuit(&RandomCircuitConfig {
+        inputs,
+        gates,
+        max_fanin,
+        locality,
+        seed: rng.next_u64(),
+    });
+    let pattern_count = 16 + (rng.next_u64() % 49) as usize; // 16..=64
+    let (source, patterns) = if index % 2 == 0 {
+        let mut pattern_rng = Xoshiro256StarStar::seed_from_u64(rng.next_u64());
+        let patterns = (0..pattern_count)
+            .map(|_| Pattern::from_bits((0..inputs).map(|_| pattern_rng.next_bool(0.5))))
+            .collect();
+        ("random", patterns)
+    } else {
+        (
+            "lfsr",
+            Lfsr::new(inputs, rng.next_u64()).generate(pattern_count),
+        )
+    };
+    Case {
+        label: format!(
+            "case {index}: {inputs} inputs, {gates} gates, {pattern_count} {source} patterns"
+        ),
+        circuit,
+        patterns,
+    }
+}
+
+/// The fault universes every case is replayed against: the paper's full
+/// (uncollapsed) universe, the equivalence-collapsed universe, and the
+/// classical checkpoint set (which is input-pin-fault heavy).
+fn universes(circuit: &Circuit) -> Vec<(&'static str, FaultUniverse)> {
+    vec![
+        ("full", FaultUniverse::full(circuit)),
+        ("collapsed", collapse_equivalence(circuit).collapsed),
+        ("checkpoint", FaultUniverse::checkpoint(circuit)),
+    ]
+}
+
+/// Runs every engine over one (universe, patterns) input and demands
+/// byte-identical `FaultList`s.
+fn assert_engines_identical(case: &Case, universe_name: &str, universe: &FaultUniverse) {
+    for fault_dropping in [true, false] {
+        let mut reference: Option<(String, FaultList)> = None;
+        let mut check = |name: String, list: FaultList| match &reference {
+            None => reference = Some((name, list)),
+            Some((reference_name, reference_list)) => {
+                assert_eq!(
+                    reference_list, &list,
+                    "{}, {universe_name} universe, dropping={fault_dropping}: \
+                     {name} disagrees with {reference_name}",
+                    case.label
+                );
+            }
+        };
+        for kind in EngineKind::ALL {
+            let engine = kind.build_with_fault_dropping(&case.circuit, fault_dropping);
+            check(
+                kind.name().to_string(),
+                engine.run(universe, &case.patterns),
+            );
+        }
+        let uncollapsed = DeductiveSimulator::new(&case.circuit)
+            .with_fault_dropping(fault_dropping)
+            .with_collapsing(false);
+        check(
+            "deductive(uncollapsed)".to_string(),
+            uncollapsed.run(universe, &case.patterns),
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_seeded_random_cases() {
+    let mut nonempty_detections = 0usize;
+    for index in 0..CASES {
+        let case = build_case(index);
+        for (universe_name, universe) in universes(&case.circuit) {
+            assert_engines_identical(&case, universe_name, &universe);
+            // Keep a pulse on test strength: the sweep must actually detect
+            // faults, not vacuously compare empty lists.
+            let detected = EngineKind::Deductive
+                .build(&case.circuit)
+                .run(&universe, &case.patterns)
+                .detected_count();
+            if detected > 0 {
+                nonempty_detections += 1;
+            }
+        }
+    }
+    assert!(
+        nonempty_detections as u64 >= 3 * CASES - CASES / 2,
+        "suspiciously many empty detection sets: {nonempty_detections}"
+    );
+}
+
+#[test]
+fn engines_agree_on_degenerate_inputs() {
+    // Zero patterns and an empty universe are valid inputs to every engine.
+    let case = build_case(0);
+    let universe = FaultUniverse::full(&case.circuit);
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&case.circuit);
+        let no_patterns = engine.run(&universe, &PatternSet::new());
+        assert_eq!(no_patterns.detected_count(), 0, "{}", kind.name());
+        let no_faults = engine.run(&FaultUniverse::from_faults(Vec::new()), &case.patterns);
+        assert!(no_faults.is_empty(), "{}", kind.name());
+    }
+}

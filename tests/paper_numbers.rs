@@ -111,6 +111,162 @@ fn section_six_figure_4_spot_check() {
     );
 }
 
+/// Golden tolerance for pinned model outputs.
+///
+/// The paper-tolerance tests above only guard against gross regressions; the
+/// golden tests below pin the *exact* values this implementation produced at
+/// the time the deductive-engine rewrite landed, so that performance
+/// refactors of the simulators, solvers or special functions cannot silently
+/// shift any reproduced number.  The tolerance leaves room for harmless
+/// floating-point reassociation (e.g. a different summation order) but not
+/// for a model change: every pinned quantity lives in `[0, 10]`, so 1e-9 is
+/// about eight significant digits.
+const GOLDEN_TOLERANCE: f64 = 1e-9;
+
+fn assert_golden(actual: f64, golden: f64, what: &str) {
+    assert!(
+        (actual - golden).abs() <= GOLDEN_TOLERANCE,
+        "{what}: got {actual:.12}, pinned {golden:.12} (tolerance {GOLDEN_TOLERANCE:e})"
+    );
+}
+
+#[test]
+fn golden_table_1_estimator_outputs() {
+    let table = ChipTestTable::paper_table_1();
+    let estimate = N0Estimator::default()
+        .estimate(&table, yield_of(0.07))
+        .expect("estimation succeeds");
+    assert_golden(
+        estimate.curve_fit_n0,
+        8.695719103668,
+        "Table 1 curve-fit n0",
+    );
+    assert_golden(
+        estimate.origin_slope,
+        8.158844765343,
+        "Table 1 origin slope P'(0)",
+    );
+    assert_golden(estimate.slope_n0, 8.772951360584, "Table 1 slope n0");
+}
+
+#[test]
+fn golden_figure_1_required_coverage() {
+    let cases = [
+        (0.80, 2.0, 0.005, 0.948123380571, "Fig. 1, y=0.80, n0=2"),
+        (0.80, 10.0, 0.005, 0.380845549196, "Fig. 1, y=0.80, n0=10"),
+        (0.20, 10.0, 0.005, 0.631310861441, "Fig. 1, y=0.20, n0=10"),
+    ];
+    for (y, n0, r, golden, what) in cases {
+        let params = ModelParams::new(yield_of(y), n0).expect("valid");
+        let coverage = required_fault_coverage(&params, reject(r)).expect("solves");
+        assert_golden(coverage.value(), golden, what);
+    }
+}
+
+#[test]
+fn golden_section_seven_requirements_and_reject_rates() {
+    let params = ModelParams::new(yield_of(0.07), 8.0).expect("valid");
+    let at_1_percent = required_fault_coverage(&params, reject(0.01)).expect("solves");
+    assert_golden(at_1_percent.value(), 0.797692100808, "required f at r=1%");
+    let at_1_in_1000 = required_fault_coverage(&params, reject(0.001)).expect("solves");
+    assert_golden(at_1_in_1000.value(), 0.944122224406, "required f at r=0.1%");
+    // Equation 8 evaluated directly at three coverages.
+    let coverage = |f: f64| FaultCoverage::new(f).expect("valid");
+    assert_golden(
+        field_reject_rate(&params, coverage(0.5)).value(),
+        0.167080977360,
+        "r(f=0.50)",
+    );
+    assert_golden(
+        field_reject_rate(&params, coverage(0.8)).value(),
+        0.009730146156,
+        "r(f=0.80)",
+    );
+    assert_golden(
+        field_reject_rate(&params, coverage(0.95)).value(),
+        0.000858862120,
+        "r(f=0.95)",
+    );
+    // Figure 4 constant-reject contour spot value.
+    let fig4 = required_coverage_at_yield(8.0, reject(0.001), yield_of(0.3)).expect("solves");
+    assert_golden(fig4.value(), 0.843115404714, "Fig. 4, y=0.3, n0=8");
+    // Baseline models at the paper's yield.
+    let wadsack = WadsackModel::new(yield_of(0.07));
+    assert_golden(
+        wadsack
+            .required_fault_coverage(reject(0.01))
+            .expect("valid")
+            .value(),
+        0.989247311828,
+        "Wadsack f at r=1%",
+    );
+    assert_golden(
+        wadsack
+            .required_fault_coverage(reject(0.001))
+            .expect("valid")
+            .value(),
+        0.998924731183,
+        "Wadsack f at r=0.1%",
+    );
+    assert_golden(
+        WilliamsBrownModel::new(yield_of(0.07))
+            .required_fault_coverage(reject(0.01))
+            .expect("valid")
+            .value(),
+        0.996220626898,
+        "Williams-Brown f at r=1%",
+    );
+}
+
+#[test]
+fn golden_fault_simulation_pipeline_on_alu4() {
+    // End-to-end pin of the simulation side: a deterministic random pattern
+    // suite on the 4-bit ALU must keep detecting exactly the same faults at
+    // exactly the same patterns through any engine or data-structure
+    // refactor.  These are integer counts and exactly representable curve
+    // points, so the comparison is exact.
+    use lsi_quality::fault::universe::FaultUniverse;
+    use lsi_quality::netlist::library;
+    use lsi_quality::tpg::suite::TestSuiteBuilder;
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    let suite = TestSuiteBuilder {
+        seed: 1981,
+        chunk: 32,
+        max_random_patterns: 128,
+        target_coverage: 0.95,
+        podem_top_up: false,
+        ..TestSuiteBuilder::default()
+    }
+    .build(&circuit, &universe);
+    assert_eq!(universe.len(), 476);
+    assert_eq!(suite.patterns.len(), 64);
+    assert_eq!(suite.fault_list.detected_count(), 461);
+    let curve_coverage_after = |patterns: usize| {
+        suite
+            .coverage_curve
+            .points()
+            .nth(patterns - 1)
+            .map(|(_, coverage)| coverage)
+            .expect("curve point exists")
+    };
+    assert_golden(
+        curve_coverage_after(8),
+        0.758403361345,
+        "alu4 coverage after 8 patterns",
+    );
+    assert_golden(
+        curve_coverage_after(16),
+        0.911764705882,
+        "alu4 coverage after 16 patterns",
+    );
+    assert_golden(
+        curve_coverage_after(32),
+        0.934873949580,
+        "alu4 coverage after 32 patterns",
+    );
+}
+
 #[test]
 fn reject_rate_and_requirement_are_mutually_consistent() {
     // Whatever coverage the solver proposes must achieve the target when fed
