@@ -1,17 +1,28 @@
 //! Shared helpers for the reproduction harness.
 //!
-//! Each binary in `src/bin/` regenerates one table or figure of the paper;
-//! the helpers here keep their output format consistent and centralise the
-//! slightly expensive "build a chip, a pattern suite and a tested lot"
-//! pipeline several experiments share.
+//! Each binary in `src/bin/` regenerates one table or figure of the paper —
+//! `table1` (the Section 7 chip-test experiment), `fig1`–`fig6`, the
+//! Section 7 worked example, the baseline comparison of Section 3, and the
+//! ablations (`ablation_lot_size`, `ablation_clustering`,
+//! `ablation_threads`).  The helpers here keep their output format
+//! consistent and centralise the slightly expensive "build a chip, a
+//! pattern suite and a tested lot" pipeline several experiments share:
+//!
+//! * [`reproduction_circuit`] — the LSI-class device standing in for the
+//!   paper's 25 000-transistor chip,
+//! * [`run_line_experiment`] — the full Section 7 production-line pass,
+//!   sharded across threads by [`ParallelLotRunner`],
+//! * [`engine_from_env`] — the `LSIQ_ENGINE` fault-simulation knob
+//!   ([`EngineKind`]); the lot-side twin `LSIQ_LOT_THREADS` is read by
+//!   [`ParallelLotRunner::new`].
 
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::simulator::EngineKind;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_manufacturing::experiment::RejectExperiment;
-use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
-use lsiq_manufacturing::tester::WaferTester;
+use lsiq_manufacturing::lot::ModelLotConfig;
+use lsiq_manufacturing::pipeline::ParallelLotRunner;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_netlist::library::{lsi_class, LsiClassConfig};
 use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
@@ -81,7 +92,10 @@ pub fn engine_from_env() -> EngineKind {
 /// Runs the standard Section 7 style line experiment: an LSI-class device, a
 /// random+PODEM pattern suite, and a lot of `chips` chips drawn from the
 /// statistical model with the given ground truth.  The fault-simulation
-/// engine is chosen by [`engine_from_env`].
+/// engine is chosen by [`engine_from_env`]; the lot generation, wafer test
+/// and reject tabulation run on a [`ParallelLotRunner`], whose worker count
+/// follows `LSIQ_LOT_THREADS` — the results are byte-identical at any
+/// thread count, so the knob only changes wall-clock time.
 pub fn run_line_experiment(
     chips: usize,
     yield_fraction: f64,
@@ -103,15 +117,17 @@ pub fn run_line_experiment(
     .build(&circuit, &universe);
     let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
     let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
-    let lot = ChipLot::from_model(&ModelLotConfig {
+    let runner = ParallelLotRunner::new();
+    let lot = runner.generate_model_lot(&ModelLotConfig {
         chips,
         yield_fraction,
         n0,
         fault_universe_size: universe.len(),
         seed,
     });
-    let records = WaferTester::new(&dictionary).test_lot(&lot);
-    let experiment = RejectExperiment::full_resolution(&records, &coverage);
+    let records = runner.test_lot(&dictionary, &lot);
+    let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
+    let experiment = runner.experiment(&records, &coverage, &checkpoints);
     LineExperiment {
         universe_size: universe.len(),
         suite,

@@ -3,10 +3,12 @@
 //!
 //! The build environment has no access to crates.io, so the real criterion
 //! cannot be vendored.  This shim implements honest wall-clock measurement
-//! (warm-up, then timed batches, reporting min/mean/max per iteration) behind
-//! the same `criterion_group!`/`criterion_main!`/`Criterion` surface, so the
-//! benches under `crates/bench/benches/` compile and run unchanged and can be
-//! swapped back to the real crate by editing one `Cargo.toml` line.
+//! (warm-up, then timed batches, reporting min/mean/max per iteration)
+//! behind the same [`criterion_group!`]/[`criterion_main!`]/[`Criterion`]
+//! surface, so the benches under `crates/bench/benches/` — fault simulation,
+//! pattern generation, model evaluation and lot simulation, the hot paths of
+//! the paper's Sections 5–7 reproduction — compile and run unchanged and can
+//! be swapped back to the real crate by editing one `Cargo.toml` line.
 //!
 //! Tuning knobs (environment variables):
 //!

@@ -1,7 +1,7 @@
 //! Fault-injected circuit evaluation.
 //!
 //! These functions mirror the good-machine passes of
-//! [`CompiledCircuit`](lsiq_sim::levelized::CompiledCircuit) but force the
+//! [`CompiledCircuit`] but force the
 //! faulty line to its stuck value during evaluation.  They are shared by the
 //! serial and parallel-pattern fault simulators.
 

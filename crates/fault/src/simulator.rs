@@ -2,13 +2,13 @@
 //!
 //! Four engines implement [`FaultSimulator`]:
 //!
-//! * [`SerialSimulator`](crate::serial::SerialSimulator) — one fault, one
+//! * [`SerialSimulator`] — one fault, one
 //!   pattern at a time; the reference implementation,
-//! * [`PpsfpSimulator`](crate::ppsfp::PpsfpSimulator) — 64 patterns packed
+//! * [`PpsfpSimulator`] — 64 patterns packed
 //!   into machine words, one fault at a time,
-//! * [`DeductiveSimulator`](crate::deductive::DeductiveSimulator) — all
+//! * [`DeductiveSimulator`] — all
 //!   faults of a pattern at once via signal fault lists,
-//! * [`ParallelSimulator`](crate::parallel::ParallelSimulator) — the default
+//! * [`ParallelSimulator`] — the default
 //!   production engine: the fault universe sharded across threads, each shard
 //!   simulating 64-packed pattern words with fault dropping.
 //!

@@ -42,30 +42,48 @@ impl RejectExperiment {
         coverage: &CoverageCurve,
         checkpoints: &[usize],
     ) -> RejectExperiment {
-        let total_chips = records.len();
         let rows = checkpoints
             .iter()
-            .map(|&patterns_applied| {
-                let chips_failed = records
-                    .iter()
-                    .filter(|record| match record.first_fail {
-                        Some(first) => first < patterns_applied,
-                        None => false,
-                    })
-                    .count();
-                let fraction_failed = if total_chips == 0 {
-                    0.0
-                } else {
-                    chips_failed as f64 / total_chips as f64
-                };
-                RejectRow {
-                    patterns_applied,
-                    fault_coverage: coverage.coverage_after(patterns_applied),
-                    chips_failed,
-                    fraction_failed,
-                }
-            })
+            .map(|&patterns_applied| Self::row_at(records, coverage, patterns_applied))
             .collect();
+        RejectExperiment {
+            rows,
+            total_chips: records.len(),
+        }
+    }
+
+    /// Computes the single checkpoint row at `patterns_applied` — a pure
+    /// function of the records and the coverage curve, which is what lets
+    /// [`ParallelLotRunner`](crate::pipeline::ParallelLotRunner) shard the
+    /// checkpoints of a tabulation across threads.
+    pub(crate) fn row_at(
+        records: &[TestRecord],
+        coverage: &CoverageCurve,
+        patterns_applied: usize,
+    ) -> RejectRow {
+        let chips_failed = records
+            .iter()
+            .filter(|record| match record.first_fail {
+                Some(first) => first < patterns_applied,
+                None => false,
+            })
+            .count();
+        let fraction_failed = if records.is_empty() {
+            0.0
+        } else {
+            chips_failed as f64 / records.len() as f64
+        };
+        RejectRow {
+            patterns_applied,
+            fault_coverage: coverage.coverage_after(patterns_applied),
+            chips_failed,
+            fraction_failed,
+        }
+    }
+
+    /// Assembles an experiment from already computed rows (the parallel
+    /// runner's merge step).  Rows must be in checkpoint order.
+    pub(crate) fn from_rows(rows: Vec<RejectRow>, total_chips: usize) -> RejectExperiment {
         RejectExperiment { rows, total_chips }
     }
 

@@ -93,6 +93,50 @@ mod tests {
     }
 
     #[test]
+    fn seeded_field_statistics_are_pinned() {
+        // End-to-end golden numbers: a weak 6-pattern programme over c17 and
+        // a seeded 400-chip model lot.  Any change to the RNG streams, the
+        // lot generator, the tester or the bookkeeping shows up here as an
+        // exact mismatch, not a tolerance drift.
+        use crate::lot::{ChipLot, ModelLotConfig};
+        use crate::tester::WaferTester;
+        use lsiq_fault::dictionary::FaultDictionary;
+        use lsiq_fault::ppsfp::PpsfpSimulator;
+        use lsiq_fault::simulator::FaultSimulator;
+        use lsiq_fault::universe::FaultUniverse;
+        use lsiq_netlist::library;
+        use lsiq_sim::pattern::{Pattern, PatternSet};
+
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..6)
+            .map(|v| Pattern::from_integer(v * 5 + 2, 5))
+            .collect();
+        let list = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+        let dictionary = FaultDictionary::from_fault_list(&list);
+        let lot = ChipLot::from_model(&ModelLotConfig {
+            chips: 400,
+            yield_fraction: 0.3,
+            n0: 2.0,
+            fault_universe_size: universe.len(),
+            seed: 1981,
+        });
+        let records = WaferTester::new(&dictionary).test_lot(&lot);
+        let outcome = FieldOutcome::from_records(&records);
+        assert_eq!(
+            outcome,
+            FieldOutcome {
+                shipped: 167,
+                escapes: 47,
+                rejected: 233,
+                total: 400,
+            }
+        );
+        assert!((outcome.field_reject_rate() - 47.0 / 167.0).abs() < 1e-15);
+        assert!((outcome.rejected_fraction() - 233.0 / 400.0).abs() < 1e-15);
+    }
+
+    #[test]
     fn perfect_test_means_zero_field_rejects() {
         let records = vec![
             record(0, None, false),

@@ -16,8 +16,19 @@
 //!   or from the physical defect pipeline (emergent `n0`),
 //! * [`tester`] — a Sentry-like wafer tester that applies an ordered pattern
 //!   set and records each chip's first failing pattern,
-//! * [`experiment`] — the Table-1 style cumulative-reject experiment, and
-//! * [`field`] — field-reject measurement over the shipped (passing) chips.
+//! * [`experiment`] — the Table-1 style cumulative-reject experiment,
+//! * [`field`] — field-reject measurement over the shipped (passing) chips,
+//!   and
+//! * [`pipeline`] — the multi-threaded production line:
+//!   [`ParallelLotRunner`] shards one lot's chips across threads with
+//!   byte-identical results, and [`LotSweep`] fans whole `(y, n0)`
+//!   experiment grids across lots (`LSIQ_LOT_THREADS` selects the worker
+//!   count, mirroring `LSIQ_ENGINE`).
+//!
+//! The chips of a lot are testable against any pattern suite summarised by a
+//! [`FaultDictionary`](lsiq_fault::dictionary::FaultDictionary) — typically
+//! one built by `lsiq_tpg`'s suite builder from a fault simulation over a
+//! [`FaultUniverse`](lsiq_fault::universe::FaultUniverse).
 //!
 //! # Quick example
 //!
@@ -41,9 +52,11 @@ pub mod defect_map;
 pub mod experiment;
 pub mod field;
 pub mod lot;
+pub mod pipeline;
 pub mod tester;
 pub mod wafer;
 
 pub use chip::Chip;
 pub use lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
+pub use pipeline::{LotOutcome, LotSweep, ParallelLotRunner, SweepPoint, SweepResult};
 pub use tester::{TestRecord, WaferTester};

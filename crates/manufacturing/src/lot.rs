@@ -9,6 +9,13 @@
 //! * [`ChipLot::from_physical`] runs the physical pipeline (clustered
 //!   defects → defect-to-fault mapping), in which `y` and `n0` are emergent
 //!   quantities, as on a real processing line.
+//!
+//! Chip `i` of a lot draws only from its own RNG stream,
+//! [`Xoshiro256StarStar::stream`]`(seed, i)`, so a chip's faults are a pure
+//! function of `(config, i)` — independent of how many chips precede it and
+//! of which thread generates it.  That is what lets
+//! [`ParallelLotRunner`](crate::pipeline::ParallelLotRunner) shard a lot
+//! across threads and still produce byte-identical results.
 
 use crate::chip::Chip;
 use crate::defect::{DefectModel, FaultsPerDefect};
@@ -59,11 +66,43 @@ impl ChipLot {
     /// the shifted Poisson of eq. 1 (mean `n0`) and that many distinct fault
     /// sites are chosen uniformly from the universe.
     ///
+    /// Chip `i` draws from its own [`Xoshiro256StarStar::stream`], so the
+    /// generated lot is identical whether the chips are produced serially or
+    /// sharded across threads by
+    /// [`ParallelLotRunner`](crate::pipeline::ParallelLotRunner).
+    ///
+    /// ```
+    /// use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
+    ///
+    /// let lot = ChipLot::from_model(&ModelLotConfig {
+    ///     chips: 277, // the paper's Section 7 lot size
+    ///     yield_fraction: 0.07,
+    ///     n0: 8.0,
+    ///     fault_universe_size: 5_000,
+    ///     seed: 1981,
+    /// });
+    /// assert_eq!(lot.len(), 277);
+    /// // Defective chips carry at least one fault (the shifted Poisson).
+    /// assert!(lot.chips().iter().all(|c| c.is_good() || c.fault_count() >= 1));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if the fault universe is empty, `yield_fraction` is outside
     /// `[0, 1]`, or `n0 < 1` (a defective chip has at least one fault).
     pub fn from_model(config: &ModelLotConfig) -> ChipLot {
+        Self::validate_model(config);
+        let chips = (0..config.chips)
+            .map(|id| Self::model_chip(config, id))
+            .collect();
+        ChipLot {
+            chips,
+            fault_universe_size: config.fault_universe_size,
+        }
+    }
+
+    /// Checks a model-lot configuration, panicking on invalid parameters.
+    pub(crate) fn validate_model(config: &ModelLotConfig) {
         assert!(
             config.fault_universe_size > 0,
             "fault universe must not be empty"
@@ -76,26 +115,59 @@ impl ChipLot {
             config.n0 >= 1.0,
             "n0 is the mean fault count of defective chips and must be >= 1"
         );
-        let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
-        // Shifted Poisson: n = 1 + Poisson(n0 - 1).
-        let extra = config.n0 - 1.0;
+    }
+
+    /// Generates chip `id` of the model lot described by `config` from the
+    /// chip's own RNG stream.  The caller must have validated `config`.
+    pub(crate) fn model_chip(config: &ModelLotConfig, id: usize) -> Chip {
+        let mut rng = Xoshiro256StarStar::stream(config.seed, id as u64);
+        if rng.next_bool(config.yield_fraction) {
+            Chip::new(id, Vec::new(), 0)
+        } else {
+            // Shifted Poisson: n = 1 + Poisson(n0 - 1).
+            let extra = config.n0 - 1.0;
+            let fault_count = 1 + if extra > 0.0 {
+                Poisson::new(extra)
+                    .expect("extra is positive")
+                    .sample(&mut rng) as usize
+            } else {
+                0
+            };
+            let fault_count = fault_count.min(config.fault_universe_size);
+            let faults = sample_indices(config.fault_universe_size, fault_count, &mut rng);
+            Chip::new(id, faults, 0)
+        }
+    }
+
+    /// Generates a lot through the physical pipeline: clustered defect counts
+    /// per chip, each defect mapped to one or more logical faults.
+    ///
+    /// Like [`ChipLot::from_model`], chip `i` draws from stream `i` of the
+    /// lot seed, so serial and parallel generation agree byte for byte.
+    ///
+    /// ```
+    /// use lsiq_manufacturing::defect::DefectModel;
+    /// use lsiq_manufacturing::lot::{ChipLot, PhysicalLotConfig};
+    ///
+    /// let lot = ChipLot::from_physical(&PhysicalLotConfig {
+    ///     chips: 500,
+    ///     defect_model: DefectModel::for_target_yield(0.25, 1.0).unwrap(),
+    ///     extra_faults_per_defect: 2.0,
+    ///     fault_universe_size: 3_000,
+    ///     seed: 7,
+    /// });
+    /// // y and n0 are emergent here, not dialled in.
+    /// assert!(lot.observed_yield() > 0.1 && lot.observed_yield() < 0.4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault universe is empty or `extra_faults_per_defect` is
+    /// negative.
+    pub fn from_physical(config: &PhysicalLotConfig) -> ChipLot {
+        let mapper = Self::physical_mapper(config);
         let chips = (0..config.chips)
-            .map(|id| {
-                if rng.next_bool(config.yield_fraction) {
-                    Chip::new(id, Vec::new(), 0)
-                } else {
-                    let fault_count = 1 + if extra > 0.0 {
-                        Poisson::new(extra)
-                            .expect("extra is positive")
-                            .sample(&mut rng) as usize
-                    } else {
-                        0
-                    };
-                    let fault_count = fault_count.min(config.fault_universe_size);
-                    let faults = sample_indices(config.fault_universe_size, fault_count, &mut rng);
-                    Chip::new(id, faults, 0)
-                }
-            })
+            .map(|id| Self::physical_chip(config, &mapper, id))
             .collect();
         ChipLot {
             chips,
@@ -103,32 +175,38 @@ impl ChipLot {
         }
     }
 
-    /// Generates a lot through the physical pipeline: clustered defect counts
-    /// per chip, each defect mapped to one or more logical faults.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fault universe is empty or `extra_faults_per_defect` is
-    /// negative.
-    pub fn from_physical(config: &PhysicalLotConfig) -> ChipLot {
+    /// Builds (and thereby validates) the defect-to-fault mapper of a
+    /// physical-lot configuration.
+    pub(crate) fn physical_mapper(config: &PhysicalLotConfig) -> DefectToFaultMapper {
         assert!(
             config.fault_universe_size > 0,
             "fault universe must not be empty"
         );
         let faults_per_defect = FaultsPerDefect::new(config.extra_faults_per_defect)
             .expect("extra_faults_per_defect must be finite and non-negative");
-        let mapper = DefectToFaultMapper::new(config.fault_universe_size, faults_per_defect);
-        let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
-        let chips = (0..config.chips)
-            .map(|id| {
-                let defect_count = config.defect_model.sample_defect_count(&mut rng);
-                let faults = mapper.map_defects(defect_count, &mut rng);
-                Chip::new(id, faults, defect_count)
-            })
-            .collect();
+        DefectToFaultMapper::new(config.fault_universe_size, faults_per_defect)
+    }
+
+    /// Generates chip `id` of the physical lot described by `config` from the
+    /// chip's own RNG stream.
+    pub(crate) fn physical_chip(
+        config: &PhysicalLotConfig,
+        mapper: &DefectToFaultMapper,
+        id: usize,
+    ) -> Chip {
+        let mut rng = Xoshiro256StarStar::stream(config.seed, id as u64);
+        let defect_count = config.defect_model.sample_defect_count(&mut rng);
+        let faults = mapper.map_defects(defect_count, &mut rng);
+        Chip::new(id, faults, defect_count)
+    }
+
+    /// Assembles a lot from already generated chips (the parallel runner's
+    /// merge step).  The chips must be in lot order.
+    pub(crate) fn from_chips(chips: Vec<Chip>, fault_universe_size: usize) -> ChipLot {
+        debug_assert!(chips.iter().enumerate().all(|(i, c)| c.id() == i));
         ChipLot {
             chips,
-            fault_universe_size: config.fault_universe_size,
+            fault_universe_size,
         }
     }
 

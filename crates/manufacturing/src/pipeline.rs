@@ -1,0 +1,496 @@
+//! The multi-threaded production-line pipeline.
+//!
+//! Estimating the paper's quality/coverage relationship (eq. 8, Table 1)
+//! means testing whole lots of chips — an embarrassingly parallel workload,
+//! since every chip of a lot draws from its own RNG stream
+//! ([`Xoshiro256StarStar::stream`](lsiq_stats::rng::Xoshiro256StarStar::stream))
+//! and is tested independently.  This module
+//! exploits that at two levels:
+//!
+//! * [`ParallelLotRunner`] shards the chips of *one* lot across scoped worker
+//!   threads — generation ([`ChipLot::from_model`] / physical pipeline),
+//!   wafer testing ([`WaferTester`]) and reject-table bookkeeping
+//!   ([`RejectExperiment`]) — producing byte-identical results to the serial
+//!   path at any thread count (enforced by `tests/lot_differential.rs`).
+//! * [`LotSweep`] fans *whole experiments* — a grid of `(y, n0)` ground
+//!   truths, one lot each — across threads and aggregates the per-lot
+//!   reject-rate and field-quality estimates.
+//!
+//! The worker-thread count follows the `LSIQ_LOT_THREADS` environment
+//! variable (mirroring the fault-simulation engine knob `LSIQ_ENGINE`), and
+//! defaults to the available hardware parallelism.
+
+use crate::chip::Chip;
+use crate::experiment::RejectExperiment;
+use crate::field::FieldOutcome;
+use crate::lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
+use crate::tester::{TestRecord, WaferTester};
+use lsiq_fault::coverage::CoverageCurve;
+use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_stats::rng::{Rng, SplitMix64};
+
+/// Reads the `LSIQ_LOT_THREADS` override, if any.
+///
+/// # Panics
+///
+/// Panics when the variable is set but is not a positive integer, since
+/// silently falling back would invalidate an intended scaling measurement.
+pub fn lot_threads_from_env() -> Option<usize> {
+    match std::env::var("LSIQ_LOT_THREADS") {
+        Ok(value) => match value.trim().parse::<usize>() {
+            Ok(threads) if threads > 0 => Some(threads),
+            _ => panic!(
+                "LSIQ_LOT_THREADS: expected a positive integer, got {value:?} \
+                 (unset it to use the available hardware parallelism)"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(error @ std::env::VarError::NotUnicode(_)) => panic!("LSIQ_LOT_THREADS: {error}"),
+    }
+}
+
+/// Runs the per-chip stages of a production lot — generation, wafer test,
+/// reject bookkeeping — sharded across scoped worker threads.
+///
+/// Because chip `i` draws only from stream `i` of the lot seed, the sharding
+/// is invisible in the output: any thread count produces byte-identical
+/// lots, test records and experiment tables.
+///
+/// ```
+/// use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
+/// use lsiq_manufacturing::pipeline::ParallelLotRunner;
+///
+/// let config = ModelLotConfig {
+///     chips: 1_000,
+///     yield_fraction: 0.07,
+///     n0: 8.0,
+///     fault_universe_size: 5_000,
+///     seed: 42,
+/// };
+/// let serial = ChipLot::from_model(&config);
+/// let parallel = ParallelLotRunner::new()
+///     .with_threads(4)
+///     .generate_model_lot(&config);
+/// assert_eq!(serial, parallel); // byte-identical at any thread count
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelLotRunner {
+    threads: usize,
+}
+
+impl Default for ParallelLotRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelLotRunner {
+    /// Minimum number of work items per shard; below this the spawn overhead
+    /// costs more than the parallelism recovers.
+    const MIN_ITEMS_PER_SHARD: usize = 128;
+
+    /// Creates a runner honouring the `LSIQ_LOT_THREADS` environment
+    /// variable; unset, it uses one worker per available hardware thread.
+    pub fn new() -> Self {
+        ParallelLotRunner {
+            threads: lot_threads_from_env().unwrap_or(0),
+        }
+    }
+
+    /// Overrides the worker-thread count; `0` restores the default (the
+    /// available hardware parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker count before any per-run clamping: the explicit
+    /// override, or the available hardware parallelism.
+    fn requested_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// The worker-thread count a run over `items` work items would use.
+    pub fn threads_for(&self, items: usize) -> usize {
+        self.requested_threads()
+            .min(items.div_ceil(Self::MIN_ITEMS_PER_SHARD))
+            .max(1)
+    }
+
+    /// Maps `count` indices through `work` (one call per contiguous index
+    /// range, results concatenated in index order), sharded across scoped
+    /// threads.
+    fn sharded<T, F>(&self, count: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+    {
+        self.sharded_min(count, Self::MIN_ITEMS_PER_SHARD, work)
+    }
+
+    /// [`sharded`](Self::sharded) with an explicit minimum number of items
+    /// per shard — `1` for coarse work items (whole lots) whose cost dwarfs
+    /// a thread spawn.
+    fn sharded_min<T, F>(&self, count: usize, min_per_shard: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+    {
+        let threads = self
+            .requested_threads()
+            .min(count.div_ceil(min_per_shard.max(1)))
+            .max(1);
+        if threads <= 1 || count == 0 {
+            return work(0..count);
+        }
+        let shard_size = count.div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..count)
+            .step_by(shard_size)
+            .map(|start| start..(start + shard_size).min(count))
+            .collect();
+        let work = &work;
+        let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || work(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("lot shard worker panicked"))
+                .collect()
+        });
+        let mut merged = Vec::with_capacity(count);
+        for shard in results.iter_mut() {
+            merged.append(shard);
+        }
+        merged
+    }
+
+    /// Generates a model lot ([`ChipLot::from_model`]) with the chips sharded
+    /// across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configurations as [`ChipLot::from_model`].
+    pub fn generate_model_lot(&self, config: &ModelLotConfig) -> ChipLot {
+        ChipLot::validate_model(config);
+        let chips = self.sharded(config.chips, |range| {
+            range.map(|id| ChipLot::model_chip(config, id)).collect()
+        });
+        ChipLot::from_chips(chips, config.fault_universe_size)
+    }
+
+    /// Generates a physical lot ([`ChipLot::from_physical`]) with the chips
+    /// sharded across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configurations as
+    /// [`ChipLot::from_physical`].
+    pub fn generate_physical_lot(&self, config: &PhysicalLotConfig) -> ChipLot {
+        let mapper = ChipLot::physical_mapper(config);
+        let chips = self.sharded(config.chips, |range| {
+            range
+                .map(|id| ChipLot::physical_chip(config, &mapper, id))
+                .collect()
+        });
+        ChipLot::from_chips(chips, config.fault_universe_size)
+    }
+
+    /// Wafer-tests a lot ([`WaferTester::test_lot`]) with the chips sharded
+    /// across threads; records come back in lot order.
+    pub fn test_lot(&self, dictionary: &FaultDictionary, lot: &ChipLot) -> Vec<TestRecord> {
+        let tester = WaferTester::new(dictionary);
+        let chips: &[Chip] = lot.chips();
+        self.sharded(chips.len(), |range| tester.test_chips(&chips[range]))
+    }
+
+    /// Tabulates a reject experiment ([`RejectExperiment::tabulate`]) with
+    /// the checkpoints sharded across threads.
+    pub fn experiment(
+        &self,
+        records: &[TestRecord],
+        coverage: &CoverageCurve,
+        checkpoints: &[usize],
+    ) -> RejectExperiment {
+        let rows = self.sharded(checkpoints.len(), |range| {
+            checkpoints[range]
+                .iter()
+                .map(|&patterns_applied| {
+                    RejectExperiment::row_at(records, coverage, patterns_applied)
+                })
+                .collect()
+        });
+        RejectExperiment::from_rows(rows, records.len())
+    }
+
+    /// Runs the full per-lot pipeline — generate a model lot, wafer-test it,
+    /// tabulate the reject experiment at full resolution — with every stage
+    /// sharded across this runner's threads.
+    pub fn run_model_line(
+        &self,
+        config: &ModelLotConfig,
+        dictionary: &FaultDictionary,
+        coverage: &CoverageCurve,
+    ) -> LotOutcome {
+        let lot = self.generate_model_lot(config);
+        let records = self.test_lot(dictionary, &lot);
+        let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
+        let experiment = self.experiment(&records, coverage, &checkpoints);
+        LotOutcome::new(&lot, records, experiment)
+    }
+}
+
+/// Everything one tested lot yields: the lot's observed ground truth, the
+/// per-chip test records, the field outcome of shipping the passers, and the
+/// cumulative-reject table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LotOutcome {
+    /// Observed yield of the generated lot.
+    pub observed_yield: f64,
+    /// Observed mean fault count over defective chips.
+    pub observed_n0: f64,
+    /// Per-chip wafer-test records, in lot order.
+    pub records: Vec<TestRecord>,
+    /// Field outcome of shipping every passing chip.
+    pub outcome: FieldOutcome,
+    /// The cumulative-reject experiment table.
+    pub experiment: RejectExperiment,
+}
+
+impl LotOutcome {
+    fn new(lot: &ChipLot, records: Vec<TestRecord>, experiment: RejectExperiment) -> LotOutcome {
+        let outcome = FieldOutcome::from_records(&records);
+        LotOutcome {
+            observed_yield: lot.observed_yield(),
+            observed_n0: lot.observed_n0(),
+            records,
+            outcome,
+            experiment,
+        }
+    }
+}
+
+/// One ground-truth point of a sweep: the dialled-in yield and `n0` of a
+/// model lot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Probability that a chip is fault-free (the paper's `y`).
+    pub yield_fraction: f64,
+    /// Mean fault count of a defective chip (the paper's `n0`).
+    pub n0: f64,
+}
+
+/// The result of one sweep point: the point, the derived lot seed, and the
+/// lot's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The ground-truth point this lot was generated from.
+    pub point: SweepPoint,
+    /// The per-lot seed derived from the sweep's base seed.
+    pub seed: u64,
+    /// The tested lot's outcome.
+    pub outcome: LotOutcome,
+}
+
+/// Fans whole lot experiments — one per `(y, n0)` grid point — across
+/// threads, the second level of parallelism above [`ParallelLotRunner`].
+///
+/// Lot `i` of a sweep is seeded from stream `i` of the base seed, so sweep
+/// results are byte-identical at any thread count, exactly like single-lot
+/// runs.
+#[derive(Debug, Clone, Copy)]
+pub struct LotSweep {
+    /// Chips per lot.
+    pub chips: usize,
+    /// Size of the fault universe the chips' fault indices refer to.
+    pub fault_universe_size: usize,
+    /// Base seed; lot `i` uses the `i`-th stream of it.
+    pub base_seed: u64,
+    /// Worker threads to fan lots across (`0` defers to `LSIQ_LOT_THREADS`,
+    /// then the available hardware parallelism).
+    pub threads: usize,
+}
+
+impl LotSweep {
+    /// Builds the cartesian grid of sweep points, `n0` varying fastest.
+    pub fn grid(yields: &[f64], n0s: &[f64]) -> Vec<SweepPoint> {
+        yields
+            .iter()
+            .flat_map(|&yield_fraction| {
+                n0s.iter().map(move |&n0| SweepPoint { yield_fraction, n0 })
+            })
+            .collect()
+    }
+
+    /// The deterministic lot seed of sweep point `index`.
+    pub fn lot_seed(&self, index: usize) -> u64 {
+        SplitMix64::stream(self.base_seed, index as u64).next_u64()
+    }
+
+    /// Runs every sweep point against the given test programme, fanning the
+    /// lots across threads; results come back in point order.
+    ///
+    /// Each lot runs its own pipeline serially (the parallelism is across
+    /// lots here), so a sweep of many small lots and a
+    /// [`ParallelLotRunner`] run of one large lot saturate the hardware the
+    /// same way.  A `threads` of `0` defers to `LSIQ_LOT_THREADS`, then the
+    /// available hardware parallelism, exactly like the runner.
+    pub fn run(
+        &self,
+        dictionary: &FaultDictionary,
+        coverage: &CoverageCurve,
+        points: &[SweepPoint],
+    ) -> Vec<SweepResult> {
+        // Fan lots (not chips) across threads: each worker runs whole
+        // pipelines with a single-threaded runner.
+        let fan_out = if self.threads > 0 {
+            ParallelLotRunner::new().with_threads(self.threads)
+        } else {
+            ParallelLotRunner::new() // honours LSIQ_LOT_THREADS
+        };
+        let per_lot = ParallelLotRunner::new().with_threads(1);
+        let run_point = |index: usize| -> SweepResult {
+            let point = points[index];
+            let seed = self.lot_seed(index);
+            let config = ModelLotConfig {
+                chips: self.chips,
+                yield_fraction: point.yield_fraction,
+                n0: point.n0,
+                fault_universe_size: self.fault_universe_size,
+                seed,
+            };
+            let outcome = per_lot.run_model_line(&config, dictionary, coverage);
+            SweepResult {
+                point,
+                seed,
+                outcome,
+            }
+        };
+        // A sweep has few, heavy work items; shard at item granularity
+        // rather than ParallelLotRunner::MIN_ITEMS_PER_SHARD.
+        fan_out.sharded_min(points.len(), 1, |range| {
+            range.map(run_point).collect::<Vec<_>>()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsiq_fault::ppsfp::PpsfpSimulator;
+    use lsiq_fault::simulator::FaultSimulator;
+    use lsiq_fault::universe::FaultUniverse;
+    use lsiq_netlist::library;
+    use lsiq_sim::pattern::{Pattern, PatternSet};
+
+    fn fixture() -> (FaultDictionary, CoverageCurve, usize) {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        let list = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+        (
+            FaultDictionary::from_fault_list(&list),
+            CoverageCurve::from_fault_list(&list, patterns.len()),
+            universe.len(),
+        )
+    }
+
+    fn model_config(universe: usize) -> ModelLotConfig {
+        ModelLotConfig {
+            chips: 700,
+            yield_fraction: 0.3,
+            n0: 4.0,
+            fault_universe_size: universe,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_at_every_thread_count() {
+        let config = model_config(2_000);
+        let serial = ChipLot::from_model(&config);
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = ParallelLotRunner::new()
+                .with_threads(threads)
+                .generate_model_lot(&config);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_testing_and_experiment_match_serial() {
+        let (dictionary, coverage, universe) = fixture();
+        let config = model_config(universe);
+        let lot = ChipLot::from_model(&config);
+        let serial_records = WaferTester::new(&dictionary).test_lot(&lot);
+        let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
+        let serial_experiment =
+            RejectExperiment::tabulate(&serial_records, &coverage, &checkpoints);
+        for threads in [2, 5] {
+            let runner = ParallelLotRunner::new().with_threads(threads);
+            assert_eq!(serial_records, runner.test_lot(&dictionary, &lot));
+            assert_eq!(
+                serial_experiment,
+                runner.experiment(&serial_records, &coverage, &checkpoints)
+            );
+        }
+    }
+
+    #[test]
+    fn run_model_line_is_consistent() {
+        let (dictionary, coverage, universe) = fixture();
+        let config = model_config(universe);
+        let outcome = ParallelLotRunner::new().with_threads(4).run_model_line(
+            &config,
+            &dictionary,
+            &coverage,
+        );
+        assert_eq!(outcome.records.len(), config.chips);
+        assert_eq!(outcome.outcome.total, config.chips);
+        assert_eq!(outcome.experiment.rows().len(), coverage.pattern_count());
+        assert!((outcome.observed_yield - 0.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant_and_ordered() {
+        let (dictionary, coverage, universe) = fixture();
+        let points = LotSweep::grid(&[0.1, 0.3], &[2.0, 4.0, 8.0]);
+        assert_eq!(points.len(), 6);
+        let serial = LotSweep {
+            chips: 150,
+            fault_universe_size: universe,
+            base_seed: 99,
+            threads: 1,
+        };
+        let parallel = LotSweep {
+            threads: 4,
+            ..serial
+        };
+        let serial_results = serial.run(&dictionary, &coverage, &points);
+        let parallel_results = parallel.run(&dictionary, &coverage, &points);
+        assert_eq!(serial_results, parallel_results);
+        for (result, point) in serial_results.iter().zip(&points) {
+            assert_eq!(result.point, *point);
+            assert_eq!(result.outcome.records.len(), 150);
+        }
+        // Distinct points get distinct seeds.
+        assert_ne!(serial.lot_seed(0), serial.lot_seed(1));
+    }
+
+    #[test]
+    fn threads_for_respects_override_and_small_lots() {
+        let runner = ParallelLotRunner::new().with_threads(8);
+        assert_eq!(runner.threads_for(100_000), 8);
+        assert_eq!(runner.threads_for(1), 1);
+        assert_eq!(runner.threads_for(0), 1);
+        // Tiny lots never fan out past the shard minimum.
+        assert!(runner.threads_for(256) <= 2);
+    }
+}

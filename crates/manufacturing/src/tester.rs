@@ -61,12 +61,19 @@ impl<'d> WaferTester<'d> {
         }
     }
 
+    /// Tests a slice of chips, in slice order.
+    ///
+    /// Each record depends only on its own chip, so a lot may be tested as
+    /// one slice or as concatenated sub-slices with identical results —
+    /// [`ParallelLotRunner`](crate::pipeline::ParallelLotRunner) relies on
+    /// this to shard a lot across threads.
+    pub fn test_chips(&self, chips: &[Chip]) -> Vec<TestRecord> {
+        chips.iter().map(|chip| self.test_chip(chip)).collect()
+    }
+
     /// Tests every chip of a lot, in lot order.
     pub fn test_lot(&self, lot: &ChipLot) -> Vec<TestRecord> {
-        lot.chips()
-            .iter()
-            .map(|chip| self.test_chip(chip))
-            .collect()
+        self.test_chips(lot.chips())
     }
 }
 

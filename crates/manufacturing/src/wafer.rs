@@ -145,6 +145,26 @@ mod tests {
     }
 
     #[test]
+    fn seeded_wafer_statistics_are_pinned() {
+        // Golden numbers for one seeded wafer: pins the negative-binomial
+        // sampler and the map bookkeeping down to exact counts.
+        let model = DefectModel::for_target_yield(0.4, 1.0).expect("valid");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(101);
+        let wafer = WaferMap::simulate(16, 20, &model, &mut rng);
+        assert_eq!(wafer.total_defects(), 490);
+        assert_eq!(wafer.defects_at(0, 0), 4);
+        assert_eq!(wafer.defects_at(7, 11), 0);
+        assert_eq!(wafer.defect_counts().iter().max(), Some(&9));
+        let good_sites = wafer.defect_counts().iter().filter(|&&d| d == 0).count();
+        assert_eq!(good_sites, 125);
+        assert!((wafer.observed_yield() - 125.0 / 320.0).abs() < 1e-15);
+        // The clustered model leaves bad neighbourhoods: the ASCII map shows
+        // both empty sites and heavy ones.
+        let art = wafer.ascii();
+        assert!(art.contains('.') && art.contains('9'));
+    }
+
+    #[test]
     #[should_panic(expected = "site out of range")]
     fn out_of_range_site_panics() {
         let wafer = sample_wafer(5);

@@ -6,7 +6,7 @@
 //!   that return a complete [`Circuit`](crate::circuit::Circuit) with fresh
 //!   primary inputs, used by tests and small experiments, and
 //! * `*_block` functions that instantiate the same structure inside an
-//!   existing [`CircuitBuilder`](crate::builder::CircuitBuilder), used by
+//!   existing [`CircuitBuilder`], used by
 //!   [`library::lsi_class`](crate::library::lsi_class) to compose a chip-
 //!   sized netlist out of many functional blocks, the way the paper's
 //!   25 000-transistor LSI circuit would have been assembled.

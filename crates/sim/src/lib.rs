@@ -1,8 +1,8 @@
 //! Logic simulation substrate.
 //!
 //! Provides the gate evaluation primitives and whole-circuit simulators that
-//! the fault simulator ([`lsiq-fault`]), the test generator ([`lsiq-tpg`])
-//! and the production-line tester ([`lsiq-manufacturing`]) are built on:
+//! the fault simulator (`lsiq-fault`), the test generator (`lsiq-tpg`)
+//! and the production-line tester (`lsiq-manufacturing`) are built on:
 //!
 //! * [`logic`] — two-valued and three-valued (0/1/X) scalar values,
 //! * [`eval`] — evaluation of a [`GateKind`](lsiq_netlist::GateKind) over

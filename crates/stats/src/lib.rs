@@ -8,6 +8,20 @@
 //! bit-reproducible across platforms and independent of external crate
 //! version churn.
 //!
+//! Where the paper's machinery lives here:
+//!
+//! * [`dist::Poisson`] — the shifted-Poisson fault-number model of eq. 1
+//!   draws its `Poisson(n0 - 1)` part from this,
+//! * [`dist::NegativeBinomial`] — clustered defect counts whose zero class
+//!   is the yield formula of eq. 3,
+//! * [`dist::Hypergeometric`] — the escape probability `q0(n)` of eq. 5,
+//! * [`rng::Xoshiro256StarStar`] — the workhorse generator behind every
+//!   seeded experiment, with [`rng::Xoshiro256StarStar::stream`] deriving
+//!   the per-chip streams that keep the multi-threaded production line
+//!   byte-identical to its serial path,
+//! * [`fit`] and [`roots`] — the least-squares curve fit and root solving
+//!   of the Section 5/6 estimation procedures.
+//!
 //! # Quick example
 //!
 //! ```

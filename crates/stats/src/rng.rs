@@ -10,6 +10,20 @@
 //! Both implement the object-safe [`Rng`] trait, which offers the small set
 //! of primitive draws the rest of the workspace needs (uniform integers,
 //! uniform floats in `[0, 1)`, bounded ranges and Bernoulli trials).
+//!
+//! # Parallel streams
+//!
+//! Multi-threaded Monte-Carlo (the production-line pipeline in
+//! `lsiq-manufacturing`) needs draws that do not depend on which thread made
+//! them.  Two mechanisms support this:
+//!
+//! * [`Xoshiro256StarStar::stream`] and [`SplitMix64::stream`] derive the
+//!   `stream`-th independent generator from a `(seed, stream)` pair in O(1),
+//!   so work item `i` can be given its own generator no matter which worker
+//!   processes it — the draws are a pure function of `(seed, i)`.
+//! * [`Xoshiro256StarStar::split`] carves a sequential generator in two by
+//!   jumping the parent 2^128 steps ahead, for the cases where the number of
+//!   streams is not known up front.
 
 /// Minimal random-number generator interface used throughout the workspace.
 ///
@@ -95,6 +109,33 @@ impl SplitMix64 {
     pub fn seed_from_u64(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
+
+    /// Derives the `stream`-th independent generator of `seed` in O(1).
+    ///
+    /// See [`Xoshiro256StarStar::stream`] for the contract; both generators
+    /// use the same `(seed, stream)` mixing so a stream index means the same
+    /// thing regardless of the generator consuming it.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        SplitMix64::seed_from_u64(mix_stream(seed, stream))
+    }
+
+    /// Returns an independent child generator, advancing `self` one step.
+    ///
+    /// The child is seeded from the parent's next output, so repeated splits
+    /// yield a deterministic tree of generators.
+    pub fn split(&mut self) -> Self {
+        SplitMix64::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Mixes a stream index into a seed, giving every `(seed, stream)` pair a
+/// well-distributed 64-bit sub-seed.  The mix is injective in `stream` for a
+/// fixed seed (golden-ratio multiply is odd, XOR preserves distinctness
+/// through the SplitMix64 bijection), so no two streams of one experiment can
+/// collide.
+fn mix_stream(seed: u64, stream: u64) -> u64 {
+    let mut mix = SplitMix64::seed_from_u64(seed);
+    mix.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl Rng for SplitMix64 {
@@ -131,6 +172,28 @@ impl Xoshiro256StarStar {
         // outputs in a row, so this is a defensive check only.
         debug_assert!(s.iter().any(|&w| w != 0));
         Xoshiro256StarStar { s }
+    }
+
+    /// Derives the `stream`-th independent generator of `seed` in O(1).
+    ///
+    /// The draws of a stream are a pure function of the `(seed, stream)`
+    /// pair: handing work item `i` the generator `stream(seed, i)` makes a
+    /// Monte-Carlo experiment independent of iteration order and thread
+    /// count, which is how the production-line pipeline keeps its parallel
+    /// results byte-identical to the serial ones.
+    ///
+    /// ```
+    /// use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
+    ///
+    /// // The same (seed, stream) pair always yields the same draws ...
+    /// let a = Xoshiro256StarStar::stream(42, 7).next_u64();
+    /// let b = Xoshiro256StarStar::stream(42, 7).next_u64();
+    /// assert_eq!(a, b);
+    /// // ... and different streams of one seed are independent.
+    /// assert_ne!(a, Xoshiro256StarStar::stream(42, 8).next_u64());
+    /// ```
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Xoshiro256StarStar::seed_from_u64(mix_stream(seed, stream))
     }
 
     /// Returns an independent generator for a parallel stream.
@@ -326,6 +389,56 @@ mod tests {
         let mut rng = SplitMix64::seed_from_u64(1);
         let sample = sample_indices(10, 10, &mut rng);
         assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        for stream in 0..8u64 {
+            let mut a = Xoshiro256StarStar::stream(1234, stream);
+            let mut b = Xoshiro256StarStar::stream(1234, stream);
+            for _ in 0..16 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+        // Pairwise-distinct first draws over a batch of streams (and over
+        // neighbouring seeds, which must not alias shifted stream indices).
+        let mut first: Vec<u64> = (0..256)
+            .map(|s| Xoshiro256StarStar::stream(9, s).next_u64())
+            .collect();
+        first.extend((0..256).map(|s| Xoshiro256StarStar::stream(10, s).next_u64()));
+        first.sort_unstable();
+        first.dedup();
+        assert_eq!(first.len(), 512, "stream collision detected");
+    }
+
+    #[test]
+    fn stream_draws_are_uniform() {
+        // Aggregate the first f64 of many streams: the per-stream first draw
+        // must itself look uniform, since the pipeline gives each chip only
+        // its own stream.
+        let n = 20_000u64;
+        let mean: f64 = (0..n)
+            .map(|s| Xoshiro256StarStar::stream(77, s).next_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn splitmix_stream_and_split_are_deterministic() {
+        let mut a = SplitMix64::stream(5, 3);
+        let mut b = SplitMix64::stream(5, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut parent1 = SplitMix64::seed_from_u64(1);
+        let mut parent2 = SplitMix64::seed_from_u64(1);
+        let mut child1 = parent1.split();
+        let mut child2 = parent2.split();
+        assert_eq!(child1.next_u64(), child2.next_u64());
+        assert_eq!(parent1.next_u64(), parent2.next_u64());
+        assert_ne!(
+            SplitMix64::stream(5, 3).next_u64(),
+            SplitMix64::stream(5, 4).next_u64()
+        );
     }
 
     #[test]

@@ -15,7 +15,28 @@ use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
 
-/// Configuration for [`TestSuiteBuilder`].
+/// Configuration for building an ordered test suite: random patterns up to
+/// a target coverage, optionally topped up by PODEM for the faults the
+/// random phase missed.
+///
+/// ```
+/// use lsiq_fault::universe::FaultUniverse;
+/// use lsiq_netlist::library;
+/// use lsiq_tpg::suite::TestSuiteBuilder;
+///
+/// let circuit = library::c17();
+/// let universe = FaultUniverse::full(&circuit);
+/// let suite = TestSuiteBuilder {
+///     seed: 7,
+///     target_coverage: 0.9,
+///     ..TestSuiteBuilder::default()
+/// }
+/// .build(&circuit, &universe);
+/// assert!(suite.coverage() >= 0.9);
+/// // The dictionary records every fault's first failing pattern — the raw
+/// // material of the paper's Table 1.
+/// assert_eq!(suite.dictionary.len(), universe.len());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TestSuiteBuilder {
     /// Seed for the random phase.

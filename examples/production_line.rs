@@ -2,12 +2,22 @@
 //! measured-versus-predicted field reject rate.
 //!
 //! Run with: `cargo run --release --example production_line`
+//!
+//! Knobs (environment variables):
+//!
+//! * `LSIQ_ENGINE` — fault-simulation engine building the test programme
+//!   (`serial`, `ppsfp`, `deductive`, `parallel`; default `parallel`),
+//! * `LSIQ_LOT_THREADS` — worker threads for lot generation and wafer test
+//!   (default: available hardware parallelism); any value produces
+//!   byte-identical results,
+//! * `LSIQ_SEED` — the run's base seed, printed for reproducibility.
 
+use lsi_quality::fault::simulator::EngineKind;
 use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::manufacturing::defect::DefectModel;
 use lsi_quality::manufacturing::field::FieldOutcome;
-use lsi_quality::manufacturing::lot::{ChipLot, PhysicalLotConfig};
-use lsi_quality::manufacturing::tester::WaferTester;
+use lsi_quality::manufacturing::lot::PhysicalLotConfig;
+use lsi_quality::manufacturing::pipeline::ParallelLotRunner;
 use lsi_quality::manufacturing::wafer::WaferMap;
 use lsi_quality::netlist::generator::{random_circuit, RandomCircuitConfig};
 use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
@@ -16,6 +26,23 @@ use lsi_quality::stats::rng::Xoshiro256StarStar;
 use lsi_quality::tpg::suite::TestSuiteBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The run's knobs, echoed so any result can be reproduced exactly.
+    let engine: EngineKind = match std::env::var("LSIQ_ENGINE") {
+        Ok(name) => name.parse()?,
+        Err(_) => EngineKind::default(),
+    };
+    let seed: u64 = match std::env::var("LSIQ_SEED") {
+        Ok(value) => value.trim().parse()?,
+        Err(_) => 42,
+    };
+    let chips = 3_000;
+    let runner = ParallelLotRunner::new(); // honours LSIQ_LOT_THREADS
+    println!(
+        "knobs: engine = {engine}, seed = {seed}, lot workers = {} for {chips} chips \
+         (LSIQ_ENGINE / LSIQ_SEED / LSIQ_LOT_THREADS to override)",
+        runner.threads_for(chips)
+    );
+
     // The device: a random-logic block standing in for an LSI control chip.
     let circuit = random_circuit(&RandomCircuitConfig {
         inputs: 24,
@@ -38,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         defect_model.mean_defects(),
         defect_model.predicted_yield() * 100.0
     );
-    let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let wafer = WaferMap::simulate(12, 24, &defect_model, &mut rng);
     println!(
         "one wafer ({} sites, observed yield {:.1}%):",
@@ -52,6 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 3,
         target_coverage: 0.90,
         max_random_patterns: 256,
+        engine,
         ..TestSuiteBuilder::default()
     }
     .build(&circuit, &universe);
@@ -62,15 +90,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         suite.coverage() * 100.0
     );
 
-    // A production lot through the physical pipeline and the wafer tester.
-    let lot = ChipLot::from_physical(&PhysicalLotConfig {
-        chips: 3_000,
+    // A production lot through the physical pipeline and the wafer tester,
+    // both sharded across the runner's worker threads.
+    let lot = runner.generate_physical_lot(&PhysicalLotConfig {
+        chips,
         defect_model,
         extra_faults_per_defect: 4.0,
         fault_universe_size: universe.len(),
-        seed: 99,
+        seed,
     });
-    let records = WaferTester::new(&suite.dictionary).test_lot(&lot);
+    let records = runner.test_lot(&suite.dictionary, &lot);
     let outcome = FieldOutcome::from_records(&records);
     println!(
         "wafer test: {} of {} chips shipped, {} rejected",

@@ -17,7 +17,10 @@
 //! * [`sim`] — logic simulation,
 //! * [`fault`] — stuck-at faults and fault simulation,
 //! * [`tpg`] — random/LFSR/weighted pattern generation and PODEM,
-//! * [`manufacturing`] — defects, wafers, chip lots, the Sentry-like tester,
+//! * [`manufacturing`] — defects, wafers, chip lots, the Sentry-like tester
+//!   and the multi-threaded production-line pipeline
+//!   ([`ParallelLotRunner`](manufacturing::pipeline::ParallelLotRunner) /
+//!   [`LotSweep`](manufacturing::pipeline::LotSweep)),
 //! * [`quality`] — the paper's model itself (fault distribution, reject
 //!   rate, `n0` estimation, required coverage, baselines).
 //!
