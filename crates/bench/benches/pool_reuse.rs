@@ -1,0 +1,65 @@
+//! Micro-benchmark: spawning OS threads per fork-join call
+//! (`std::thread::scope`, the pre-Session design) versus reusing the
+//! persistent `ExecutionContext` worker pool.
+//!
+//! The workload is deliberately small — a handful of short jobs per call,
+//! like one sweep point of a small lot — because that is exactly the regime
+//! where per-call thread spawn/teardown dominated the old pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsiq_exec::ExecutionContext;
+
+/// Jobs per fork-join call (one per shard in the real pipeline).
+const JOBS: usize = 8;
+/// Per-job work: a short arithmetic spin standing in for a small shard.
+const SPIN: u64 = 2_000;
+
+fn job(seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..SPIN {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn spawn_per_call() -> u64 {
+    let mut slots = [0u64; JOBS];
+    std::thread::scope(|scope| {
+        for (index, slot) in slots.iter_mut().enumerate() {
+            scope.spawn(move || *slot = job(index as u64));
+        }
+    });
+    slots.iter().fold(0, |acc, &v| acc ^ v)
+}
+
+fn persistent_pool(context: &ExecutionContext) -> u64 {
+    let mut slots = [0u64; JOBS];
+    context.scope(|scope| {
+        for (index, slot) in slots.iter_mut().enumerate() {
+            scope.spawn(move || *slot = job(index as u64));
+        }
+    });
+    slots.iter().fold(0, |acc, &v| acc ^ v)
+}
+
+fn bench_pool_reuse(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(JOBS);
+    let context = ExecutionContext::new(workers);
+    let expected = spawn_per_call();
+    assert_eq!(expected, persistent_pool(&context));
+
+    let mut group = c.benchmark_group("pool_reuse");
+    group.bench_function(format!("spawn_per_call/{JOBS}_jobs"), |b| {
+        b.iter(|| black_box(spawn_per_call()))
+    });
+    group.bench_function(format!("persistent_pool/{JOBS}_jobs"), |b| {
+        b.iter(|| black_box(persistent_pool(&context)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_reuse);
+criterion_main!(benches);

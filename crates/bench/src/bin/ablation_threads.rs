@@ -10,12 +10,17 @@
 //! and then repeats the exercise one level up: a `(y, n0)` grid sweep of
 //! whole 10k-chip lots fanned across threads by `LotSweep`.
 //!
+//! Configuration routes through the typed `Session` (the `LSIQ_ENGINE`
+//! knob picks the fault-simulation engine that builds the test programme);
+//! each rung of the worker-count ladder gets its own persistent
+//! `ExecutionContext`, created once and reused across every repetition and
+//! every pipeline stage of that rung — the worker-count ladder itself is
+//! explicit, so `LSIQ_LOT_THREADS` is deliberately ignored here.
+//!
 //! Run with: `cargo run --release -p lsiq-bench --bin ablation_threads`
-//! (set `LSIQ_ENGINE` to pick the fault-simulation engine that builds the
-//! test programme; the worker-count ladder itself is explicit, so
-//! `LSIQ_LOT_THREADS` is deliberately ignored here).
 
-use lsiq_bench::{engine_from_env, reproduction_circuit};
+use lsiq_bench::session_from_env;
+use lsiq_exec::ExecutionContext;
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::universe::FaultUniverse;
@@ -42,13 +47,18 @@ fn best_of<T>(mut run: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
+    let session = session_from_env();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("Ablation — production-line pipeline thread scaling ({cores} hardware threads)\n");
+    println!(
+        "Ablation — production-line pipeline thread scaling ({cores} hardware threads, {})\n",
+        session.config()
+    );
 
-    // The test programme, built once: an LSI-class device and its suite.
-    let circuit = reproduction_circuit(false);
+    // The test programme, built once on the session's engine and pool: an
+    // LSI-class device and its suite.
+    let circuit = lsiq_bench::reproduction_circuit(false);
     let universe = FaultUniverse::full(&circuit);
     let suite = TestSuiteBuilder {
         seed: 1981,
@@ -56,10 +66,10 @@ fn main() {
         max_random_patterns: 192,
         target_coverage: 0.95,
         podem_top_up: false,
-        engine: engine_from_env(),
         ..TestSuiteBuilder::default()
     }
-    .build(&circuit, &universe);
+    .with_run_config(session.config())
+    .build_in(session.context(), &circuit, &universe);
     let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
     let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
     println!(
@@ -69,6 +79,13 @@ fn main() {
         suite.patterns.len(),
         suite.coverage() * 100.0
     );
+
+    // One persistent pool per ladder rung, shared by every repetition and
+    // every stage measured on that rung.
+    let contexts: Vec<ExecutionContext> = thread_counts(cores)
+        .into_iter()
+        .map(ExecutionContext::new)
+        .collect();
 
     // Level 1: one lot of 10k chips, chips sharded across threads.  The
     // physical defect pipeline is the heavy generator (clustered
@@ -96,13 +113,14 @@ fn main() {
         let model = runner.run_model_line(&model_config, &dictionary, &coverage);
         (physical, records, experiment, model)
     };
-    let reference = run_lot(&ParallelLotRunner::new().with_threads(1));
+    let reference = run_lot(&ParallelLotRunner::with_context(&contexts[0]));
     println!("\n10k-chip lot (physical + model pipelines): generate + wafer-test + reject table");
     println!("threads | seconds | speedup | identical to serial");
     println!("--------|---------|---------|--------------------");
     let mut serial_seconds = 0.0;
-    for threads in thread_counts(cores) {
-        let runner = ParallelLotRunner::new().with_threads(threads);
+    for context in &contexts {
+        let threads = context.workers();
+        let runner = ParallelLotRunner::with_context(context);
         let (seconds, outcome) = best_of(|| run_lot(&runner));
         if threads == 1 {
             serial_seconds = seconds;
@@ -117,15 +135,20 @@ fn main() {
         assert!(outcome == reference, "thread count changed the results");
     }
 
-    // Level 2: a (y, n0) grid of whole lots fanned across threads.
+    // Level 2: a (y, n0) grid of whole lots fanned across threads — every
+    // point of a sweep reuses the rung's parked workers.
     let points = LotSweep::grid(&[0.03, 0.07, 0.15, 0.30], &[2.0, 4.0, 8.0]);
-    let sweep = |threads| LotSweep {
-        chips: 10_000,
-        fault_universe_size: universe.len(),
-        base_seed: 1981,
-        threads,
+    let sweep = |context| {
+        LotSweep {
+            chips: 10_000,
+            fault_universe_size: universe.len(),
+            base_seed: 1981,
+            threads: 0,
+            context: None,
+        }
+        .with_context(context)
     };
-    let reference = sweep(1).run(&dictionary, &coverage, &points);
+    let reference = sweep(&contexts[0]).run(&dictionary, &coverage, &points);
     println!(
         "\nlot sweep: {} (y, n0) points x 10k chips, lots fanned across threads",
         points.len()
@@ -133,8 +156,9 @@ fn main() {
     println!("threads | seconds | speedup | identical to serial");
     println!("--------|---------|---------|--------------------");
     let mut serial_seconds = 0.0;
-    for threads in thread_counts(cores) {
-        let (seconds, results) = best_of(|| sweep(threads).run(&dictionary, &coverage, &points));
+    for context in &contexts {
+        let threads = context.workers();
+        let (seconds, results) = best_of(|| sweep(context).run(&dictionary, &coverage, &points));
         if threads == 1 {
             serial_seconds = seconds;
         }

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p lsiq-bench --bin table1`
 
-use lsiq_bench::run_line_experiment;
+use lsiq_bench::session_from_env;
 use lsiq_core::chip_test::ChipTestTable;
 
 fn main() {
@@ -16,7 +16,11 @@ fn main() {
     println!("{}", ChipTestTable::paper_table_1().to_table());
 
     println!("=== Regenerated Table 1 (simulated production line) ===");
-    let line = run_line_experiment(277, 0.07, 8.0, 1981, false);
+    // One typed session per run: LSIQ_ENGINE / LSIQ_LOT_THREADS / LSIQ_SEED
+    // flow through Session::from_env; the historical 1981 lot seed applies
+    // unless LSIQ_SEED overrides it.
+    let session = session_from_env();
+    let line = session.reproduce_table1();
     println!(
         "device: {} gates (~{} transistors), {} stuck-at faults",
         line.circuit.gate_count(),

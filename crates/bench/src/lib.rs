@@ -4,28 +4,23 @@
 //! `table1` (the Section 7 chip-test experiment), `fig1`–`fig6`, the
 //! Section 7 worked example, the baseline comparison of Section 3, and the
 //! ablations (`ablation_lot_size`, `ablation_clustering`,
-//! `ablation_threads`).  The helpers here keep their output format
-//! consistent and centralise the slightly expensive "build a chip, a
-//! pattern suite and a tested lot" pipeline several experiments share:
+//! `ablation_threads`).  They all route their configuration through the
+//! typed [`Session`] of the facade crate — one [`RunConfig`] (engine,
+//! workers, base seed) plus one persistent worker pool per process:
 //!
-//! * [`reproduction_circuit`] — the LSI-class device standing in for the
-//!   paper's 25 000-transistor chip,
-//! * [`run_line_experiment`] — the full Section 7 production-line pass,
-//!   sharded across threads by [`ParallelLotRunner`],
-//! * [`engine_from_env`] — the `LSIQ_ENGINE` fault-simulation knob
-//!   ([`EngineKind`]); the lot-side twin `LSIQ_LOT_THREADS` is read by
-//!   [`ParallelLotRunner::new`].
+//! * [`session_from_env`] — builds the [`Session`] from the `LSIQ_*`
+//!   environment knobs, exiting gracefully with the
+//!   [`ConfigError`](lsiq_exec::ConfigError) message on a bad value,
+//! * [`run_line_experiment`] — the full Section 7 production-line pass
+//!   ([`Session::run_production_line`]) with an explicit lot seed,
+//! * [`engine_from_env`] / [`reproduction_circuit`] — thin compatibility
+//!   shims over [`RunConfig::from_env`] and
+//!   [`Session::reproduction_circuit`].
 
-use lsiq_fault::coverage::CoverageCurve;
-use lsiq_fault::dictionary::FaultDictionary;
-use lsiq_fault::simulator::EngineKind;
-use lsiq_fault::universe::FaultUniverse;
-use lsiq_manufacturing::experiment::RejectExperiment;
-use lsiq_manufacturing::lot::ModelLotConfig;
-use lsiq_manufacturing::pipeline::ParallelLotRunner;
+use lsiq_exec::{EngineKind, RunConfig};
 use lsiq_netlist::circuit::Circuit;
-use lsiq_netlist::library::{lsi_class, LsiClassConfig};
-use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
+
+pub use lsi_quality::session::{LineExperiment, LineSpec, Session};
 
 /// Prints a named `(x, y)` series in a gnuplot-friendly two-column layout.
 pub fn print_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
@@ -37,65 +32,48 @@ pub fn print_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f
     println!();
 }
 
-/// The circuit every production-line reproduction uses: an LSI-class
-/// composite.  The transistor target is reduced from the paper's 25 000 to
-/// keep the harness runtime in seconds; pass `full = true` for the
-/// full-size device.
+/// The circuit every production-line reproduction uses — see
+/// [`Session::reproduction_circuit`].
 pub fn reproduction_circuit(full: bool) -> Circuit {
-    let target = if full { 25_000 } else { 10_000 };
-    lsi_class(LsiClassConfig {
-        target_transistors: target,
-        seed: 1981,
-    })
+    Session::reproduction_circuit(full)
 }
 
-/// A production-line experiment bundle: the device, its fault universe, the
-/// ordered pattern suite, and the tested lot's reject table.
-pub struct LineExperiment {
-    /// The device under test.
-    pub circuit: Circuit,
-    /// Size of the uncollapsed fault universe.
-    pub universe_size: usize,
-    /// The ordered pattern suite applied by the tester.
-    pub suite: TestSuite,
-    /// Cumulative-coverage curve of the suite.
-    pub coverage: CoverageCurve,
-    /// The tested lot's cumulative-reject experiment.
-    pub experiment: RejectExperiment,
-    /// The lot's observed yield.
-    pub observed_yield: f64,
-    /// The lot's observed mean fault count over defective chips.
-    pub observed_n0: f64,
-}
-
-/// The fault-simulation engine the reproduction binaries use, selectable via
-/// the `LSIQ_ENGINE` environment variable (`serial`, `ppsfp`, `deductive` or
-/// `parallel`; default `parallel`).  This lets every figure/table binary —
-/// and the CI bench-smoke job — pit the engines against each other on
-/// identical inputs without recompiling.
-///
-/// # Panics
-///
-/// Panics with the list of valid names when `LSIQ_ENGINE` is set to an
-/// unknown engine, since silently falling back would invalidate an intended
-/// comparison.
-pub fn engine_from_env() -> EngineKind {
-    match std::env::var("LSIQ_ENGINE") {
-        Ok(name) => name
-            .parse()
-            .unwrap_or_else(|message: String| panic!("LSIQ_ENGINE: {message}")),
-        Err(std::env::VarError::NotPresent) => EngineKind::default(),
-        Err(error @ std::env::VarError::NotUnicode(_)) => panic!("LSIQ_ENGINE: {error}"),
+/// Reads the `LSIQ_*` knobs into a [`RunConfig`], exiting the process with
+/// the [`ConfigError`](lsiq_exec::ConfigError) message (status 2, no panic
+/// backtrace) on an invalid value — the graceful path the CI smoke job
+/// asserts.
+pub fn run_config_from_env() -> RunConfig {
+    match RunConfig::from_env() {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("lsiq: {error}");
+            std::process::exit(2);
+        }
     }
 }
 
-/// Runs the standard Section 7 style line experiment: an LSI-class device, a
-/// random+PODEM pattern suite, and a lot of `chips` chips drawn from the
-/// statistical model with the given ground truth.  The fault-simulation
-/// engine is chosen by [`engine_from_env`]; the lot generation, wafer test
-/// and reject tabulation run on a [`ParallelLotRunner`], whose worker count
-/// follows `LSIQ_LOT_THREADS` — the results are byte-identical at any
-/// thread count, so the knob only changes wall-clock time.
+/// Opens a [`Session`] from the environment via [`run_config_from_env`],
+/// with the same graceful exit on a bad knob.
+pub fn session_from_env() -> Session {
+    Session::new(run_config_from_env())
+}
+
+/// The fault-simulation engine selected by the environment.
+///
+/// Compatibility shim over [`RunConfig::from_env`] (the single
+/// `LSIQ_*`-parsing site); prefer [`session_from_env`] and
+/// [`Session::config`].  Exits with the
+/// [`ConfigError`](lsiq_exec::ConfigError) message when any `LSIQ_*`
+/// variable is invalid.
+pub fn engine_from_env() -> EngineKind {
+    run_config_from_env().engine()
+}
+
+/// Runs the standard Section 7 style line experiment with an explicit lot
+/// seed: a [`Session`] is opened from the environment (engine and worker
+/// knobs apply; the seed argument overrides `LSIQ_SEED` because each caller
+/// pins its own reference run) and [`Session::run_production_line`] does the
+/// rest on the session's persistent pool.
 pub fn run_line_experiment(
     chips: usize,
     yield_fraction: f64,
@@ -103,40 +81,13 @@ pub fn run_line_experiment(
     seed: u64,
     full_size: bool,
 ) -> LineExperiment {
-    let circuit = reproduction_circuit(full_size);
-    let universe = FaultUniverse::full(&circuit);
-    let suite = TestSuiteBuilder {
-        seed: 1981,
-        chunk: 64,
-        max_random_patterns: 192,
-        target_coverage: 0.95,
-        podem_top_up: false,
-        engine: engine_from_env(),
-        ..TestSuiteBuilder::default()
-    }
-    .build(&circuit, &universe);
-    let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
-    let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
-    let runner = ParallelLotRunner::new();
-    let lot = runner.generate_model_lot(&ModelLotConfig {
+    let session = Session::new(run_config_from_env().with_base_seed(seed));
+    session.run_production_line(&LineSpec {
         chips,
         yield_fraction,
         n0,
-        fault_universe_size: universe.len(),
-        seed,
-    });
-    let records = runner.test_lot(&dictionary, &lot);
-    let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
-    let experiment = runner.experiment(&records, &coverage, &checkpoints);
-    LineExperiment {
-        universe_size: universe.len(),
-        suite,
-        coverage,
-        experiment,
-        observed_yield: lot.observed_yield(),
-        observed_n0: lot.observed_n0(),
-        circuit,
-    }
+        full_size,
+    })
 }
 
 #[cfg(test)]

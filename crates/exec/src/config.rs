@@ -1,0 +1,395 @@
+//! The typed run configuration: engine kind, worker count, base seed.
+//!
+//! [`RunConfig::from_env`] is the single place in the workspace that parses
+//! the `LSIQ_ENGINE`, `LSIQ_LOT_THREADS` and `LSIQ_SEED` environment
+//! variables; every older knob (`lsiq_manufacturing::pipeline::lot_threads_from_env`,
+//! `lsiq_bench::engine_from_env`, the `production_line` example) delegates
+//! here, so an invalid value always produces the same actionable
+//! [`ConfigError`] instead of four divergent panics.
+
+use std::env;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Environment variable selecting the fault-simulation engine.
+pub const ENGINE_VAR: &str = "LSIQ_ENGINE";
+/// Environment variable overriding the worker-thread count.
+pub const WORKERS_VAR: &str = "LSIQ_LOT_THREADS";
+/// Environment variable overriding the base seed.
+pub const SEED_VAR: &str = "LSIQ_SEED";
+
+/// The base seed a [`RunConfig`] falls back to when none is given — the
+/// historical default of the `production_line` example.
+pub const DEFAULT_BASE_SEED: u64 = 42;
+
+/// Names one of the four fault-simulation engines, for configuration
+/// surfaces that select an engine at run time (test-suite builders, bench
+/// binaries, differential harnesses).
+///
+/// This is pure configuration data — names, parsing, ordering.  Turning a
+/// kind into a running engine is the `BuildEngine` extension trait of
+/// `lsiq_fault::simulator`, which re-exports this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// One `(pattern, fault)` pair at a time — the reference implementation.
+    Serial,
+    /// 64 packed patterns, one fault at a time.
+    Ppsfp,
+    /// All faults of one pattern at a time via arena-backed fault lists.
+    Deductive,
+    /// Fault-sharded multi-threaded PPSFP — the production default.
+    #[default]
+    Parallel,
+}
+
+impl EngineKind {
+    /// Every engine, in cross-check order (reference first).
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Serial,
+        EngineKind::Ppsfp,
+        EngineKind::Deductive,
+        EngineKind::Parallel,
+    ];
+
+    /// The engine's short name (matches `FaultSimulator::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Serial => "serial",
+            EngineKind::Ppsfp => "ppsfp",
+            EngineKind::Deductive => "deductive",
+            EngineKind::Parallel => "parallel",
+        }
+    }
+
+    /// Parses an engine name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|kind| kind.name().eq_ignore_ascii_case(name.trim()))
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::from_name(s).ok_or_else(|| {
+            format!("unknown fault-simulation engine {s:?} (expected serial, ppsfp, deductive or parallel)")
+        })
+    }
+}
+
+/// A malformed run-configuration value: which variable, what it held, and
+/// what it should have held.
+///
+/// Every configuration failure in the workspace renders through this one
+/// type, so the message shape is always the same and always actionable:
+///
+/// ```
+/// use lsiq_exec::RunConfig;
+///
+/// // (illustrative — from_env only errors when a variable is actually set
+/// // to an invalid value)
+/// if let Err(error) = RunConfig::from_env() {
+///     eprintln!("{error}");
+///     // e.g. `LSIQ_ENGINE: expected one of serial, ppsfp, deductive or
+///     // parallel, got "warp"; unset the variable to use the default`
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    variable: &'static str,
+    value: String,
+    expected: &'static str,
+}
+
+impl ConfigError {
+    fn new(variable: &'static str, value: impl Into<String>, expected: &'static str) -> Self {
+        ConfigError {
+            variable,
+            value: value.into(),
+            expected,
+        }
+    }
+
+    /// The environment variable (or configuration field) at fault.
+    pub fn variable(&self) -> &str {
+        self.variable
+    }
+
+    /// The offending value, lossily decoded if it was not valid Unicode.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {}, got {:?}; unset the variable to use the default",
+            self.variable, self.expected, self.value
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
+/// The typed configuration of one run: which fault-simulation engine to use,
+/// how many worker threads to run, and the base seed every stochastic stage
+/// derives its streams from.
+///
+/// Build one with the builder methods, or from the environment (the
+/// compatibility layer for the `LSIQ_*` knobs) with [`RunConfig::from_env`]:
+///
+/// ```
+/// use lsiq_exec::{EngineKind, RunConfig};
+///
+/// let config = RunConfig::default()
+///     .with_engine(EngineKind::Ppsfp)
+///     .with_workers(4)
+///     .with_base_seed(7);
+/// assert_eq!(config.engine(), EngineKind::Ppsfp);
+/// assert_eq!(config.workers(), Some(4));
+/// assert_eq!(config.base_seed(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunConfig {
+    engine: EngineKind,
+    workers: Option<usize>,
+    base_seed: Option<u64>,
+}
+
+impl RunConfig {
+    /// A configuration with every field at its default: the parallel engine,
+    /// automatic worker count, base seed [`DEFAULT_BASE_SEED`].
+    pub fn new() -> RunConfig {
+        RunConfig::default()
+    }
+
+    /// Reads the configuration from the environment — the **only**
+    /// `LSIQ_*`-parsing site in the workspace.
+    ///
+    /// Unset variables keep their defaults; a set-but-invalid variable (bad
+    /// engine name, non-positive worker count, unparsable seed, non-Unicode
+    /// bytes) returns a [`ConfigError`] naming the variable, the offending
+    /// value and the accepted grammar.
+    pub fn from_env() -> Result<RunConfig, ConfigError> {
+        let mut config = RunConfig::default();
+        if let Some(value) = read_var(ENGINE_VAR)? {
+            config.engine = EngineKind::from_name(&value).ok_or_else(|| {
+                ConfigError::new(
+                    ENGINE_VAR,
+                    value.clone(),
+                    "one of serial, ppsfp, deductive or parallel",
+                )
+            })?;
+        }
+        if let Some(value) = read_var(WORKERS_VAR)? {
+            let workers = value
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&workers| workers > 0)
+                .ok_or_else(|| {
+                    ConfigError::new(
+                        WORKERS_VAR,
+                        value.clone(),
+                        "a positive integer worker count",
+                    )
+                })?;
+            config.workers = Some(workers);
+        }
+        if let Some(value) = read_var(SEED_VAR)? {
+            let seed = value.trim().parse::<u64>().map_err(|_| {
+                ConfigError::new(SEED_VAR, value.clone(), "an unsigned 64-bit integer seed")
+            })?;
+            config.base_seed = Some(seed);
+        }
+        Ok(config)
+    }
+
+    /// Selects the fault-simulation engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> RunConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets an explicit worker-thread count (`workers >= 1`).
+    pub fn with_workers(mut self, workers: usize) -> RunConfig {
+        self.workers = if workers == 0 { None } else { Some(workers) };
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_base_seed(mut self, base_seed: u64) -> RunConfig {
+        self.base_seed = Some(base_seed);
+        self
+    }
+
+    /// The configured fault-simulation engine.
+    pub fn engine(self) -> EngineKind {
+        self.engine
+    }
+
+    /// The explicit worker-count override, if any (`None` means "use the
+    /// available hardware parallelism").
+    pub fn workers(self) -> Option<usize> {
+        self.workers
+    }
+
+    /// The worker count a context built from this configuration will use:
+    /// the explicit override, or the available hardware parallelism.
+    pub fn effective_workers(self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// The run's base seed: the explicit choice, or [`DEFAULT_BASE_SEED`].
+    pub fn base_seed(self) -> u64 {
+        self.base_seed.unwrap_or(DEFAULT_BASE_SEED)
+    }
+
+    /// The explicit base seed if one was given, otherwise a caller-supplied
+    /// default — for drivers whose historical reference runs pin a specific
+    /// seed (e.g. the Table 1 reproduction's 1981) while still letting
+    /// `LSIQ_SEED` override it.
+    pub fn seed_or(self, default: u64) -> u64 {
+        self.base_seed.unwrap_or(default)
+    }
+}
+
+impl fmt::Display for RunConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine = {}, workers = ", self.engine)?;
+        match self.workers {
+            Some(workers) => write!(f, "{workers}")?,
+            None => write!(f, "auto({})", self.effective_workers())?,
+        }
+        write!(f, ", base seed = {}", self.base_seed())
+    }
+}
+
+fn read_var(name: &'static str) -> Result<Option<String>, ConfigError> {
+    match env::var(name) {
+        Ok(value) => Ok(Some(value)),
+        Err(env::VarError::NotPresent) => Ok(None),
+        Err(env::VarError::NotUnicode(raw)) => Err(ConfigError::new(
+            name,
+            raw.to_string_lossy().into_owned(),
+            "a valid Unicode value",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_parses_names_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.name().to_uppercase().parse::<EngineKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(
+            EngineKind::from_name("  Deductive "),
+            Some(EngineKind::Deductive)
+        );
+        assert!(EngineKind::from_name("concurrent").is_none());
+        assert!("concurrent".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Parallel);
+    }
+
+    #[test]
+    fn builder_and_accessors_round_trip() {
+        let config = RunConfig::new()
+            .with_engine(EngineKind::Serial)
+            .with_workers(3)
+            .with_base_seed(1981);
+        assert_eq!(config.engine(), EngineKind::Serial);
+        assert_eq!(config.workers(), Some(3));
+        assert_eq!(config.effective_workers(), 3);
+        assert_eq!(config.base_seed(), 1981);
+        assert_eq!(config.seed_or(7), 1981);
+
+        let default = RunConfig::default();
+        assert_eq!(default.engine(), EngineKind::Parallel);
+        assert_eq!(default.workers(), None);
+        assert!(default.effective_workers() >= 1);
+        assert_eq!(default.base_seed(), DEFAULT_BASE_SEED);
+        assert_eq!(default.seed_or(7), 7);
+        // `with_workers(0)` means "back to automatic".
+        assert_eq!(default.with_workers(0).workers(), None);
+    }
+
+    #[test]
+    fn display_names_every_field() {
+        let config = RunConfig::new().with_workers(2);
+        let rendered = config.to_string();
+        assert!(rendered.contains("engine = parallel"), "{rendered}");
+        assert!(rendered.contains("workers = 2"), "{rendered}");
+        assert!(rendered.contains("base seed = 42"), "{rendered}");
+        assert!(RunConfig::new().to_string().contains("auto("));
+    }
+
+    /// Environment-variable parsing, exercised in one sequential test (env
+    /// mutation is process-global, so splitting these into separate `#[test]`
+    /// functions would race under the parallel test runner).
+    #[test]
+    fn from_env_round_trip_and_errors() {
+        let clear = || {
+            env::remove_var(ENGINE_VAR);
+            env::remove_var(WORKERS_VAR);
+            env::remove_var(SEED_VAR);
+        };
+        clear();
+        assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
+
+        env::set_var(ENGINE_VAR, "Deductive");
+        env::set_var(WORKERS_VAR, " 4 ");
+        env::set_var(SEED_VAR, "1981");
+        let config = RunConfig::from_env().expect("valid environment");
+        assert_eq!(config.engine(), EngineKind::Deductive);
+        assert_eq!(config.workers(), Some(4));
+        assert_eq!(config.base_seed(), 1981);
+
+        env::set_var(ENGINE_VAR, "warp");
+        let error = RunConfig::from_env().expect_err("invalid engine");
+        assert_eq!(error.variable(), ENGINE_VAR);
+        assert_eq!(error.value(), "warp");
+        let message = error.to_string();
+        assert!(message.contains("LSIQ_ENGINE"), "{message}");
+        assert!(
+            message.contains("serial, ppsfp, deductive or parallel"),
+            "{message}"
+        );
+        assert!(message.contains("unset the variable"), "{message}");
+
+        env::set_var(ENGINE_VAR, "parallel");
+        env::set_var(WORKERS_VAR, "0");
+        let error = RunConfig::from_env().expect_err("zero workers");
+        assert_eq!(error.variable(), WORKERS_VAR);
+        assert!(error.to_string().contains("positive integer"), "{error}");
+
+        env::set_var(WORKERS_VAR, "8");
+        env::set_var(SEED_VAR, "not-a-seed");
+        let error = RunConfig::from_env().expect_err("bad seed");
+        assert_eq!(error.variable(), SEED_VAR);
+        assert!(error.to_string().contains("64-bit"), "{error}");
+
+        clear();
+        assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
+    }
+}

@@ -50,5 +50,5 @@ pub use coverage::CoverageCurve;
 pub use list::{DetectionState, FaultList, ListArena, ListRef};
 pub use model::{Fault, FaultSite, StuckValue};
 pub use parallel::ParallelSimulator;
-pub use simulator::{EngineKind, FaultSimulator};
+pub use simulator::{BuildEngine, EngineKind, FaultSimulator};
 pub use universe::{FaultUniverse, SiteTable};

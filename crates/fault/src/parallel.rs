@@ -14,12 +14,19 @@
 //! order by a single thread, so the recorded first detection is identical to
 //! the serial reference — the equivalence is enforced by
 //! `tests/fault_sim_equivalence.rs`.
+//!
+//! Shards execute on a persistent [`ExecutionContext`] worker pool — the one
+//! passed via [`ParallelSimulator::with_context`], or the process-wide
+//! default pool ([`ExecutionContext::global`]) — so repeated runs (a test
+//! suite builder's coverage loop, a lot sweep) reuse parked workers instead
+//! of spawning threads per call.
 
 use crate::inject::output_words_with_fault;
 use crate::list::FaultList;
 use crate::model::Fault;
 use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
+use lsiq_exec::ExecutionContext;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::packed::{first_differing_slot, valid_mask, PATTERNS_PER_WORD};
@@ -40,6 +47,7 @@ pub struct ParallelSimulator<'c> {
     compiled: CompiledCircuit<'c>,
     drop_detected: bool,
     threads: usize,
+    context: Option<&'c ExecutionContext>,
 }
 
 impl<'c> ParallelSimulator<'c> {
@@ -54,7 +62,17 @@ impl<'c> ParallelSimulator<'c> {
             compiled: CompiledCircuit::new(circuit),
             drop_detected: true,
             threads: 0,
+            context: None,
         }
+    }
+
+    /// Binds the simulator to a persistent worker pool; without this, runs
+    /// use the process-wide default pool ([`ExecutionContext::global`]).
+    /// Unless overridden by [`with_threads`](Self::with_threads), the shard
+    /// count follows the context's worker count.
+    pub fn with_context(mut self, context: &'c ExecutionContext) -> Self {
+        self.context = Some(context);
+        self
     }
 
     /// Controls fault dropping (see
@@ -71,10 +89,21 @@ impl<'c> ParallelSimulator<'c> {
         self
     }
 
+    /// The worker pool runs execute on: the bound context, or the
+    /// process-wide default pool.
+    fn execution_context(&self) -> &ExecutionContext {
+        self.context.unwrap_or_else(|| ExecutionContext::global())
+    }
+
     /// The worker-thread count a run would use for `fault_count` faults.
+    /// Deliberately avoids touching [`ExecutionContext::global`] so that
+    /// runs which fold back to a single inline shard never spawn the
+    /// process-wide pool.
     fn shard_count(&self, fault_count: usize) -> usize {
         let requested = if self.threads > 0 {
             self.threads
+        } else if let Some(context) = self.context {
+            context.workers()
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -152,19 +181,9 @@ impl FaultSimulator for ParallelSimulator<'_> {
         let detections: Vec<Vec<Option<usize>>> = if shards == 1 {
             vec![self.simulate_shard(faults, &blocks)]
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = faults
-                    .chunks(chunk)
-                    .map(|shard_faults| {
-                        let blocks = &blocks;
-                        scope.spawn(move || self.simulate_shard(shard_faults, blocks))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| handle.join().expect("fault-simulation shard panicked"))
-                    .collect()
-            })
+            let shard_faults: Vec<&[Fault]> = faults.chunks(chunk).collect();
+            self.execution_context()
+                .scope_map(shard_faults, |shard| self.simulate_shard(shard, &blocks))
         };
 
         for (shard, shard_detections) in detections.into_iter().enumerate() {
@@ -228,6 +247,29 @@ mod tests {
                 .with_threads(threads)
                 .run(&universe, &patterns);
             assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn explicit_context_matches_the_global_pool() {
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 10,
+            gates: 120,
+            seed: 23,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = exhaustive_patterns(6);
+        let reference = ParallelSimulator::new(&circuit).run(&universe, &patterns);
+        for workers in [1, 2, 6] {
+            let context = ExecutionContext::new(workers);
+            // Two runs on one context: the pool is reused, not respawned.
+            for _ in 0..2 {
+                let bound = ParallelSimulator::new(&circuit)
+                    .with_context(&context)
+                    .run(&universe, &patterns);
+                assert_eq!(reference, bound, "workers = {workers}");
+            }
         }
     }
 

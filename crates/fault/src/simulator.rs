@@ -56,10 +56,15 @@ use crate::parallel::ParallelSimulator;
 use crate::ppsfp::PpsfpSimulator;
 use crate::serial::SerialSimulator;
 use crate::universe::FaultUniverse;
+use lsiq_exec::ExecutionContext;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
-use std::fmt;
-use std::str::FromStr;
+
+/// The engine-selection knob, re-exported from the configuration crate so a
+/// typed `lsiq_exec::RunConfig` can carry it without depending on the
+/// engines themselves.  Instantiating a kind is the [`BuildEngine`]
+/// extension trait below.
+pub use lsiq_exec::EngineKind;
 
 /// A fault-simulation engine: evaluates an ordered pattern set against a
 /// fault universe and reports, per fault, the first detecting pattern.
@@ -85,56 +90,51 @@ pub trait FaultSimulator {
     }
 }
 
-/// Names one of the four fault-simulation engines, for configuration
-/// surfaces that select an engine at run time (test-suite builders, bench
-/// binaries, differential harnesses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum EngineKind {
-    /// One `(pattern, fault)` pair at a time — the reference implementation.
-    Serial,
-    /// 64 packed patterns, one fault at a time.
-    Ppsfp,
-    /// All faults of one pattern at a time via arena-backed fault lists.
-    Deductive,
-    /// Fault-sharded multi-threaded PPSFP — the production default.
-    #[default]
-    Parallel,
-}
-
-impl EngineKind {
-    /// Every engine, in cross-check order (reference first).
-    pub const ALL: [EngineKind; 4] = [
-        EngineKind::Serial,
-        EngineKind::Ppsfp,
-        EngineKind::Deductive,
-        EngineKind::Parallel,
-    ];
-
-    /// The engine's short name (matches [`FaultSimulator::name`]).
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Serial => "serial",
-            EngineKind::Ppsfp => "ppsfp",
-            EngineKind::Deductive => "deductive",
-            EngineKind::Parallel => "parallel",
-        }
-    }
-
-    /// Parses an engine name (case-insensitive).
-    pub fn from_name(name: &str) -> Option<EngineKind> {
-        EngineKind::ALL
-            .into_iter()
-            .find(|kind| kind.name().eq_ignore_ascii_case(name.trim()))
-    }
-
+/// Instantiation of fault-simulation engines from [`EngineKind`] values.
+///
+/// `EngineKind` itself lives in `lsiq_exec` (pure configuration data, so a
+/// `RunConfig` can carry it without a dependency cycle); this extension
+/// trait supplies the constructors and is implemented for `EngineKind`
+/// alone.  Import it alongside the kind:
+///
+/// ```
+/// use lsiq_fault::simulator::{BuildEngine, EngineKind};
+/// use lsiq_netlist::library;
+///
+/// let circuit = library::c17();
+/// let engine = EngineKind::Deductive.build(&circuit);
+/// assert_eq!(engine.name(), "deductive");
+/// ```
+pub trait BuildEngine {
     /// Instantiates the engine for `circuit` with its default settings
     /// (fault dropping on; collapsing on for the deductive engine).
-    pub fn build<'c>(self, circuit: &'c Circuit) -> Box<dyn FaultSimulator + 'c> {
+    fn build<'c>(self, circuit: &'c Circuit) -> Box<dyn FaultSimulator + 'c>;
+
+    /// Instantiates the engine with an explicit fault-dropping mode.
+    fn build_with_fault_dropping<'c>(
+        self,
+        circuit: &'c Circuit,
+        fault_dropping: bool,
+    ) -> Box<dyn FaultSimulator + 'c>;
+
+    /// Instantiates the engine bound to a persistent [`ExecutionContext`]:
+    /// the parallel engine shards its fault universe across the context's
+    /// pooled workers instead of the process-wide default pool, and the
+    /// single-threaded engines simply run on the calling thread (which may
+    /// itself be one of the context's workers).
+    fn build_in<'c>(
+        self,
+        context: &'c ExecutionContext,
+        circuit: &'c Circuit,
+    ) -> Box<dyn FaultSimulator + 'c>;
+}
+
+impl BuildEngine for EngineKind {
+    fn build<'c>(self, circuit: &'c Circuit) -> Box<dyn FaultSimulator + 'c> {
         self.build_with_fault_dropping(circuit, true)
     }
 
-    /// Instantiates the engine with an explicit fault-dropping mode.
-    pub fn build_with_fault_dropping<'c>(
+    fn build_with_fault_dropping<'c>(
         self,
         circuit: &'c Circuit,
         fault_dropping: bool,
@@ -154,21 +154,16 @@ impl EngineKind {
             }
         }
     }
-}
 
-impl fmt::Display for EngineKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-impl FromStr for EngineKind {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        EngineKind::from_name(s).ok_or_else(|| {
-            format!("unknown fault-simulation engine {s:?} (expected serial, ppsfp, deductive or parallel)")
-        })
+    fn build_in<'c>(
+        self,
+        context: &'c ExecutionContext,
+        circuit: &'c Circuit,
+    ) -> Box<dyn FaultSimulator + 'c> {
+        match self {
+            EngineKind::Parallel => Box::new(ParallelSimulator::new(circuit).with_context(context)),
+            other => other.build(circuit),
+        }
     }
 }
 
@@ -207,6 +202,20 @@ mod tests {
             CoverageCurve::from_fault_list(&engine.run(&universe, &patterns), patterns.len());
         assert_eq!(curve, manual);
         assert_eq!(curve.pattern_count(), 8);
+    }
+
+    #[test]
+    fn build_in_runs_every_engine_on_an_explicit_context() {
+        let context = lsiq_exec::ExecutionContext::new(2);
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        let reference = EngineKind::Serial.build(&circuit).run(&universe, &patterns);
+        for kind in EngineKind::ALL {
+            let engine = kind.build_in(&context, &circuit);
+            assert_eq!(engine.name(), kind.name());
+            assert_eq!(engine.run(&universe, &patterns), reference, "{kind}");
+        }
     }
 
     #[test]

@@ -52,10 +52,10 @@ impl RejectExperiment {
         }
     }
 
-    /// Computes the single checkpoint row at `patterns_applied` — a pure
-    /// function of the records and the coverage curve, which is what lets
-    /// [`ParallelLotRunner`](crate::pipeline::ParallelLotRunner) shard the
-    /// checkpoints of a tabulation across threads.
+    /// Computes the single checkpoint row at `patterns_applied` by scanning
+    /// every record — the `O(records)`-per-checkpoint reference that
+    /// [`ParallelLotRunner::experiment`](crate::pipeline::ParallelLotRunner::experiment)
+    /// reproduces with one streamed counting-sort pass over the records.
     pub(crate) fn row_at(
         records: &[TestRecord],
         coverage: &CoverageCurve,

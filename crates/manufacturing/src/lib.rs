@@ -20,10 +20,13 @@
 //! * [`field`] — field-reject measurement over the shipped (passing) chips,
 //!   and
 //! * [`pipeline`] — the multi-threaded production line:
-//!   [`ParallelLotRunner`] shards one lot's chips across threads with
-//!   byte-identical results, and [`LotSweep`] fans whole `(y, n0)`
-//!   experiment grids across lots (`LSIQ_LOT_THREADS` selects the worker
-//!   count, mirroring `LSIQ_ENGINE`).
+//!   [`ParallelLotRunner`] shards one lot's chips across pooled worker
+//!   threads with byte-identical results, and [`LotSweep`] fans whole
+//!   `(y, n0)` experiment grids across lots.  Both run on a persistent
+//!   [`ExecutionContext`](lsiq_exec::ExecutionContext) — a session's, or
+//!   the process-wide default — configured through the typed
+//!   [`RunConfig`](lsiq_exec::RunConfig) (the `LSIQ_LOT_THREADS` variable
+//!   survives as its compatibility layer).
 //!
 //! The chips of a lot are testable against any pattern suite summarised by a
 //! [`FaultDictionary`](lsiq_fault::dictionary::FaultDictionary) — typically

@@ -7,7 +7,7 @@
 //! and is tested independently.  This module
 //! exploits that at two levels:
 //!
-//! * [`ParallelLotRunner`] shards the chips of *one* lot across scoped worker
+//! * [`ParallelLotRunner`] shards the chips of *one* lot across pooled worker
 //!   threads — generation ([`ChipLot::from_model`] / physical pipeline),
 //!   wafer testing ([`WaferTester`]) and reject-table bookkeeping
 //!   ([`RejectExperiment`]) — producing byte-identical results to the serial
@@ -16,47 +16,55 @@
 //!   truths, one lot each — across threads and aggregates the per-lot
 //!   reject-rate and field-quality estimates.
 //!
-//! The worker-thread count follows the `LSIQ_LOT_THREADS` environment
-//! variable (mirroring the fault-simulation engine knob `LSIQ_ENGINE`), and
-//! defaults to the available hardware parallelism.
+//! Both levels execute on a persistent [`ExecutionContext`] worker pool —
+//! the one bound via [`ParallelLotRunner::with_context`] /
+//! [`LotSweep::with_context`] (a `Session`'s pool, typically), or the
+//! process-wide default pool.  A sweep therefore reuses the same parked
+//! workers across all its `(y, n0)` points instead of respawning threads per
+//! lot, and reject tabulation streams each record exactly once into
+//! per-shard counting-sort accumulators merged at join.
+//!
+//! Configuration flows through the typed `lsiq_exec::RunConfig`; the
+//! `LSIQ_LOT_THREADS` environment variable survives as a compatibility layer
+//! consumed by [`ParallelLotRunner::new`] via [`RunConfig::from_env`].
 
 use crate::chip::Chip;
-use crate::experiment::RejectExperiment;
+use crate::experiment::{RejectExperiment, RejectRow};
 use crate::field::FieldOutcome;
 use crate::lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
 use crate::tester::{TestRecord, WaferTester};
+use lsiq_exec::{ExecutionContext, RunConfig};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_stats::rng::{Rng, SplitMix64};
 
 /// Reads the `LSIQ_LOT_THREADS` override, if any.
 ///
+/// Compatibility shim: parsing is delegated to [`RunConfig::from_env`] (the
+/// single `LSIQ_*`-parsing site of the workspace); prefer building a
+/// [`RunConfig`] — or an `lsi_quality::Session` — directly.
+///
 /// # Panics
 ///
-/// Panics when the variable is set but is not a positive integer, since
-/// silently falling back would invalidate an intended scaling measurement.
+/// Panics with the [`ConfigError`](lsiq_exec::ConfigError) message when any
+/// `LSIQ_*` variable is set to an invalid value, since silently falling back
+/// would invalidate an intended scaling measurement.
 pub fn lot_threads_from_env() -> Option<usize> {
-    match std::env::var("LSIQ_LOT_THREADS") {
-        Ok(value) => match value.trim().parse::<usize>() {
-            Ok(threads) if threads > 0 => Some(threads),
-            _ => panic!(
-                "LSIQ_LOT_THREADS: expected a positive integer, got {value:?} \
-                 (unset it to use the available hardware parallelism)"
-            ),
-        },
-        Err(std::env::VarError::NotPresent) => None,
-        Err(error @ std::env::VarError::NotUnicode(_)) => panic!("LSIQ_LOT_THREADS: {error}"),
+    match RunConfig::from_env() {
+        Ok(config) => config.workers(),
+        Err(error) => panic!("{error}"),
     }
 }
 
 /// Runs the per-chip stages of a production lot — generation, wafer test,
-/// reject bookkeeping — sharded across scoped worker threads.
+/// reject bookkeeping — sharded across pooled worker threads.
 ///
 /// Because chip `i` draws only from stream `i` of the lot seed, the sharding
 /// is invisible in the output: any thread count produces byte-identical
 /// lots, test records and experiment tables.
 ///
 /// ```
+/// use lsiq_exec::ExecutionContext;
 /// use lsiq_manufacturing::lot::{ChipLot, ModelLotConfig};
 /// use lsiq_manufacturing::pipeline::ParallelLotRunner;
 ///
@@ -68,47 +76,83 @@ pub fn lot_threads_from_env() -> Option<usize> {
 ///     seed: 42,
 /// };
 /// let serial = ChipLot::from_model(&config);
+/// // On a session's persistent pool…
+/// let context = ExecutionContext::new(4);
+/// let pooled = ParallelLotRunner::with_context(&context).generate_model_lot(&config);
+/// // …or on the process-wide default pool with an explicit shard count.
 /// let parallel = ParallelLotRunner::new()
 ///     .with_threads(4)
 ///     .generate_model_lot(&config);
-/// assert_eq!(serial, parallel); // byte-identical at any thread count
+/// assert_eq!(serial, pooled); // byte-identical at any thread count
+/// assert_eq!(serial, parallel);
 /// ```
 #[derive(Debug, Clone, Copy)]
-pub struct ParallelLotRunner {
+pub struct ParallelLotRunner<'ctx> {
     threads: usize,
+    context: Option<&'ctx ExecutionContext>,
 }
 
-impl Default for ParallelLotRunner {
+impl Default for ParallelLotRunner<'_> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl ParallelLotRunner {
-    /// Minimum number of work items per shard; below this the spawn overhead
-    /// costs more than the parallelism recovers.
+impl<'ctx> ParallelLotRunner<'ctx> {
+    /// Minimum number of work items per shard; below this the scheduling
+    /// overhead costs more than the parallelism recovers.
     const MIN_ITEMS_PER_SHARD: usize = 128;
 
     /// Creates a runner honouring the `LSIQ_LOT_THREADS` environment
     /// variable; unset, it uses one worker per available hardware thread.
+    /// Work executes on the process-wide default pool
+    /// ([`ExecutionContext::global`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`](lsiq_exec::ConfigError) message when
+    /// an `LSIQ_*` variable is set to an invalid value (see
+    /// [`lot_threads_from_env`]).  The typed constructor
+    /// [`with_context`](Self::with_context) never touches the environment.
     pub fn new() -> Self {
         ParallelLotRunner {
             threads: lot_threads_from_env().unwrap_or(0),
+            context: None,
+        }
+    }
+
+    /// Creates a runner bound to a persistent worker pool; the shard count
+    /// follows the context's worker count unless overridden with
+    /// [`with_threads`](Self::with_threads).  The environment is not
+    /// consulted.
+    pub fn with_context(context: &'ctx ExecutionContext) -> Self {
+        ParallelLotRunner {
+            threads: 0,
+            context: Some(context),
         }
     }
 
     /// Overrides the worker-thread count; `0` restores the default (the
-    /// available hardware parallelism).
+    /// bound context's worker count, or the available hardware parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
+    /// The worker pool this runner executes on.
+    fn execution_context(&self) -> &ExecutionContext {
+        self.context.unwrap_or_else(|| ExecutionContext::global())
+    }
+
     /// The configured worker count before any per-run clamping: the explicit
-    /// override, or the available hardware parallelism.
+    /// override, or the pool's worker count.  Deliberately avoids touching
+    /// [`ExecutionContext::global`] so that runs which fold back to a single
+    /// inline shard never spawn the process-wide pool.
     fn requested_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
+        } else if let Some(context) = self.context {
+            context.workers()
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -123,9 +167,33 @@ impl ParallelLotRunner {
             .max(1)
     }
 
+    /// Splits `count` indices into per-shard ranges, maps every range
+    /// through `work` on the pool, and returns one result per shard in index
+    /// order.  The building block of both the concatenating
+    /// [`sharded`](Self::sharded) map and the fold-style accumulator merges
+    /// ([`experiment`](Self::experiment)).
+    fn sharded_chunks<T, F>(&self, count: usize, min_per_shard: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+    {
+        let threads = self
+            .requested_threads()
+            .min(count.div_ceil(min_per_shard.max(1)))
+            .max(1);
+        if threads <= 1 || count == 0 {
+            return vec![work(0..count)];
+        }
+        let shard_size = count.div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..count)
+            .step_by(shard_size)
+            .map(|start| start..(start + shard_size).min(count))
+            .collect();
+        self.execution_context().scope_map(ranges, work)
+    }
+
     /// Maps `count` indices through `work` (one call per contiguous index
-    /// range, results concatenated in index order), sharded across scoped
-    /// threads.
+    /// range, results concatenated in index order), sharded across the pool.
     fn sharded<T, F>(&self, count: usize, work: F) -> Vec<T>
     where
         T: Send,
@@ -136,37 +204,18 @@ impl ParallelLotRunner {
 
     /// [`sharded`](Self::sharded) with an explicit minimum number of items
     /// per shard — `1` for coarse work items (whole lots) whose cost dwarfs
-    /// a thread spawn.
+    /// the scheduling overhead.
     fn sharded_min<T, F>(&self, count: usize, min_per_shard: usize, work: F) -> Vec<T>
     where
         T: Send,
         F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
     {
-        let threads = self
-            .requested_threads()
-            .min(count.div_ceil(min_per_shard.max(1)))
-            .max(1);
-        if threads <= 1 || count == 0 {
-            return work(0..count);
+        let mut shards = self.sharded_chunks(count, min_per_shard, work);
+        if shards.len() == 1 {
+            return shards.pop().expect("one shard");
         }
-        let shard_size = count.div_ceil(threads);
-        let ranges: Vec<std::ops::Range<usize>> = (0..count)
-            .step_by(shard_size)
-            .map(|start| start..(start + shard_size).min(count))
-            .collect();
-        let work = &work;
-        let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(move || work(range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("lot shard worker panicked"))
-                .collect()
-        });
         let mut merged = Vec::with_capacity(count);
-        for shard in results.iter_mut() {
+        for shard in shards.iter_mut() {
             merged.append(shard);
         }
         merged
@@ -211,22 +260,70 @@ impl ParallelLotRunner {
         self.sharded(chips.len(), |range| tester.test_chips(&chips[range]))
     }
 
-    /// Tabulates a reject experiment ([`RejectExperiment::tabulate`]) with
-    /// the checkpoints sharded across threads.
+    /// Tabulates a reject experiment ([`RejectExperiment::tabulate`]) by
+    /// streaming the records once instead of re-scanning them per
+    /// checkpoint.
+    ///
+    /// Each worker folds its record shard into a first-fail histogram (a
+    /// counting sort over pattern indices); the per-shard accumulators are
+    /// merged at join and a single prefix-sum pass yields every checkpoint
+    /// row — `O(records + patterns + checkpoints)` total, against the
+    /// `O(records × checkpoints)` of the post-hoc scan.  The rows are
+    /// byte-identical to [`RejectExperiment::tabulate`] (enforced by
+    /// `tests/lot_differential.rs`).
     pub fn experiment(
         &self,
         records: &[TestRecord],
         coverage: &CoverageCurve,
         checkpoints: &[usize],
     ) -> RejectExperiment {
-        let rows = self.sharded(checkpoints.len(), |range| {
-            checkpoints[range]
-                .iter()
-                .map(|&patterns_applied| {
-                    RejectExperiment::row_at(records, coverage, patterns_applied)
-                })
-                .collect()
-        });
+        let shard_histograms =
+            self.sharded_chunks(records.len(), Self::MIN_ITEMS_PER_SHARD, |range| {
+                let mut counts: Vec<usize> = Vec::new();
+                for record in &records[range] {
+                    if let Some(first) = record.first_fail {
+                        if first >= counts.len() {
+                            counts.resize(first + 1, 0);
+                        }
+                        counts[first] += 1;
+                    }
+                }
+                counts
+            });
+        let mut fail_counts: Vec<usize> = Vec::new();
+        for shard in shard_histograms {
+            if shard.len() > fail_counts.len() {
+                fail_counts.resize(shard.len(), 0);
+            }
+            for (total, count) in fail_counts.iter_mut().zip(shard) {
+                *total += count;
+            }
+        }
+        // cumulative_failed[k]: chips whose first failure precedes pattern k.
+        let mut cumulative_failed = Vec::with_capacity(fail_counts.len() + 1);
+        cumulative_failed.push(0usize);
+        let mut running = 0usize;
+        for count in &fail_counts {
+            running += count;
+            cumulative_failed.push(running);
+        }
+        let rows = checkpoints
+            .iter()
+            .map(|&patterns_applied| {
+                let chips_failed =
+                    cumulative_failed[patterns_applied.min(cumulative_failed.len() - 1)];
+                RejectRow {
+                    patterns_applied,
+                    fault_coverage: coverage.coverage_after(patterns_applied),
+                    chips_failed,
+                    fraction_failed: if records.is_empty() {
+                        0.0
+                    } else {
+                        chips_failed as f64 / records.len() as f64
+                    },
+                }
+            })
+            .collect();
         RejectExperiment::from_rows(rows, records.len())
     }
 
@@ -304,21 +401,33 @@ pub struct SweepResult {
 ///
 /// Lot `i` of a sweep is seeded from stream `i` of the base seed, so sweep
 /// results are byte-identical at any thread count, exactly like single-lot
-/// runs.
+/// runs.  Bind the sweep to a session's persistent pool with
+/// [`with_context`](Self::with_context) and every point of the grid reuses
+/// the same parked workers.
 #[derive(Debug, Clone, Copy)]
-pub struct LotSweep {
+pub struct LotSweep<'ctx> {
     /// Chips per lot.
     pub chips: usize,
     /// Size of the fault universe the chips' fault indices refer to.
     pub fault_universe_size: usize,
     /// Base seed; lot `i` uses the `i`-th stream of it.
     pub base_seed: u64,
-    /// Worker threads to fan lots across (`0` defers to `LSIQ_LOT_THREADS`,
-    /// then the available hardware parallelism).
+    /// Worker threads to fan lots across (`0` defers to the bound context's
+    /// worker count — or, without a context, to `LSIQ_LOT_THREADS`, then the
+    /// available hardware parallelism).
     pub threads: usize,
+    /// The persistent worker pool to fan out on; `None` falls back to the
+    /// compatibility path (`LSIQ_LOT_THREADS` + the process-wide pool).
+    pub context: Option<&'ctx ExecutionContext>,
 }
 
-impl LotSweep {
+impl<'ctx> LotSweep<'ctx> {
+    /// Binds the sweep to a persistent worker pool.
+    pub fn with_context(mut self, context: &'ctx ExecutionContext) -> Self {
+        self.context = Some(context);
+        self
+    }
+
     /// Builds the cartesian grid of sweep points, `n0` varying fastest.
     pub fn grid(yields: &[f64], n0s: &[f64]) -> Vec<SweepPoint> {
         yields
@@ -335,13 +444,14 @@ impl LotSweep {
     }
 
     /// Runs every sweep point against the given test programme, fanning the
-    /// lots across threads; results come back in point order.
+    /// lots across the pool; results come back in point order.
     ///
     /// Each lot runs its own pipeline serially (the parallelism is across
     /// lots here), so a sweep of many small lots and a
     /// [`ParallelLotRunner`] run of one large lot saturate the hardware the
-    /// same way.  A `threads` of `0` defers to `LSIQ_LOT_THREADS`, then the
-    /// available hardware parallelism, exactly like the runner.
+    /// same way.  A `threads` of `0` defers to the bound context's worker
+    /// count (or `LSIQ_LOT_THREADS`, then the available hardware
+    /// parallelism), exactly like the runner.
     pub fn run(
         &self,
         dictionary: &FaultDictionary,
@@ -350,12 +460,15 @@ impl LotSweep {
     ) -> Vec<SweepResult> {
         // Fan lots (not chips) across threads: each worker runs whole
         // pipelines with a single-threaded runner.
-        let fan_out = if self.threads > 0 {
-            ParallelLotRunner::new().with_threads(self.threads)
-        } else {
-            ParallelLotRunner::new() // honours LSIQ_LOT_THREADS
+        let fan_out = match self.context {
+            Some(context) => ParallelLotRunner::with_context(context),
+            None => ParallelLotRunner::new(), // honours LSIQ_LOT_THREADS
+        }
+        .with_threads(self.threads);
+        let per_lot = ParallelLotRunner {
+            threads: 1,
+            context: None,
         };
-        let per_lot = ParallelLotRunner::new().with_threads(1);
         let run_point = |index: usize| -> SweepResult {
             let point = points[index];
             let seed = self.lot_seed(index);
@@ -422,6 +535,12 @@ mod tests {
                 .generate_model_lot(&config);
             assert_eq!(serial, parallel, "threads = {threads}");
         }
+        // The same through an explicit pool instead of the global one.
+        for workers in [1, 2, 5] {
+            let context = ExecutionContext::new(workers);
+            let pooled = ParallelLotRunner::with_context(&context).generate_model_lot(&config);
+            assert_eq!(serial, pooled, "workers = {workers}");
+        }
     }
 
     #[test]
@@ -441,6 +560,28 @@ mod tests {
                 runner.experiment(&serial_records, &coverage, &checkpoints)
             );
         }
+    }
+
+    #[test]
+    fn streamed_experiment_handles_sparse_and_clamped_checkpoints() {
+        let (dictionary, coverage, universe) = fixture();
+        let config = model_config(universe);
+        let lot = ChipLot::from_model(&config);
+        let records = WaferTester::new(&dictionary).test_lot(&lot);
+        let runner = ParallelLotRunner::new().with_threads(3);
+        // Sparse, unsorted-looking and beyond-the-curve checkpoints all
+        // reduce to the serial reference.
+        for checkpoints in [vec![], vec![1], vec![5, 1, 500], vec![1_000_000]] {
+            assert_eq!(
+                RejectExperiment::tabulate(&records, &coverage, &checkpoints),
+                runner.experiment(&records, &coverage, &checkpoints),
+                "checkpoints = {checkpoints:?}"
+            );
+        }
+        // Empty record sets produce all-zero rows, not NaNs.
+        let empty = runner.experiment(&[], &coverage, &[1, 2]);
+        assert_eq!(empty.total_chips(), 0);
+        assert!(empty.rows().iter().all(|row| row.fraction_failed == 0.0));
     }
 
     #[test]
@@ -468,6 +609,7 @@ mod tests {
             fault_universe_size: universe,
             base_seed: 99,
             threads: 1,
+            context: None,
         };
         let parallel = LotSweep {
             threads: 4,
@@ -476,6 +618,17 @@ mod tests {
         let serial_results = serial.run(&dictionary, &coverage, &points);
         let parallel_results = parallel.run(&dictionary, &coverage, &points);
         assert_eq!(serial_results, parallel_results);
+        // A sweep bound to a persistent pool reuses it across all points —
+        // and across repeated runs — with identical results.
+        let context = ExecutionContext::new(3);
+        let pooled = LotSweep {
+            threads: 0,
+            ..serial
+        }
+        .with_context(&context);
+        for _ in 0..2 {
+            assert_eq!(serial_results, pooled.run(&dictionary, &coverage, &points));
+        }
         for (result, point) in serial_results.iter().zip(&points) {
             assert_eq!(result.point, *point);
             assert_eq!(result.outcome.records.len(), 150);
@@ -492,5 +645,11 @@ mod tests {
         assert_eq!(runner.threads_for(0), 1);
         // Tiny lots never fan out past the shard minimum.
         assert!(runner.threads_for(256) <= 2);
+        // A context-bound runner defaults to the pool's worker count.
+        let context = ExecutionContext::new(3);
+        assert_eq!(
+            ParallelLotRunner::with_context(&context).threads_for(100_000),
+            3
+        );
     }
 }

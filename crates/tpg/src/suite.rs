@@ -7,10 +7,11 @@
 
 use crate::podem::{Podem, TestOutcome};
 use crate::random::RandomPatternGenerator;
+use lsiq_exec::{ExecutionContext, RunConfig};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::list::FaultList;
-use lsiq_fault::simulator::{EngineKind, FaultSimulator};
+use lsiq_fault::simulator::{BuildEngine, EngineKind, FaultSimulator};
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
@@ -95,10 +96,39 @@ impl TestSuite {
 }
 
 impl TestSuiteBuilder {
+    /// Applies the engine choice of a typed [`RunConfig`].
+    ///
+    /// Only the engine is taken: the suite `seed` is a property of the test
+    /// *programme* (changing it changes which patterns are generated), not
+    /// of the run, so it is deliberately left untouched — the same builder
+    /// therefore produces byte-identical suites under every run
+    /// configuration.
+    pub fn with_run_config(mut self, config: &RunConfig) -> Self {
+        self.engine = config.engine();
+        self
+    }
+
     /// Builds an ordered test suite for `circuit` against `universe`, fault
     /// simulating with the configured [`engine`](TestSuiteBuilder::engine).
     pub fn build(&self, circuit: &Circuit, universe: &FaultUniverse) -> TestSuite {
         self.build_with(self.engine.build(circuit).as_ref(), circuit, universe)
+    }
+
+    /// Builds the suite with the configured engine executing on `context`'s
+    /// persistent worker pool (single-threaded engines simply run on the
+    /// calling thread).  Results are byte-identical to [`build`](Self::build)
+    /// at any worker count.
+    pub fn build_in(
+        &self,
+        context: &ExecutionContext,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+    ) -> TestSuite {
+        self.build_with(
+            self.engine.build_in(context, circuit).as_ref(),
+            circuit,
+            universe,
+        )
     }
 
     /// Builds an ordered test suite using a caller-supplied fault-simulation
@@ -211,6 +241,29 @@ mod tests {
             );
             assert_eq!(suite.fault_list, reference.fault_list, "{engine}");
             assert_eq!(suite.coverage_curve, reference.coverage_curve, "{engine}");
+        }
+    }
+
+    #[test]
+    fn run_config_sets_the_engine_and_build_in_matches_build() {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let config = RunConfig::default()
+            .with_engine(EngineKind::Deductive)
+            .with_base_seed(999); // must NOT leak into the suite seed
+        let builder = TestSuiteBuilder::default().with_run_config(&config);
+        assert_eq!(builder.engine, EngineKind::Deductive);
+        assert_eq!(builder.seed, TestSuiteBuilder::default().seed);
+
+        let reference = TestSuiteBuilder::default().build(&circuit, &universe);
+        for workers in [1, 3] {
+            let context = ExecutionContext::new(workers);
+            let suite = TestSuiteBuilder::default().build_in(&context, &circuit, &universe);
+            assert_eq!(suite.patterns.as_slice(), reference.patterns.as_slice());
+            assert_eq!(
+                suite.fault_list, reference.fault_list,
+                "workers = {workers}"
+            );
         }
     }
 

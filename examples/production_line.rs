@@ -3,43 +3,44 @@
 //!
 //! Run with: `cargo run --release --example production_line`
 //!
-//! Knobs (environment variables):
-//!
-//! * `LSIQ_ENGINE` — fault-simulation engine building the test programme
-//!   (`serial`, `ppsfp`, `deductive`, `parallel`; default `parallel`),
-//! * `LSIQ_LOT_THREADS` — worker threads for lot generation and wafer test
-//!   (default: available hardware parallelism); any value produces
-//!   byte-identical results,
-//! * `LSIQ_SEED` — the run's base seed, printed for reproducibility.
+//! Configuration flows through the typed [`Session`]: one `RunConfig`
+//! (engine, workers, base seed) and one persistent worker pool drive every
+//! stage.  The `LSIQ_ENGINE` / `LSIQ_LOT_THREADS` / `LSIQ_SEED` environment
+//! variables remain as the compatibility layer, parsed in exactly one place
+//! (`RunConfig::from_env`); an invalid value exits with a `ConfigError`
+//! message instead of a panic.  Any worker count produces byte-identical
+//! results — the knobs only change wall-clock time.
 
-use lsi_quality::fault::simulator::EngineKind;
 use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::manufacturing::defect::DefectModel;
 use lsi_quality::manufacturing::field::FieldOutcome;
 use lsi_quality::manufacturing::lot::PhysicalLotConfig;
-use lsi_quality::manufacturing::pipeline::ParallelLotRunner;
 use lsi_quality::manufacturing::wafer::WaferMap;
 use lsi_quality::netlist::generator::{random_circuit, RandomCircuitConfig};
 use lsi_quality::quality::params::{FaultCoverage, ModelParams, Yield};
 use lsi_quality::quality::reject::field_reject_rate;
 use lsi_quality::stats::rng::Xoshiro256StarStar;
 use lsi_quality::tpg::suite::TestSuiteBuilder;
+use lsi_quality::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The run's knobs, echoed so any result can be reproduced exactly.
-    let engine: EngineKind = match std::env::var("LSIQ_ENGINE") {
-        Ok(name) => name.parse()?,
-        Err(_) => EngineKind::default(),
+    // The run's knobs, bundled in one typed session and echoed so any
+    // result can be reproduced exactly.  A bad LSIQ_* value surfaces here
+    // as a ConfigError message, not a panic.
+    let session = match Session::from_env() {
+        Ok(session) => session,
+        Err(error) => {
+            eprintln!("lsiq: {error}");
+            std::process::exit(2);
+        }
     };
-    let seed: u64 = match std::env::var("LSIQ_SEED") {
-        Ok(value) => value.trim().parse()?,
-        Err(_) => 42,
-    };
+    let seed = session.config().base_seed();
     let chips = 3_000;
-    let runner = ParallelLotRunner::new(); // honours LSIQ_LOT_THREADS
+    let runner = session.lot_runner();
     println!(
-        "knobs: engine = {engine}, seed = {seed}, lot workers = {} for {chips} chips \
+        "session: {}, lot workers = {} for {chips} chips \
          (LSIQ_ENGINE / LSIQ_SEED / LSIQ_LOT_THREADS to override)",
+        session.config(),
         runner.threads_for(chips)
     );
 
@@ -74,15 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", wafer.ascii());
 
-    // The test programme: random patterns topped up by PODEM.
+    // The test programme: random patterns topped up by PODEM, fault
+    // simulated on the session's engine and worker pool.
     let suite = TestSuiteBuilder {
         seed: 3,
         target_coverage: 0.90,
         max_random_patterns: 256,
-        engine,
         ..TestSuiteBuilder::default()
     }
-    .build(&circuit, &universe);
+    .with_run_config(session.config())
+    .build_in(session.context(), &circuit, &universe);
     println!(
         "test programme: {} patterns ({} deterministic), coverage {:.1}%",
         suite.patterns.len(),
@@ -91,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A production lot through the physical pipeline and the wafer tester,
-    // both sharded across the runner's worker threads.
+    // both sharded across the session's persistent worker pool.
     let lot = runner.generate_physical_lot(&PhysicalLotConfig {
         chips,
         defect_model,

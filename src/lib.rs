@@ -10,8 +10,14 @@
 //! simulators, test-pattern generation, and a production-line Monte-Carlo
 //! standing in for the original wafer-test data.
 //!
-//! This facade crate simply re-exports the workspace members under one roof:
+//! This facade crate re-exports the workspace members under one roof and
+//! adds the typed entry point of the whole reproduction: [`Session`], which
+//! bundles a [`RunConfig`](exec::RunConfig) (engine, workers, base seed)
+//! with a persistent [`ExecutionContext`](exec::ExecutionContext) worker
+//! pool and drives the Section 7 experiment in one call
+//! ([`Session::run_production_line`] / [`Session::reproduce_table1`]).
 //!
+//! * [`exec`] — typed run configuration and the persistent fork-join pool,
 //! * [`stats`] — PRNGs, distributions, fitting, root finding,
 //! * [`netlist`] — circuits, `.bench` parsing, generators,
 //! * [`sim`] — logic simulation,
@@ -44,13 +50,18 @@
 //! # }
 //! ```
 
+pub mod session;
+
 pub use lsiq_core as quality;
+pub use lsiq_exec as exec;
 pub use lsiq_fault as fault;
 pub use lsiq_manufacturing as manufacturing;
 pub use lsiq_netlist as netlist;
 pub use lsiq_sim as sim;
 pub use lsiq_stats as stats;
 pub use lsiq_tpg as tpg;
+
+pub use session::{LineExperiment, LineSpec, Session};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,254 @@
+//! The one-call entry point of the reproduction: a typed [`Session`]
+//! bundling a [`RunConfig`] with a persistent [`ExecutionContext`].
+//!
+//! The paper's experiment is one coherent campaign: build an ordered test
+//! programme (Section 5), wafer-test a lot of chips recording each chip's
+//! first failing pattern (Section 7), and tabulate the cumulative-reject
+//! table the model is fitted to (Table 1).  A `Session` owns everything
+//! those stages share — the engine choice, the worker pool, the base seed —
+//! so the bench binaries, the `production_line` example and the ablation
+//! tools all configure a run in exactly one place and reuse the same parked
+//! worker threads end to end:
+//!
+//! ```
+//! use lsi_quality::exec::{EngineKind, RunConfig};
+//! use lsi_quality::Session;
+//!
+//! let session = Session::new(
+//!     RunConfig::default()
+//!         .with_engine(EngineKind::Deductive)
+//!         .with_workers(2),
+//! );
+//! assert_eq!(session.config().engine(), EngineKind::Deductive);
+//!
+//! // The session's pool serves any fork-join workload…
+//! let mut cubes = vec![0u64; 4];
+//! session.context().scope(|scope| {
+//!     for (value, slot) in cubes.iter_mut().enumerate() {
+//!         scope.spawn(move || *slot = (value * value * value) as u64);
+//!     }
+//! });
+//! assert_eq!(cubes, [0, 1, 8, 27]);
+//! // …and its lot runner shards production lots on the same workers.
+//! assert!(session.lot_runner().threads_for(100_000) >= 1);
+//! ```
+//!
+//! [`Session::from_env`] is the environment-compatibility layer: it builds
+//! the config from the `LSIQ_*` variables through the single parsing site
+//! ([`RunConfig::from_env`]) and surfaces a [`ConfigError`] instead of a
+//! panic, so binaries can exit gracefully on a bad knob.
+
+use lsiq_exec::{ConfigError, ExecutionContext, RunConfig};
+use lsiq_fault::coverage::CoverageCurve;
+use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_manufacturing::experiment::RejectExperiment;
+use lsiq_manufacturing::lot::ModelLotConfig;
+use lsiq_manufacturing::pipeline::ParallelLotRunner;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_netlist::library::{lsi_class, LsiClassConfig};
+use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
+
+/// The seed of the reference test programme (and, by default, of the
+/// Table 1 lot): the paper's publication year, as in every earlier
+/// reproduction binary.
+const PROGRAMME_SEED: u64 = 1981;
+
+/// The ground truth of one production-line pass: lot size, dialled-in
+/// yield and `n0`, and whether to build the full-size (25 000-transistor)
+/// device or the fast reduced one.
+///
+/// [`LineSpec::table1`] is the paper's Section 7 experiment: 277 chips at
+/// roughly 7 percent yield with `n0 = 8`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSpec {
+    /// Chips in the lot.
+    pub chips: usize,
+    /// Probability that a chip is fault-free (the paper's `y`).
+    pub yield_fraction: f64,
+    /// Mean fault count of a defective chip (the paper's `n0`).
+    pub n0: f64,
+    /// Build the full 25 000-transistor device instead of the reduced one.
+    pub full_size: bool,
+}
+
+impl LineSpec {
+    /// The paper's Section 7 ground truth: 277 chips, `y ≈ 0.07`, `n0 = 8`.
+    pub fn table1() -> LineSpec {
+        LineSpec {
+            chips: 277,
+            yield_fraction: 0.07,
+            n0: 8.0,
+            full_size: false,
+        }
+    }
+}
+
+/// A production-line experiment bundle: the device, its fault universe, the
+/// ordered pattern suite, and the tested lot's reject table.
+pub struct LineExperiment {
+    /// The device under test.
+    pub circuit: Circuit,
+    /// Size of the uncollapsed fault universe.
+    pub universe_size: usize,
+    /// The ordered pattern suite applied by the tester.
+    pub suite: TestSuite,
+    /// Cumulative-coverage curve of the suite.
+    pub coverage: CoverageCurve,
+    /// The tested lot's cumulative-reject experiment.
+    pub experiment: RejectExperiment,
+    /// The lot's observed yield.
+    pub observed_yield: f64,
+    /// The lot's observed mean fault count over defective chips.
+    pub observed_n0: f64,
+}
+
+/// A configured run: the typed [`RunConfig`] plus the persistent
+/// [`ExecutionContext`] worker pool every parallel stage executes on.
+pub struct Session {
+    config: RunConfig,
+    context: ExecutionContext,
+}
+
+impl Session {
+    /// Opens a session: spawns the worker pool sized by `config` and parks
+    /// it for the lifetime of the session.
+    pub fn new(config: RunConfig) -> Session {
+        let context = ExecutionContext::from_config(&config);
+        Session { config, context }
+    }
+
+    /// Opens a session from the `LSIQ_*` environment variables (through the
+    /// single parsing site, [`RunConfig::from_env`]), surfacing a
+    /// [`ConfigError`] — never a panic — when a knob is set to an invalid
+    /// value.
+    pub fn from_env() -> Result<Session, ConfigError> {
+        Ok(Session::new(RunConfig::from_env()?))
+    }
+
+    /// The session's run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The session's persistent worker pool.
+    pub fn context(&self) -> &ExecutionContext {
+        &self.context
+    }
+
+    /// A lot runner bound to the session's pool.
+    pub fn lot_runner(&self) -> ParallelLotRunner<'_> {
+        ParallelLotRunner::with_context(&self.context)
+    }
+
+    /// A suite builder carrying the session's engine choice; pair it with
+    /// [`TestSuiteBuilder::build_in`] and [`Session::context`] to fault
+    /// simulate on the session's pool.
+    pub fn suite_builder(&self) -> TestSuiteBuilder {
+        TestSuiteBuilder::default().with_run_config(&self.config)
+    }
+
+    /// The circuit every production-line reproduction uses: an LSI-class
+    /// composite.  The transistor target is reduced from the paper's 25 000
+    /// to keep the harness runtime in seconds; pass `full = true` for the
+    /// full-size device.
+    pub fn reproduction_circuit(full: bool) -> Circuit {
+        let target = if full { 25_000 } else { 10_000 };
+        lsi_class(LsiClassConfig {
+            target_transistors: target,
+            seed: PROGRAMME_SEED,
+        })
+    }
+
+    /// Runs the standard Section 7 style line experiment: an LSI-class
+    /// device, a random pattern suite evaluated on the session's engine and
+    /// pool, and a lot drawn from the statistical model with `spec`'s ground
+    /// truth, seeded by the session's base seed.  Generation, wafer test and
+    /// the streamed reject tabulation all execute on the session's worker
+    /// pool; results are byte-identical at any worker count, so the
+    /// configuration only changes wall-clock time.
+    pub fn run_production_line(&self, spec: &LineSpec) -> LineExperiment {
+        self.run_line(spec, self.config.base_seed())
+    }
+
+    /// Reproduces the paper's Table 1 run: the [`LineSpec::table1`] ground
+    /// truth with the historical seed (1981) unless the session configures
+    /// an explicit one.
+    pub fn reproduce_table1(&self) -> LineExperiment {
+        self.run_line(&LineSpec::table1(), self.config.seed_or(PROGRAMME_SEED))
+    }
+
+    fn run_line(&self, spec: &LineSpec, lot_seed: u64) -> LineExperiment {
+        let circuit = Session::reproduction_circuit(spec.full_size);
+        let universe = FaultUniverse::full(&circuit);
+        let suite = TestSuiteBuilder {
+            seed: PROGRAMME_SEED,
+            chunk: 64,
+            max_random_patterns: 192,
+            target_coverage: 0.95,
+            podem_top_up: false,
+            ..TestSuiteBuilder::default()
+        }
+        .with_run_config(&self.config)
+        .build_in(&self.context, &circuit, &universe);
+        let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
+        let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
+        let runner = self.lot_runner();
+        let lot = runner.generate_model_lot(&ModelLotConfig {
+            chips: spec.chips,
+            yield_fraction: spec.yield_fraction,
+            n0: spec.n0,
+            fault_universe_size: universe.len(),
+            seed: lot_seed,
+        });
+        let records = runner.test_lot(&dictionary, &lot);
+        let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
+        let experiment = runner.experiment(&records, &coverage, &checkpoints);
+        LineExperiment {
+            universe_size: universe.len(),
+            suite,
+            coverage,
+            experiment,
+            observed_yield: lot.observed_yield(),
+            observed_n0: lot.observed_n0(),
+            circuit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsiq_exec::EngineKind;
+
+    #[test]
+    fn session_bundles_config_and_pool() {
+        let session = Session::new(
+            RunConfig::default()
+                .with_engine(EngineKind::Ppsfp)
+                .with_workers(2)
+                .with_base_seed(7),
+        );
+        assert_eq!(session.config().engine(), EngineKind::Ppsfp);
+        assert_eq!(session.context().workers(), 2);
+        assert_eq!(session.suite_builder().engine, EngineKind::Ppsfp);
+        assert_eq!(session.lot_runner().threads_for(100_000), 2);
+    }
+
+    #[test]
+    fn from_env_without_knobs_is_the_default_config() {
+        // The test environment sets no LSIQ_* variables.
+        let session = Session::from_env().expect("clean environment");
+        assert_eq!(session.config().engine(), EngineKind::Parallel);
+        assert_eq!(session.config().base_seed(), lsiq_exec::DEFAULT_BASE_SEED);
+    }
+
+    #[test]
+    fn table1_spec_matches_the_paper() {
+        let spec = LineSpec::table1();
+        assert_eq!(spec.chips, 277);
+        assert!((spec.yield_fraction - 0.07).abs() < 1e-12);
+        assert!((spec.n0 - 8.0).abs() < 1e-12);
+        assert!(!spec.full_size);
+    }
+}

@@ -13,10 +13,12 @@
 //! bench-smoke jobs); debug builds run a reduced sweep so plain `cargo test`
 //! stays fast.
 
+use lsi_quality::exec::ExecutionContext;
 use lsi_quality::fault::collapse::collapse_equivalence;
 use lsi_quality::fault::deductive::DeductiveSimulator;
 use lsi_quality::fault::list::FaultList;
-use lsi_quality::fault::simulator::{EngineKind, FaultSimulator};
+use lsi_quality::fault::parallel::ParallelSimulator;
+use lsi_quality::fault::simulator::{BuildEngine, EngineKind, FaultSimulator};
 use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::netlist::circuit::Circuit;
 use lsi_quality::netlist::generator::{random_circuit, RandomCircuitConfig};
@@ -138,6 +140,73 @@ fn engines_agree_on_seeded_random_cases() {
         nonempty_detections as u64 >= 3 * CASES - CASES / 2,
         "suspiciously many empty detection sets: {nonempty_detections}"
     );
+}
+
+#[test]
+fn parallel_engine_on_explicit_contexts_matches_the_reference() {
+    // The Session-era API: the parallel engine bound to a persistent
+    // ExecutionContext pool must stay byte-identical to the serial
+    // reference at 1, 2 and 2×cores workers — the pool is reused across
+    // every case, exactly like a session reuses it across sweep points.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let contexts: Vec<ExecutionContext> = [1, 2, 2 * cores].map(ExecutionContext::new).into();
+    let case_count = CASES.min(12);
+    for index in 0..case_count {
+        let case = build_case(index);
+        let universe = FaultUniverse::full(&case.circuit);
+        let reference = EngineKind::Serial
+            .build(&case.circuit)
+            .run(&universe, &case.patterns);
+        for context in &contexts {
+            let pooled = ParallelSimulator::new(&case.circuit)
+                .with_context(context)
+                .run(&universe, &case.patterns);
+            assert_eq!(
+                reference,
+                pooled,
+                "{}, {} workers",
+                case.label,
+                context.workers()
+            );
+            let built = EngineKind::Parallel
+                .build_in(context, &case.circuit)
+                .run(&universe, &case.patterns);
+            assert_eq!(
+                reference,
+                built,
+                "build_in: {}, {} workers",
+                case.label,
+                context.workers()
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_curve_default_impl_is_engine_invariant() {
+    // FaultSimulator::coverage_curve is a default trait method (run + fold);
+    // every engine must produce the identical curve, including the parallel
+    // engine on explicit pools.
+    let case = build_case(3);
+    let universe = FaultUniverse::full(&case.circuit);
+    let reference = EngineKind::Serial
+        .build(&case.circuit)
+        .coverage_curve(&universe, &case.patterns);
+    assert_eq!(reference.pattern_count(), case.patterns.len());
+    assert!(reference.final_coverage() > 0.0, "vacuous case");
+    for kind in EngineKind::ALL {
+        let curve = kind
+            .build(&case.circuit)
+            .coverage_curve(&universe, &case.patterns);
+        assert_eq!(reference, curve, "{kind}");
+    }
+    let context = ExecutionContext::new(2);
+    let pooled = EngineKind::Parallel
+        .build_in(&context, &case.circuit)
+        .coverage_curve(&universe, &case.patterns);
+    assert_eq!(reference, pooled, "pooled parallel engine");
 }
 
 #[test]

@@ -11,7 +11,14 @@
 //!
 //! The case count is 60 in release builds; debug builds run a reduced sweep
 //! so plain `cargo test` stays fast.
+//!
+//! A second block replays the pipeline through the Session-era typed API —
+//! runners and sweeps bound to persistent `ExecutionContext` pools at 1, 2
+//! and 2×cores workers, and (in release builds) whole
+//! `Session::run_production_line` passes — and demands the same
+//! byte-identity.
 
+use lsi_quality::exec::{ExecutionContext, RunConfig};
 use lsi_quality::fault::coverage::CoverageCurve;
 use lsi_quality::fault::dictionary::FaultDictionary;
 use lsi_quality::fault::ppsfp::PpsfpSimulator;
@@ -26,6 +33,7 @@ use lsi_quality::manufacturing::tester::WaferTester;
 use lsi_quality::netlist::library;
 use lsi_quality::sim::pattern::{Pattern, PatternSet};
 use lsi_quality::stats::rng::{Rng, SplitMix64};
+use lsi_quality::{LineSpec, Session};
 
 #[cfg(debug_assertions)]
 const CASES: u64 = 16;
@@ -155,6 +163,92 @@ fn parallel_pipeline_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn context_bound_runners_are_byte_identical_to_serial() {
+    // The typed path: one persistent pool per worker count (1, 2, 2×cores),
+    // reused across every case — as a Session reuses its pool across a whole
+    // campaign — with byte-identical results at every stage.
+    let (dictionary, coverage, universe_size) = fixture();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let contexts: Vec<ExecutionContext> = [1, 2, 2 * cores].map(ExecutionContext::new).into();
+    let checkpoints: Vec<usize> = (1..=300).collect();
+    for index in 0..CASES.min(12) {
+        let case = build_case(index);
+        let model_config = ModelLotConfig {
+            chips: case.chips,
+            yield_fraction: case.yield_fraction,
+            n0: case.n0,
+            fault_universe_size: universe_size,
+            seed: case.seed,
+        };
+        let serial_lot = ChipLot::from_model(&model_config);
+        let serial_records = WaferTester::new(&dictionary).test_lot(&serial_lot);
+        let serial_experiment =
+            RejectExperiment::tabulate(&serial_records, &coverage, &checkpoints);
+        for context in &contexts {
+            let runner = ParallelLotRunner::with_context(context);
+            let label = format!("{}, {} workers", case.label, context.workers());
+            assert_eq!(
+                serial_lot,
+                runner.generate_model_lot(&model_config),
+                "{label}"
+            );
+            assert_eq!(
+                serial_records,
+                runner.test_lot(&dictionary, &serial_lot),
+                "{label}"
+            );
+            assert_eq!(
+                serial_experiment,
+                runner.experiment(&serial_records, &coverage, &checkpoints),
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_production_line_is_worker_count_invariant() {
+    // A whole Session::run_production_line pass — suite build, lot
+    // generation, wafer test, streamed tabulation — at several worker
+    // counts.  The full pass is expensive, so debug builds skip it (the
+    // release CI jobs run it).
+    if cfg!(debug_assertions) {
+        eprintln!("skipped in debug builds; run with --release");
+        return;
+    }
+    let spec = LineSpec {
+        chips: 150,
+        yield_fraction: 0.3,
+        n0: 4.0,
+        full_size: false,
+    };
+    let reference = Session::new(RunConfig::default().with_workers(1).with_base_seed(7))
+        .run_production_line(&spec);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for workers in [2, 2 * cores] {
+        let session = Session::new(RunConfig::default().with_workers(workers).with_base_seed(7));
+        let line = session.run_production_line(&spec);
+        assert_eq!(
+            reference.suite.patterns.as_slice(),
+            line.suite.patterns.as_slice(),
+            "{workers} workers"
+        );
+        assert_eq!(reference.suite.fault_list, line.suite.fault_list);
+        assert_eq!(reference.coverage, line.coverage, "{workers} workers");
+        assert_eq!(reference.experiment, line.experiment, "{workers} workers");
+        assert_eq!(reference.observed_yield, line.observed_yield);
+        assert_eq!(reference.observed_n0, line.observed_n0);
+    }
+    // reproduce_table1 pins the paper's lot: 277 chips at the 1981 seed.
+    let table1 = Session::new(RunConfig::default().with_workers(2)).reproduce_table1();
+    assert_eq!(table1.experiment.total_chips(), 277);
+}
+
+#[test]
 fn lot_generation_is_order_independent() {
     // The per-chip streams make each chip a pure function of (config, id):
     // a prefix of a bigger lot equals the smaller lot, chip for chip — the
@@ -187,11 +281,22 @@ fn sweep_fan_out_is_byte_identical_to_serial() {
             fault_universe_size: universe_size,
             base_seed: rng.next_u64(),
             threads: 1,
+            context: None,
         };
         let serial = base.run(&dictionary, &coverage, &points);
         for threads in [2, 4, 16] {
             let fanned = LotSweep { threads, ..base }.run(&dictionary, &coverage, &points);
             assert_eq!(serial, fanned, "sweep seed {suite_seed}, {threads} threads");
+        }
+        // The same grid fanned over persistent pools (the Session path).
+        for workers in [2, 5] {
+            let context = ExecutionContext::new(workers);
+            let pooled = LotSweep { threads: 0, ..base }.with_context(&context).run(
+                &dictionary,
+                &coverage,
+                &points,
+            );
+            assert_eq!(serial, pooled, "sweep seed {suite_seed}, {workers} workers");
         }
     }
 }
