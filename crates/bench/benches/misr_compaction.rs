@@ -1,0 +1,94 @@
+//! MISR signature-compaction benchmarks.
+//!
+//! Three costs matter to the BIST workload: folding good responses into
+//! session signatures (pure MISR throughput), building a whole per-fault
+//! [`SignatureDictionary`] (one fault-simulation pass plus error-stream
+//! folding), and the serial-versus-pooled ratio of that build.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsiq_bist::misr::Misr;
+use lsiq_bist::signature::{BistPlan, SignatureDictionary};
+use lsiq_bist::stumps::{StumpsConfig, StumpsGenerator};
+use lsiq_exec::ExecutionContext;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_netlist::library;
+use lsiq_sim::levelized::CompiledCircuit;
+use lsiq_sim::pattern::PatternSet;
+
+fn bench_misr_compaction(c: &mut Criterion) {
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    let patterns: PatternSet = StumpsGenerator::new(&StumpsConfig::with_width(
+        circuit.primary_inputs().len(),
+        1981,
+    ))
+    .generate(256);
+    let plan = BistPlan {
+        session_len: 64,
+        signature_width: 16,
+    };
+
+    // Pre-pack the good responses once: the fold benchmark measures MISR
+    // throughput, not simulation.
+    let compiled = CompiledCircuit::new(&circuit);
+    let input_count = circuit.primary_inputs().len();
+    let blocks: Vec<(Vec<u64>, usize)> = (0..patterns.block_count())
+        .map(|block| {
+            let (words, count) = patterns.pack_block(input_count, block);
+            (compiled.output_words(&words), count)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("misr_compaction");
+    group.bench_function("fold_256_patterns/k16", |b| {
+        b.iter(|| {
+            let mut misr = Misr::new(16);
+            for (words, count) in &blocks {
+                misr.fold_block(black_box(words), *count);
+            }
+            black_box(misr.signature())
+        })
+    });
+
+    group.bench_function("signature_dictionary/alu4/1_worker", |b| {
+        let context = ExecutionContext::new(1);
+        b.iter(|| {
+            black_box(SignatureDictionary::build_in(
+                &context, &circuit, &universe, &patterns, &plan,
+            ))
+        })
+    });
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pooled = ExecutionContext::new(workers);
+    group.bench_function(
+        format!("signature_dictionary/alu4/{workers}_workers"),
+        |b| {
+            b.iter(|| {
+                black_box(SignatureDictionary::build_in(
+                    &pooled, &circuit, &universe, &patterns, &plan,
+                ))
+            })
+        },
+    );
+
+    // The single-pass multi-width build versus three independent builds.
+    group.bench_function("build_many/k4_8_16_one_pass", |b| {
+        b.iter(|| {
+            black_box(SignatureDictionary::build_many_in(
+                &pooled,
+                &circuit,
+                &universe,
+                &patterns,
+                plan.session_len,
+                &[4, 8, 16],
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_misr_compaction);
+criterion_main!(benches);

@@ -2,9 +2,11 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper —
 //! `table1` (the Section 7 chip-test experiment), `fig1`–`fig6`, the
-//! Section 7 worked example, the baseline comparison of Section 3, and the
+//! Section 7 worked example, the baseline comparison of Section 3, the
 //! ablations (`ablation_lot_size`, `ablation_clustering`,
-//! `ablation_threads`).  They all route their configuration through the
+//! `ablation_threads`) and the BIST quality sweep (`bist_sweep`, defect
+//! level vs self-test length × signature width, with and without the
+//! aliasing correction).  They all route their configuration through the
 //! typed [`Session`] of the facade crate — one [`RunConfig`] (engine,
 //! workers, base seed) plus one persistent worker pool per process:
 //!

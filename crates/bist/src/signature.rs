@@ -1,0 +1,626 @@
+//! Per-fault signature dictionaries.
+//!
+//! The stored-pattern flow records, per fault, the first *pattern* that
+//! detects it ([`FaultDictionary`](lsiq_fault::dictionary::FaultDictionary)).
+//! Under BIST the tester only observes MISR readouts, so the per-fault
+//! record becomes the first *test session* whose signature differs from the
+//! fault-free one — and a fault whose responses differ but whose session
+//! signatures never do is *aliased*: detected by the pattern set, shipped by
+//! the signature compare.
+//!
+//! [`SignatureDictionary::build_in`] produces both records for a whole fault
+//! universe in one fault-simulation pass: the fault universe is sharded
+//! across the worker pool ([`ExecutionContext::scope`] via `scope_map`,
+//! exactly like the parallel fault engine), each fault's faulty responses
+//! are simulated 64 patterns at a time, and only the *error* stream
+//! (good XOR faulty) is folded — by the fold's GF(2) linearity (the identity
+//! [`Misr::fold_error_block`] packages for a single register) a session
+//! signature mismatches exactly when the error register is non-zero at the
+//! readout.  Faults whose error stream has gone quiet
+//! skip whole blocks without touching the register, and a fault is dropped
+//! from the pass entirely once every requested signature width has resolved
+//! its first failing session.
+
+use crate::misr::Misr;
+use lsiq_exec::ExecutionContext;
+use lsiq_fault::inject::output_words_with_fault;
+use lsiq_fault::universe::FaultUniverse;
+use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::levelized::CompiledCircuit;
+use lsiq_sim::packed::valid_mask;
+use lsiq_sim::pattern::PatternSet;
+
+/// The readout schedule and signature geometry of one self-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistPlan {
+    /// Patterns applied between signature readouts; a trailing partial
+    /// session is read out too.  Must be at least 1.
+    pub session_len: usize,
+    /// MISR width `k` (one of
+    /// [`SUPPORTED_DEGREES`](crate::lfsr::SUPPORTED_DEGREES)).
+    pub signature_width: u32,
+}
+
+impl Default for BistPlan {
+    /// The default self-test geometry: 64-pattern sessions (one packed
+    /// simulation block) compacted into a 16-bit signature.
+    fn default() -> BistPlan {
+        BistPlan {
+            session_len: 64,
+            signature_width: 16,
+        }
+    }
+}
+
+/// One precomputed 64-pattern block: packed inputs, good-machine outputs,
+/// valid mask, pattern count.
+struct Block {
+    inputs: Vec<u64>,
+    good_outputs: Vec<u64>,
+    valid: u64,
+    count: usize,
+}
+
+fn precompute_blocks(compiled: &CompiledCircuit<'_>, patterns: &PatternSet) -> Vec<Block> {
+    let input_count = compiled.circuit().primary_inputs().len();
+    let mut blocks = Vec::with_capacity(patterns.block_count());
+    for block in 0..patterns.block_count() {
+        let (inputs, count) = patterns.pack_block(input_count, block);
+        if count == 0 {
+            break;
+        }
+        let good_outputs = compiled.output_words(&inputs);
+        blocks.push(Block {
+            inputs,
+            good_outputs,
+            valid: valid_mask(count),
+            count,
+        });
+    }
+    blocks
+}
+
+/// Per-fault first-failing-session and aliasing records for one fault
+/// universe under one ordered pattern set and one [`BistPlan`].
+///
+/// The BIST analogue of
+/// [`FaultDictionary`](lsiq_fault::dictionary::FaultDictionary): the
+/// signature tester consults it to decide at which session a defective chip
+/// first fails, and the [`AliasingReport`](crate::aliasing::AliasingReport)
+/// folds its aliased-fault count into the effective-coverage figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureDictionary {
+    session_len: usize,
+    sessions: usize,
+    signature_width: u32,
+    /// Fault-free signature of each session, in session order.
+    good: Vec<u64>,
+    /// Per fault: the first session whose signature differs from `good`.
+    first_fail: Vec<Option<usize>>,
+    /// Per fault: whether any output response differs at any applied
+    /// pattern (detection by the pattern set, before compaction).
+    raw_detected: Vec<bool>,
+}
+
+impl SignatureDictionary {
+    /// Builds the dictionary on the process-wide worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.session_len` is 0 or `plan.signature_width` is not a
+    /// supported MISR width.
+    pub fn build(
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        plan: &BistPlan,
+    ) -> SignatureDictionary {
+        SignatureDictionary::build_in(
+            ExecutionContext::global(),
+            circuit,
+            universe,
+            patterns,
+            plan,
+        )
+    }
+
+    /// Builds the dictionary with the fault shards executing on `context`'s
+    /// worker pool.  Results are byte-identical at any worker count.
+    pub fn build_in(
+        context: &ExecutionContext,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        plan: &BistPlan,
+    ) -> SignatureDictionary {
+        SignatureDictionary::build_many_in(
+            context,
+            circuit,
+            universe,
+            patterns,
+            plan.session_len,
+            &[plan.signature_width],
+        )
+        .pop()
+        .expect("one width in, one dictionary out")
+    }
+
+    /// Builds one dictionary per requested signature width in a *single*
+    /// fault-simulation pass: every fault's responses are simulated once and
+    /// folded into one error register per width.  This is what makes a
+    /// test-length × signature-width sweep affordable — the simulation cost
+    /// is paid per length, not per grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_len` is 0, `widths` is empty, or any width is not
+    /// a supported MISR width.
+    pub fn build_many_in(
+        context: &ExecutionContext,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        session_len: usize,
+        widths: &[u32],
+    ) -> Vec<SignatureDictionary> {
+        assert!(session_len >= 1, "a session must apply at least 1 pattern");
+        assert!(!widths.is_empty(), "at least one signature width required");
+        let compiled = CompiledCircuit::new(circuit);
+        let blocks = precompute_blocks(&compiled, patterns);
+        let sessions = patterns.len().div_ceil(session_len);
+
+        // Fault-free signatures per width per session, folded once up front.
+        let mut good_registers: Vec<Misr> = widths.iter().map(|&w| Misr::new(w)).collect();
+        let mut good: Vec<Vec<u64>> = vec![Vec::with_capacity(sessions); widths.len()];
+        let mut in_session = 0usize;
+        for block in &blocks {
+            for slot in 0..block.count {
+                for register in good_registers.iter_mut() {
+                    register.fold(lsiq_sim::packed::gather_slot(&block.good_outputs, slot));
+                }
+                in_session += 1;
+                if in_session == session_len {
+                    for (which, register) in good_registers.iter_mut().enumerate() {
+                        good[which].push(register.signature());
+                        register.reset();
+                    }
+                    in_session = 0;
+                }
+            }
+        }
+        if in_session > 0 {
+            for (which, register) in good_registers.iter_mut().enumerate() {
+                good[which].push(register.signature());
+                register.reset();
+            }
+        }
+        debug_assert!(good.iter().all(|g| g.len() == sessions));
+
+        // Shard the fault universe across the pool, mirroring the parallel
+        // fault engine's geometry.
+        let faults = universe.faults();
+        let shard_count = context
+            .workers()
+            .min(faults.len().div_ceil(MIN_FAULTS_PER_SHARD))
+            .max(1);
+        let chunk = faults.len().div_ceil(shard_count).max(1);
+        let results: Vec<ShardResult> = if shard_count <= 1 {
+            vec![simulate_shard(
+                &compiled,
+                &blocks,
+                faults,
+                session_len,
+                widths,
+            )]
+        } else {
+            let shards: Vec<&[lsiq_fault::model::Fault]> = faults.chunks(chunk).collect();
+            context.scope_map(shards, |shard| {
+                simulate_shard(&compiled, &blocks, shard, session_len, widths)
+            })
+        };
+
+        // Assemble one dictionary per width.
+        let mut raw_detected = Vec::with_capacity(faults.len());
+        let mut first_fail: Vec<Vec<Option<usize>>> =
+            vec![Vec::with_capacity(faults.len()); widths.len()];
+        for shard in results {
+            raw_detected.extend(shard.raw_detected);
+            for (which, fails) in shard.first_fail.into_iter().enumerate() {
+                first_fail[which].extend(fails);
+            }
+        }
+        widths
+            .iter()
+            .zip(first_fail)
+            .zip(good)
+            .map(|((&width, first_fail), good)| SignatureDictionary {
+                session_len,
+                sessions,
+                signature_width: width,
+                good,
+                first_fail,
+                raw_detected: raw_detected.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of faults covered by the dictionary.
+    pub fn len(&self) -> usize {
+        self.first_fail.len()
+    }
+
+    /// Returns `true` if the dictionary covers no faults.
+    pub fn is_empty(&self) -> bool {
+        self.first_fail.is_empty()
+    }
+
+    /// Number of test sessions (signature readouts), including a trailing
+    /// partial session.
+    pub fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    /// Patterns applied per full session.
+    pub fn session_len(&self) -> usize {
+        self.session_len
+    }
+
+    /// The MISR width `k`.
+    pub fn signature_width(&self) -> u32 {
+        self.signature_width
+    }
+
+    /// The fault-free signature read out after session `session`.
+    pub fn good_signature(&self, session: usize) -> Option<u64> {
+        self.good.get(session).copied()
+    }
+
+    /// The first session at which fault `index`'s signature differs from the
+    /// fault-free one, or `None` if every readout matches (the fault is
+    /// undetected — or detected but aliased).
+    pub fn first_failing_session(&self, index: usize) -> Option<usize> {
+        self.first_fail.get(index).copied().flatten()
+    }
+
+    /// Whether fault `index` produces any response difference under the
+    /// applied pattern set (detection before compaction).
+    pub fn is_raw_detected(&self, index: usize) -> bool {
+        self.raw_detected.get(index).copied().unwrap_or(false)
+    }
+
+    /// Whether fault `index` is aliased: its responses differ at some
+    /// pattern, yet every session signature equals the fault-free one.
+    pub fn is_aliased(&self, index: usize) -> bool {
+        self.is_raw_detected(index) && self.first_failing_session(index).is_none()
+    }
+
+    /// Indices of the aliased faults.
+    pub fn aliased_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.is_aliased(i)).collect()
+    }
+
+    /// Number of faults detected by the pattern set (before compaction).
+    pub fn raw_detected_count(&self) -> usize {
+        self.raw_detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of faults the signature compare detects (raw detections minus
+    /// aliased faults).
+    pub fn signature_detected_count(&self) -> usize {
+        self.first_fail.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// The first session at which a chip carrying exactly the faults in
+    /// `fault_indices` fails its signature compare, or `None` if every
+    /// readout matches.
+    ///
+    /// This mirrors
+    /// [`FaultDictionary::first_failure_of_chip`](lsiq_fault::dictionary::FaultDictionary::first_failure_of_chip)
+    /// under the same single-fault-detectability assumption: the chip's
+    /// faults are equivalent to a set of independently observable stuck-at
+    /// faults, so its signature first diverges at the earliest first-failing
+    /// session over them.
+    pub fn first_failure_of_chip(&self, fault_indices: &[usize]) -> Option<usize> {
+        fault_indices
+            .iter()
+            .filter_map(|&index| self.first_failing_session(index))
+            .min()
+    }
+}
+
+/// Minimum faults per shard; below this the scheduling overhead costs more
+/// than the parallelism recovers (mirrors the parallel fault engine).
+const MIN_FAULTS_PER_SHARD: usize = 64;
+
+/// One shard's per-fault results, in shard-local fault order.
+struct ShardResult {
+    /// `[width][fault]` first failing session.
+    first_fail: Vec<Vec<Option<usize>>>,
+    /// `[fault]` raw (pre-compaction) detection.
+    raw_detected: Vec<bool>,
+}
+
+fn simulate_shard(
+    compiled: &CompiledCircuit<'_>,
+    blocks: &[Block],
+    faults: &[lsiq_fault::model::Fault],
+    session_len: usize,
+    widths: &[u32],
+) -> ShardResult {
+    let mut result = ShardResult {
+        first_fail: vec![Vec::with_capacity(faults.len()); widths.len()],
+        raw_detected: Vec::with_capacity(faults.len()),
+    };
+    let mut registers: Vec<Misr> = widths.iter().map(|&w| Misr::new(w)).collect();
+    let mut error_words: Vec<u64> = Vec::new();
+    for fault in faults {
+        let mut first_fail: Vec<Option<usize>> = vec![None; widths.len()];
+        let mut unresolved = widths.len();
+        let mut raw = false;
+        for register in registers.iter_mut() {
+            register.reset();
+        }
+        let mut session = 0usize;
+        let mut in_session = 0usize;
+        // Read out every register, record new failures, reset for the next
+        // session.
+        let readout = |registers: &mut [Misr],
+                       first_fail: &mut [Option<usize>],
+                       unresolved: &mut usize,
+                       session: usize| {
+            for (which, register) in registers.iter_mut().enumerate() {
+                if first_fail[which].is_none() && register.signature() != 0 {
+                    first_fail[which] = Some(session);
+                    *unresolved -= 1;
+                }
+                register.reset();
+            }
+        };
+        'blocks: for block in blocks {
+            let faulty = output_words_with_fault(compiled, &block.inputs, fault);
+            error_words.clear();
+            error_words.extend(
+                block
+                    .good_outputs
+                    .iter()
+                    .zip(&faulty)
+                    .map(|(&good, &bad)| (good ^ bad) & block.valid),
+            );
+            let block_has_error = error_words.iter().any(|&word| word != 0);
+            raw |= block_has_error;
+            if !block_has_error && registers.iter().all(|r| r.signature() == 0) {
+                // A quiet block cannot move a zero register; fast-forward
+                // the session counters (each readout trivially passes).
+                in_session += block.count;
+                while in_session >= session_len {
+                    in_session -= session_len;
+                    session += 1;
+                }
+                continue;
+            }
+            for slot in 0..block.count {
+                for (which, register) in registers.iter_mut().enumerate() {
+                    // A resolved width's register was reset at its failing
+                    // readout and is never read again; skip its folds.
+                    if first_fail[which].is_none() {
+                        register.fold(lsiq_sim::packed::gather_slot(&error_words, slot));
+                    }
+                }
+                in_session += 1;
+                if in_session == session_len {
+                    readout(&mut registers, &mut first_fail, &mut unresolved, session);
+                    session += 1;
+                    in_session = 0;
+                    if unresolved == 0 {
+                        // Every width has its first failing session; a
+                        // signature failure implies a response difference,
+                        // so `raw` is already true.
+                        break 'blocks;
+                    }
+                }
+            }
+        }
+        if unresolved > 0 && in_session > 0 {
+            // Trailing partial session.
+            readout(&mut registers, &mut first_fail, &mut unresolved, session);
+        }
+        result.raw_detected.push(raw);
+        for (which, fail) in first_fail.into_iter().enumerate() {
+            result.first_fail[which].push(fail);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stumps::{StumpsConfig, StumpsGenerator};
+    use lsiq_fault::inject::outputs_with_fault;
+    use lsiq_netlist::library;
+    use lsiq_sim::pattern::Pattern;
+
+    fn c17_fixture() -> (lsiq_netlist::circuit::Circuit, FaultUniverse, PatternSet) {
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        (circuit, universe, patterns)
+    }
+
+    /// Brute-force reference: fold every fault's *actual* session signatures
+    /// with a plain MISR over serially simulated responses and compare to
+    /// the fault-free signatures.
+    fn brute_force_first_fail(
+        circuit: &lsiq_netlist::circuit::Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        plan: &BistPlan,
+    ) -> (Vec<Option<usize>>, Vec<bool>) {
+        let compiled = CompiledCircuit::new(circuit);
+        let sessions = patterns.len().div_ceil(plan.session_len);
+        let mut good_signatures = Vec::new();
+        {
+            let mut misr = Misr::new(plan.signature_width);
+            for (index, pattern) in patterns.iter().enumerate() {
+                misr.fold(compiled.outputs(pattern));
+                if (index + 1) % plan.session_len == 0 || index + 1 == patterns.len() {
+                    good_signatures.push(misr.signature());
+                    misr.reset();
+                }
+            }
+        }
+        assert_eq!(good_signatures.len(), sessions);
+        let mut first_fail = Vec::new();
+        let mut raw_detected = Vec::new();
+        for fault in universe.iter() {
+            let mut misr = Misr::new(plan.signature_width);
+            let mut raw = false;
+            let mut fail = None;
+            let mut session = 0;
+            for (index, pattern) in patterns.iter().enumerate() {
+                let good = compiled.outputs(pattern);
+                let faulty = outputs_with_fault(&compiled, pattern.bits(), fault);
+                raw |= good != faulty;
+                misr.fold(faulty);
+                if (index + 1) % plan.session_len == 0 || index + 1 == patterns.len() {
+                    if fail.is_none() && misr.signature() != good_signatures[session] {
+                        fail = Some(session);
+                    }
+                    misr.reset();
+                    session += 1;
+                }
+            }
+            first_fail.push(fail);
+            raw_detected.push(raw);
+        }
+        (first_fail, raw_detected)
+    }
+
+    #[test]
+    fn matches_brute_force_reference_on_c17() {
+        let (circuit, universe, patterns) = c17_fixture();
+        for plan in [
+            BistPlan::default(),
+            BistPlan {
+                session_len: 5,
+                signature_width: 4,
+            },
+            BistPlan {
+                session_len: 7,
+                signature_width: 8,
+            },
+        ] {
+            let dictionary = SignatureDictionary::build(&circuit, &universe, &patterns, &plan);
+            let (first_fail, raw) = brute_force_first_fail(&circuit, &universe, &patterns, &plan);
+            for index in 0..universe.len() {
+                assert_eq!(
+                    dictionary.first_failing_session(index),
+                    first_fail[index],
+                    "fault {index}, plan {plan:?}"
+                );
+                assert_eq!(
+                    dictionary.is_raw_detected(index),
+                    raw[index],
+                    "fault {index}, plan {plan:?}"
+                );
+            }
+            assert_eq!(
+                dictionary.sessions(),
+                patterns.len().div_ceil(plan.session_len)
+            );
+        }
+    }
+
+    #[test]
+    fn worker_counts_are_invisible_in_the_result() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns =
+            StumpsGenerator::new(&StumpsConfig::with_width(circuit.primary_inputs().len(), 7))
+                .generate(96);
+        let plan = BistPlan {
+            session_len: 32,
+            signature_width: 8,
+        };
+        let reference = SignatureDictionary::build_in(
+            &ExecutionContext::new(1),
+            &circuit,
+            &universe,
+            &patterns,
+            &plan,
+        );
+        for workers in [2, 3, 8] {
+            let context = ExecutionContext::new(workers);
+            let dictionary =
+                SignatureDictionary::build_in(&context, &circuit, &universe, &patterns, &plan);
+            assert_eq!(reference, dictionary, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn build_many_matches_individual_builds() {
+        let (circuit, universe, patterns) = c17_fixture();
+        let widths = [4u32, 8, 16];
+        let many = SignatureDictionary::build_many_in(
+            ExecutionContext::global(),
+            &circuit,
+            &universe,
+            &patterns,
+            6,
+            &widths,
+        );
+        assert_eq!(many.len(), widths.len());
+        for (dictionary, &width) in many.iter().zip(&widths) {
+            let single = SignatureDictionary::build(
+                &circuit,
+                &universe,
+                &patterns,
+                &BistPlan {
+                    session_len: 6,
+                    signature_width: width,
+                },
+            );
+            assert_eq!(*dictionary, single, "width {width}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_patterns_detect_everything_in_some_session() {
+        let (circuit, universe, patterns) = c17_fixture();
+        // Wide signature over short sessions: aliasing probability ~2^-16
+        // per readout; on 46 faults the seeded run has none.
+        let plan = BistPlan {
+            session_len: 8,
+            signature_width: 16,
+        };
+        let dictionary = SignatureDictionary::build(&circuit, &universe, &patterns, &plan);
+        assert_eq!(dictionary.len(), universe.len());
+        assert_eq!(dictionary.raw_detected_count(), universe.len());
+        assert_eq!(dictionary.signature_detected_count(), universe.len());
+        assert!(dictionary.aliased_indices().is_empty());
+        // Chip-level failure mirrors the per-fault minimum.
+        let first0 = dictionary.first_failing_session(0).expect("detected");
+        let first5 = dictionary.first_failing_session(5).expect("detected");
+        assert_eq!(
+            dictionary.first_failure_of_chip(&[0, 5]),
+            Some(first0.min(first5))
+        );
+        assert_eq!(dictionary.first_failure_of_chip(&[]), None);
+    }
+
+    #[test]
+    fn empty_pattern_set_detects_nothing() {
+        let (circuit, universe, _) = c17_fixture();
+        let dictionary = SignatureDictionary::build(
+            &circuit,
+            &universe,
+            &PatternSet::new(),
+            &BistPlan::default(),
+        );
+        assert_eq!(dictionary.sessions(), 0);
+        assert_eq!(dictionary.raw_detected_count(), 0);
+        assert_eq!(dictionary.signature_detected_count(), 0);
+        assert!(!dictionary.is_aliased(0));
+        assert_eq!(dictionary.good_signature(0), None);
+    }
+}

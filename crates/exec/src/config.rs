@@ -1,11 +1,11 @@
-//! The typed run configuration: engine kind, worker count, base seed.
+//! The typed run configuration: engine kind, worker count, base seed, test
+//! mode.
 //!
 //! [`RunConfig::from_env`] is the single place in the workspace that parses
-//! the `LSIQ_ENGINE`, `LSIQ_LOT_THREADS` and `LSIQ_SEED` environment
-//! variables; every older knob (`lsiq_manufacturing::pipeline::lot_threads_from_env`,
-//! `lsiq_bench::engine_from_env`, the `production_line` example) delegates
-//! here, so an invalid value always produces the same actionable
-//! [`ConfigError`] instead of four divergent panics.
+//! the `LSIQ_ENGINE`, `LSIQ_LOT_THREADS`, `LSIQ_SEED` and `LSIQ_TEST_MODE`
+//! environment variables; every older knob (`lsiq_bench::engine_from_env`,
+//! the `production_line` example) delegates here, so an invalid value always
+//! produces the same actionable [`ConfigError`] instead of divergent panics.
 
 use std::env;
 use std::error::Error;
@@ -18,6 +18,8 @@ pub const ENGINE_VAR: &str = "LSIQ_ENGINE";
 pub const WORKERS_VAR: &str = "LSIQ_LOT_THREADS";
 /// Environment variable overriding the base seed.
 pub const SEED_VAR: &str = "LSIQ_SEED";
+/// Environment variable selecting the wafer-test mode (`stored` or `bist`).
+pub const TEST_MODE_VAR: &str = "LSIQ_TEST_MODE";
 
 /// The base seed a [`RunConfig`] falls back to when none is given — the
 /// historical default of the `production_line` example.
@@ -83,6 +85,60 @@ impl FromStr for EngineKind {
         EngineKind::from_name(s).ok_or_else(|| {
             format!("unknown fault-simulation engine {s:?} (expected serial, ppsfp, deductive or parallel)")
         })
+    }
+}
+
+/// How the wafer tester observes a chip: per-pattern stored responses, or
+/// per-session BIST signatures.
+///
+/// Like [`EngineKind`] this is pure configuration data; the testers
+/// themselves live in `lsiq-manufacturing` (`WaferTester` for `Stored`,
+/// `SignatureTester` for `Bist`), which this crate does not depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TestMode {
+    /// The Sentry-like stored-pattern tester: every applied pattern's
+    /// response is compared against the stored good response, so the
+    /// recorded observable is the chip's first failing *pattern*.
+    #[default]
+    Stored,
+    /// Built-in self-test: responses are compacted into a MISR signature
+    /// read out once per test session, so the recorded observable is the
+    /// chip's first failing *session* — and aliasing can mask detections.
+    Bist,
+}
+
+impl TestMode {
+    /// Both test modes, stored-pattern first.
+    pub const ALL: [TestMode; 2] = [TestMode::Stored, TestMode::Bist];
+
+    /// The mode's short name (the `LSIQ_TEST_MODE` grammar).
+    pub fn name(self) -> &'static str {
+        match self {
+            TestMode::Stored => "stored",
+            TestMode::Bist => "bist",
+        }
+    }
+
+    /// Parses a mode name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<TestMode> {
+        TestMode::ALL
+            .into_iter()
+            .find(|mode| mode.name().eq_ignore_ascii_case(name.trim()))
+    }
+}
+
+impl fmt::Display for TestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for TestMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TestMode::from_name(s)
+            .ok_or_else(|| format!("unknown test mode {s:?} (expected stored or bist)"))
     }
 }
 
@@ -165,6 +221,7 @@ pub struct RunConfig {
     engine: EngineKind,
     workers: Option<usize>,
     base_seed: Option<u64>,
+    test_mode: TestMode,
 }
 
 impl RunConfig {
@@ -213,6 +270,11 @@ impl RunConfig {
             })?;
             config.base_seed = Some(seed);
         }
+        if let Some(value) = read_var(TEST_MODE_VAR)? {
+            config.test_mode = TestMode::from_name(&value).ok_or_else(|| {
+                ConfigError::new(TEST_MODE_VAR, value.clone(), "one of stored or bist")
+            })?;
+        }
         Ok(config)
     }
 
@@ -234,9 +296,21 @@ impl RunConfig {
         self
     }
 
+    /// Selects the wafer-test mode (stored-pattern or BIST signature
+    /// compare).
+    pub fn with_test_mode(mut self, test_mode: TestMode) -> RunConfig {
+        self.test_mode = test_mode;
+        self
+    }
+
     /// The configured fault-simulation engine.
     pub fn engine(self) -> EngineKind {
         self.engine
+    }
+
+    /// The configured wafer-test mode.
+    pub fn test_mode(self) -> TestMode {
+        self.test_mode
     }
 
     /// The explicit worker-count override, if any (`None` means "use the
@@ -276,7 +350,12 @@ impl fmt::Display for RunConfig {
             Some(workers) => write!(f, "{workers}")?,
             None => write!(f, "auto({})", self.effective_workers())?,
         }
-        write!(f, ", base seed = {}", self.base_seed())
+        write!(
+            f,
+            ", base seed = {}, test mode = {}",
+            self.base_seed(),
+            self.test_mode
+        )
     }
 }
 
@@ -313,12 +392,27 @@ mod tests {
     }
 
     #[test]
+    fn test_mode_parses_names_round_trip() {
+        for mode in TestMode::ALL {
+            assert_eq!(TestMode::from_name(mode.name()), Some(mode));
+            assert_eq!(mode.name().to_uppercase().parse::<TestMode>(), Ok(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(TestMode::from_name("  Bist "), Some(TestMode::Bist));
+        assert!(TestMode::from_name("scan").is_none());
+        assert!("scan".parse::<TestMode>().is_err());
+        assert_eq!(TestMode::default(), TestMode::Stored);
+    }
+
+    #[test]
     fn builder_and_accessors_round_trip() {
         let config = RunConfig::new()
             .with_engine(EngineKind::Serial)
             .with_workers(3)
-            .with_base_seed(1981);
+            .with_base_seed(1981)
+            .with_test_mode(TestMode::Bist);
         assert_eq!(config.engine(), EngineKind::Serial);
+        assert_eq!(config.test_mode(), TestMode::Bist);
         assert_eq!(config.workers(), Some(3));
         assert_eq!(config.effective_workers(), 3);
         assert_eq!(config.base_seed(), 1981);
@@ -326,6 +420,7 @@ mod tests {
 
         let default = RunConfig::default();
         assert_eq!(default.engine(), EngineKind::Parallel);
+        assert_eq!(default.test_mode(), TestMode::Stored);
         assert_eq!(default.workers(), None);
         assert!(default.effective_workers() >= 1);
         assert_eq!(default.base_seed(), DEFAULT_BASE_SEED);
@@ -341,7 +436,12 @@ mod tests {
         assert!(rendered.contains("engine = parallel"), "{rendered}");
         assert!(rendered.contains("workers = 2"), "{rendered}");
         assert!(rendered.contains("base seed = 42"), "{rendered}");
+        assert!(rendered.contains("test mode = stored"), "{rendered}");
         assert!(RunConfig::new().to_string().contains("auto("));
+        assert!(RunConfig::new()
+            .with_test_mode(TestMode::Bist)
+            .to_string()
+            .contains("test mode = bist"));
     }
 
     /// Environment-variable parsing, exercised in one sequential test (env
@@ -353,6 +453,7 @@ mod tests {
             env::remove_var(ENGINE_VAR);
             env::remove_var(WORKERS_VAR);
             env::remove_var(SEED_VAR);
+            env::remove_var(TEST_MODE_VAR);
         };
         clear();
         assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
@@ -360,10 +461,12 @@ mod tests {
         env::set_var(ENGINE_VAR, "Deductive");
         env::set_var(WORKERS_VAR, " 4 ");
         env::set_var(SEED_VAR, "1981");
+        env::set_var(TEST_MODE_VAR, "BIST");
         let config = RunConfig::from_env().expect("valid environment");
         assert_eq!(config.engine(), EngineKind::Deductive);
         assert_eq!(config.workers(), Some(4));
         assert_eq!(config.base_seed(), 1981);
+        assert_eq!(config.test_mode(), TestMode::Bist);
 
         env::set_var(ENGINE_VAR, "warp");
         let error = RunConfig::from_env().expect_err("invalid engine");
@@ -388,6 +491,13 @@ mod tests {
         let error = RunConfig::from_env().expect_err("bad seed");
         assert_eq!(error.variable(), SEED_VAR);
         assert!(error.to_string().contains("64-bit"), "{error}");
+
+        env::set_var(SEED_VAR, "7");
+        env::set_var(TEST_MODE_VAR, "scan");
+        let error = RunConfig::from_env().expect_err("bad test mode");
+        assert_eq!(error.variable(), TEST_MODE_VAR);
+        assert_eq!(error.value(), "scan");
+        assert!(error.to_string().contains("stored or bist"), "{error}");
 
         clear();
         assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));

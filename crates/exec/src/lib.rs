@@ -49,5 +49,5 @@
 pub mod config;
 pub mod pool;
 
-pub use config::{ConfigError, EngineKind, RunConfig, DEFAULT_BASE_SEED};
+pub use config::{ConfigError, EngineKind, RunConfig, TestMode, DEFAULT_BASE_SEED};
 pub use pool::{ExecutionContext, Scope};

@@ -55,6 +55,25 @@ impl FaultDictionary {
             .min()
     }
 
+    /// The first test *session* in which fault `index` produces any
+    /// response difference, for a test applied as sessions of `session_len`
+    /// patterns — the aliasing-free ideal a BIST signature dictionary is
+    /// compared against.
+    ///
+    /// A signature read out after each session can flag the fault no
+    /// earlier than this (the responses match until then) and may flag it
+    /// later — or never — when aliasing cancels the difference inside every
+    /// session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_len` is 0.
+    pub fn first_failing_session(&self, index: usize, session_len: usize) -> Option<usize> {
+        assert!(session_len >= 1, "a session must apply at least 1 pattern");
+        self.first_failing_pattern(index)
+            .map(|pattern| pattern / session_len)
+    }
+
     /// Number of faults whose first detection is exactly `pattern`.
     pub fn detections_at(&self, pattern: usize) -> usize {
         self.first_pattern
@@ -124,5 +143,27 @@ mod tests {
     fn out_of_range_fault_index_reports_none() {
         let (dictionary, universe_len) = c17_dictionary();
         assert_eq!(dictionary.first_failing_pattern(universe_len + 10), None);
+    }
+
+    #[test]
+    fn sessions_quantise_first_failing_patterns() {
+        let (dictionary, universe_len) = c17_dictionary();
+        for index in 0..universe_len {
+            let pattern = dictionary.first_failing_pattern(index);
+            assert_eq!(
+                dictionary.first_failing_session(index, 8),
+                pattern.map(|p| p / 8)
+            );
+            // One-pattern sessions are the stored-pattern observable.
+            assert_eq!(dictionary.first_failing_session(index, 1), pattern);
+        }
+        assert_eq!(dictionary.first_failing_session(universe_len + 1, 8), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 pattern")]
+    fn zero_length_sessions_panic() {
+        let (dictionary, _) = c17_dictionary();
+        let _ = dictionary.first_failing_session(0, 0);
     }
 }

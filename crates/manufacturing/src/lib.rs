@@ -16,6 +16,10 @@
 //!   or from the physical defect pipeline (emergent `n0`),
 //! * [`tester`] — a Sentry-like wafer tester that applies an ordered pattern
 //!   set and records each chip's first failing pattern,
+//! * [`bist_test`] — the BIST alternative: a [`SignatureTester`] comparing
+//!   per-session MISR signatures and recording each chip's first failing
+//!   *session* (selected by [`TestMode`](lsiq_exec::TestMode) /
+//!   `LSIQ_TEST_MODE=bist`),
 //! * [`experiment`] — the Table-1 style cumulative-reject experiment,
 //! * [`field`] — field-reject measurement over the shipped (passing) chips,
 //!   and
@@ -49,6 +53,7 @@
 //! assert!(lot.observed_yield() > 0.1 && lot.observed_yield() < 0.5);
 //! ```
 
+pub mod bist_test;
 pub mod chip;
 pub mod defect;
 pub mod defect_map;
@@ -59,6 +64,7 @@ pub mod pipeline;
 pub mod tester;
 pub mod wafer;
 
+pub use bist_test::{SessionRecord, SignatureTester};
 pub use chip::Chip;
 pub use lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
 pub use pipeline::{LotOutcome, LotSweep, ParallelLotRunner, SweepPoint, SweepResult};

@@ -28,33 +28,17 @@
 //! `LSIQ_LOT_THREADS` environment variable survives as a compatibility layer
 //! consumed by [`ParallelLotRunner::new`] via [`RunConfig::from_env`].
 
+use crate::bist_test::{SessionRecord, SignatureTester};
 use crate::chip::Chip;
 use crate::experiment::{RejectExperiment, RejectRow};
 use crate::field::FieldOutcome;
 use crate::lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
 use crate::tester::{TestRecord, WaferTester};
+use lsiq_bist::signature::SignatureDictionary;
 use lsiq_exec::{ExecutionContext, RunConfig};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_stats::rng::{Rng, SplitMix64};
-
-/// Reads the `LSIQ_LOT_THREADS` override, if any.
-///
-/// Compatibility shim: parsing is delegated to [`RunConfig::from_env`] (the
-/// single `LSIQ_*`-parsing site of the workspace); prefer building a
-/// [`RunConfig`] — or an `lsi_quality::Session` — directly.
-///
-/// # Panics
-///
-/// Panics with the [`ConfigError`](lsiq_exec::ConfigError) message when any
-/// `LSIQ_*` variable is set to an invalid value, since silently falling back
-/// would invalidate an intended scaling measurement.
-pub fn lot_threads_from_env() -> Option<usize> {
-    match RunConfig::from_env() {
-        Ok(config) => config.workers(),
-        Err(error) => panic!("{error}"),
-    }
-}
 
 /// Runs the per-chip stages of a production lot — generation, wafer test,
 /// reject bookkeeping — sharded across pooled worker threads.
@@ -111,12 +95,17 @@ impl<'ctx> ParallelLotRunner<'ctx> {
     /// # Panics
     ///
     /// Panics with the [`ConfigError`](lsiq_exec::ConfigError) message when
-    /// an `LSIQ_*` variable is set to an invalid value (see
-    /// [`lot_threads_from_env`]).  The typed constructor
-    /// [`with_context`](Self::with_context) never touches the environment.
+    /// an `LSIQ_*` variable is set to an invalid value, since silently
+    /// falling back would invalidate an intended scaling measurement.  The
+    /// typed constructor [`with_context`](Self::with_context) never touches
+    /// the environment.
     pub fn new() -> Self {
+        let threads = match RunConfig::from_env() {
+            Ok(config) => config.workers().unwrap_or(0),
+            Err(error) => panic!("{error}"),
+        };
         ParallelLotRunner {
-            threads: lot_threads_from_env().unwrap_or(0),
+            threads,
             context: None,
         }
     }
@@ -256,6 +245,20 @@ impl<'ctx> ParallelLotRunner<'ctx> {
     /// across threads; records come back in lot order.
     pub fn test_lot(&self, dictionary: &FaultDictionary, lot: &ChipLot) -> Vec<TestRecord> {
         let tester = WaferTester::new(dictionary);
+        let chips: &[Chip] = lot.chips();
+        self.sharded(chips.len(), |range| tester.test_chips(&chips[range]))
+    }
+
+    /// BIST-tests a lot ([`SignatureTester::test_lot`]) with the chips
+    /// sharded across threads; session records come back in lot order and
+    /// are byte-identical at any worker count, exactly like
+    /// [`test_lot`](Self::test_lot).
+    pub fn test_lot_bist(
+        &self,
+        dictionary: &SignatureDictionary,
+        lot: &ChipLot,
+    ) -> Vec<SessionRecord> {
+        let tester = SignatureTester::new(dictionary);
         let chips: &[Chip] = lot.chips();
         self.sharded(chips.len(), |range| tester.test_chips(&chips[range]))
     }
@@ -560,6 +563,39 @@ mod tests {
                 runner.experiment(&serial_records, &coverage, &checkpoints)
             );
         }
+    }
+
+    #[test]
+    fn parallel_bist_testing_matches_serial_at_every_thread_count() {
+        use crate::bist_test::SignatureTester;
+        use lsiq_bist::signature::{BistPlan, SignatureDictionary};
+        let circuit = library::c17();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..32).map(|v| Pattern::from_integer(v, 5)).collect();
+        let dictionary = SignatureDictionary::build(
+            &circuit,
+            &universe,
+            &patterns,
+            &BistPlan {
+                session_len: 8,
+                signature_width: 8,
+            },
+        );
+        let lot = ChipLot::from_model(&model_config(universe.len()));
+        let serial = SignatureTester::new(&dictionary).test_lot(&lot);
+        for threads in [2, 5] {
+            let runner = ParallelLotRunner::new().with_threads(threads);
+            assert_eq!(
+                serial,
+                runner.test_lot_bist(&dictionary, &lot),
+                "threads = {threads}"
+            );
+        }
+        let context = ExecutionContext::new(3);
+        assert_eq!(
+            serial,
+            ParallelLotRunner::with_context(&context).test_lot_bist(&dictionary, &lot)
+        );
     }
 
     #[test]

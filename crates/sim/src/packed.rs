@@ -43,6 +43,22 @@ pub fn bit(word: u64, slot: usize) -> bool {
     (word >> slot) & 1 == 1
 }
 
+/// The bits of pattern slot `slot` across a slice of packed words, one per
+/// signal, in signal order.
+///
+/// This is the column view of the 64-pattern block layout: where
+/// [`bit`] asks "what is signal `s` under pattern `i`", `gather_slot`
+/// re-assembles the whole response of pattern `i` — the per-pattern word a
+/// signature compactor folds one cycle at a time.
+///
+/// # Panics
+///
+/// Panics if `slot` is 64 or more.
+pub fn gather_slot(words: &[u64], slot: usize) -> impl Iterator<Item = bool> + '_ {
+    assert!(slot < PATTERNS_PER_WORD, "pattern slot out of range");
+    words.iter().map(move |&word| (word >> slot) & 1 == 1)
+}
+
 /// The pattern slots (indices) at which two packed response words differ,
 /// restricted to the `valid` mask.  This is how the fault simulator turns a
 /// word-level mismatch into per-pattern detections.
@@ -97,6 +113,22 @@ mod tests {
     #[should_panic(expected = "slot out of range")]
     fn bit_slot_out_of_range_panics() {
         let _ = bit(0, 64);
+    }
+
+    #[test]
+    fn gather_slot_transposes_the_block() {
+        let words = [0b101u64, 0b010, 0b111];
+        let column: Vec<bool> = gather_slot(&words, 0).collect();
+        assert_eq!(column, [true, false, true]);
+        let column: Vec<bool> = gather_slot(&words, 1).collect();
+        assert_eq!(column, [false, true, true]);
+        assert!(gather_slot(&[], 5).next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn gather_slot_out_of_range_panics() {
+        let _ = gather_slot(&[0], 64).count();
     }
 
     #[test]

@@ -4,55 +4,43 @@
 //! pattern source; they are included both for realism (a 1981 production
 //! tester would often apply LFSR-like sequences) and as a second,
 //! differently structured pattern source for the ablation experiments.
+//!
+//! [`Lfsr`] is the historical single-channel serial generator: one bit per
+//! register step, `width` steps per pattern, with a fixed maximal-length
+//! degree-64 polynomial.  It is now a thin wrapper over the parameterizable
+//! [`GaloisLfsr`] of `lsiq_bist` (same polynomial, same seed expansion, same
+//! read-then-step order, bit-for-bit identical output); for multi-channel
+//! scan-style generation with a phase shifter use
+//! [`StumpsGenerator`](lsiq_bist::stumps::StumpsGenerator) directly.
 
+use lsiq_bist::lfsr::GaloisLfsr;
 use lsiq_sim::pattern::{Pattern, PatternSet};
-use lsiq_stats::rng::{Rng, SplitMix64};
 
 /// A Galois LFSR over 64 bits with a fixed maximal-length tap polynomial
-/// (x^64 + x^63 + x^61 + x^60 + 1).
+/// (x^64 + x^63 + x^61 + x^60 + 1), emitting patterns serially.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lfsr {
-    state: u64,
+    register: GaloisLfsr,
     width: usize,
 }
 
 impl Lfsr {
     /// Creates an LFSR producing patterns of `width` bits.
     ///
-    /// The seed is expanded to a dense 64-bit starting state (sparse seeds
-    /// such as `1` would otherwise emit long runs of zeros before the
-    /// feedback taps populate the register); a zero expansion falls back to
-    /// the classic all-ones-free value `1`.
+    /// The seed expansion (dense 64-bit starting state, zero falling back to
+    /// `1`) lives in [`GaloisLfsr::maximal`]; the sequence is unchanged from
+    /// the pre-BIST fixed-polynomial implementation.
     pub fn new(width: usize, seed: u64) -> Self {
-        let expanded = SplitMix64::seed_from_u64(seed).next_u64();
         Lfsr {
-            state: if expanded == 0 { 1 } else { expanded },
+            register: GaloisLfsr::maximal(64, seed),
             width,
         }
     }
 
-    /// Advances the register one step (Galois form) and returns the new state.
-    fn step(&mut self) -> u64 {
-        let lsb = self.state & 1;
-        self.state >>= 1;
-        if lsb == 1 {
-            // Polynomial x^64 + x^63 + x^61 + x^60 + 1 in Galois mask form.
-            self.state ^= 0xD800_0000_0000_0000;
-        }
-        self.state
-    }
-
     /// Produces the next pattern from the register's serial output: one shift
-    /// per pattern bit, exactly as an LFSR feeding a scan chain would.
+    /// per pattern bit, exactly as an LFSR feeding a single scan chain would.
     pub fn next_pattern(&mut self) -> Pattern {
-        let bits: Vec<bool> = (0..self.width)
-            .map(|_| {
-                let bit = self.state & 1 == 1;
-                self.step();
-                bit
-            })
-            .collect();
-        Pattern::from_bits(bits)
+        Pattern::from_bits((0..self.width).map(|_| self.register.next_bit()))
     }
 
     /// Generates an ordered set of `count` patterns.
@@ -96,5 +84,17 @@ mod tests {
     fn width_is_respected() {
         let patterns = Lfsr::new(5, 3).generate(10);
         assert!(patterns.iter().all(|p| p.width() == 5));
+    }
+
+    #[test]
+    fn wrapper_matches_the_historical_sequence() {
+        // Golden prefix recorded from the pre-wrapper fixed-polynomial
+        // implementation: seed 0xACE1, width 16, first three patterns.
+        let patterns = Lfsr::new(16, 0xACE1).generate(3);
+        let rendered: Vec<String> = patterns.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            rendered,
+            ["1011101001001111", "0101110001001001", "1001000101010010"]
+        );
     }
 }

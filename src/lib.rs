@@ -22,6 +22,10 @@
 //! * [`netlist`] — circuits, `.bench` parsing, generators,
 //! * [`sim`] — logic simulation,
 //! * [`fault`] — stuck-at faults and fault simulation,
+//! * [`bist`] — built-in self-test: STUMPS pattern generation, MISR
+//!   signature compaction, per-fault signature dictionaries and aliasing
+//!   analysis (driven by [`Session::run_bist_sweep`] and the
+//!   `LSIQ_TEST_MODE=bist` wafer-test mode),
 //! * [`tpg`] — random/LFSR/weighted pattern generation and PODEM,
 //! * [`manufacturing`] — defects, wafers, chip lots, the Sentry-like tester
 //!   and the multi-threaded production-line pipeline
@@ -52,6 +56,7 @@
 
 pub mod session;
 
+pub use lsiq_bist as bist;
 pub use lsiq_core as quality;
 pub use lsiq_exec as exec;
 pub use lsiq_fault as fault;
@@ -61,7 +66,7 @@ pub use lsiq_sim as sim;
 pub use lsiq_stats as stats;
 pub use lsiq_tpg as tpg;
 
-pub use session::{LineExperiment, LineSpec, Session};
+pub use session::{BistSweep, BistSweepRow, BistSweepSpec, LineExperiment, LineSpec, Session};
 
 #[cfg(test)]
 mod tests {

@@ -38,21 +38,36 @@
 //! ([`RunConfig::from_env`]) and surfaces a [`ConfigError`] instead of a
 //! panic, so binaries can exit gracefully on a bad knob.
 
-use lsiq_exec::{ConfigError, ExecutionContext, RunConfig};
+use lsiq_bist::aliasing::AliasingReport;
+use lsiq_bist::signature::{BistPlan, SignatureDictionary};
+use lsiq_bist::stumps::{StumpsConfig, StumpsGenerator};
+use lsiq_core::params::{FaultCoverage, ModelParams, Yield};
+use lsiq_core::reject::field_reject_rate;
+use lsiq_exec::{ConfigError, ExecutionContext, RunConfig, TestMode};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_manufacturing::experiment::RejectExperiment;
 use lsiq_manufacturing::lot::ModelLotConfig;
 use lsiq_manufacturing::pipeline::ParallelLotRunner;
+use lsiq_manufacturing::tester::TestRecord;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_netlist::library::{lsi_class, LsiClassConfig};
+use lsiq_sim::pattern::PatternSet;
 use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
 
 /// The seed of the reference test programme (and, by default, of the
 /// Table 1 lot): the paper's publication year, as in every earlier
 /// reproduction binary.
 const PROGRAMME_SEED: u64 = 1981;
+
+/// The self-test geometry of a BIST-mode production line: 64-pattern
+/// sessions (one packed simulation block per readout) into a 16-bit MISR —
+/// the [`BistPlan`] default.
+const LINE_BIST_PLAN: BistPlan = BistPlan {
+    session_len: 64,
+    signature_width: 16,
+};
 
 /// The ground truth of one production-line pass: lot size, dialled-in
 /// yield and `n0`, and whether to build the full-size (25 000-transistor)
@@ -101,6 +116,10 @@ pub struct LineExperiment {
     pub observed_yield: f64,
     /// The lot's observed mean fault count over defective chips.
     pub observed_n0: f64,
+    /// How the lot was observed: per-pattern stored responses, or
+    /// per-session BIST signatures (coarser reject table, aliasing
+    /// possible).
+    pub test_mode: TestMode,
 }
 
 /// A configured run: the typed [`RunConfig`] plus the persistent
@@ -192,7 +211,6 @@ impl Session {
         .with_run_config(&self.config)
         .build_in(&self.context, &circuit, &universe);
         let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
-        let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
         let runner = self.lot_runner();
         let lot = runner.generate_model_lot(&ModelLotConfig {
             chips: spec.chips,
@@ -201,7 +219,34 @@ impl Session {
             fault_universe_size: universe.len(),
             seed: lot_seed,
         });
-        let records = runner.test_lot(&dictionary, &lot);
+        let test_mode = self.config.test_mode();
+        let records: Vec<TestRecord> = match test_mode {
+            TestMode::Stored => {
+                let dictionary = FaultDictionary::from_fault_list(&suite.fault_list);
+                runner.test_lot(&dictionary, &lot)
+            }
+            TestMode::Bist => {
+                // The self-tested lot is observed only at signature
+                // readouts: build the per-fault signature dictionary over
+                // the same ordered pattern suite, test by signature
+                // compare, and coarsen each first failing *session* to the
+                // pattern index at which it is read out.
+                let signatures = SignatureDictionary::build_in(
+                    &self.context,
+                    &circuit,
+                    &universe,
+                    &suite.patterns,
+                    &LINE_BIST_PLAN,
+                );
+                runner
+                    .test_lot_bist(&signatures, &lot)
+                    .iter()
+                    .map(|record| {
+                        record.to_test_record(LINE_BIST_PLAN.session_len, suite.patterns.len())
+                    })
+                    .collect()
+            }
+        };
         let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
         let experiment = runner.experiment(&records, &coverage, &checkpoints);
         LineExperiment {
@@ -212,8 +257,171 @@ impl Session {
             observed_yield: lot.observed_yield(),
             observed_n0: lot.observed_n0(),
             circuit,
+            test_mode,
         }
     }
+
+    /// Sweeps self-test length × signature width on the reproduction device
+    /// and tabulates the paper's defect level (eq. 8) with and without the
+    /// aliasing correction — the quality cost of compacting responses into
+    /// a `k`-bit signature instead of storing them.
+    ///
+    /// Patterns come from a STUMPS-style generator seeded by the session
+    /// (the `LSIQ_SEED` knob, defaulting to the historical 1981); per-fault
+    /// signatures are computed on the session's worker pool, one simulation
+    /// pass per test length shared across all signature widths.
+    pub fn run_bist_sweep(&self, spec: &BistSweepSpec) -> BistSweep {
+        let circuit = Session::reproduction_circuit(spec.full_size);
+        self.run_bist_sweep_on(&circuit, spec)
+    }
+
+    /// [`run_bist_sweep`](Self::run_bist_sweep) on an explicit device —
+    /// used by the tests to sweep small library circuits quickly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's model parameters (`yield_fraction`, `n0`) or
+    /// grid are invalid (empty lengths or widths, unsupported MISR width,
+    /// zero session length).
+    pub fn run_bist_sweep_on(&self, circuit: &Circuit, spec: &BistSweepSpec) -> BistSweep {
+        let params = ModelParams::new(
+            Yield::new(spec.yield_fraction).expect("sweep yield must be in (0, 1]"),
+            spec.n0,
+        )
+        .expect("sweep n0 must be at least 1");
+        let universe = FaultUniverse::full(circuit);
+        let max_length = spec
+            .test_lengths
+            .iter()
+            .copied()
+            .max()
+            .expect("at least one test length");
+        let generator = StumpsGenerator::new(&StumpsConfig {
+            width: circuit.primary_inputs().len(),
+            channels: spec.channels,
+            degree: 64,
+            seed: self.config.seed_or(PROGRAMME_SEED),
+        });
+        let all_patterns = generator.generate(max_length);
+        let defect_level = |coverage: f64| {
+            field_reject_rate(
+                &params,
+                FaultCoverage::new(coverage.clamp(0.0, 1.0)).expect("clamped into range"),
+            )
+            .value()
+        };
+        let mut rows = Vec::with_capacity(spec.test_lengths.len() * spec.signature_widths.len());
+        for &test_length in &spec.test_lengths {
+            let patterns: PatternSet = all_patterns.iter().take(test_length).cloned().collect();
+            // One simulation pass per length serves every signature width.
+            let dictionaries = SignatureDictionary::build_many_in(
+                &self.context,
+                circuit,
+                &universe,
+                &patterns,
+                spec.session_len,
+                &spec.signature_widths,
+            );
+            for dictionary in &dictionaries {
+                let report = AliasingReport::from_dictionary(dictionary);
+                rows.push(BistSweepRow {
+                    test_length,
+                    signature_width: dictionary.signature_width(),
+                    sessions: dictionary.sessions(),
+                    raw_coverage: report.raw_coverage(),
+                    effective_coverage: report.effective_coverage(),
+                    aliased: report.aliased,
+                    aliasing_fraction: report.aliasing_fraction(),
+                    estimated_aliasing_fraction: report.estimated_aliasing_fraction(),
+                    defect_level_raw: defect_level(report.raw_coverage()),
+                    defect_level_effective: defect_level(report.effective_coverage()),
+                });
+            }
+        }
+        BistSweep {
+            universe_size: universe.len(),
+            session_len: spec.session_len,
+            rows,
+        }
+    }
+}
+
+/// The grid and model parameters of a [`Session::run_bist_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BistSweepSpec {
+    /// Self-test lengths (applied pattern counts) to sweep.
+    pub test_lengths: Vec<usize>,
+    /// MISR signature widths `k` to sweep (supported widths only; see
+    /// [`SUPPORTED_DEGREES`](lsiq_bist::lfsr::SUPPORTED_DEGREES)).
+    pub signature_widths: Vec<u32>,
+    /// Patterns per signature readout.
+    pub session_len: usize,
+    /// STUMPS scan channels feeding the device inputs.
+    pub channels: usize,
+    /// The paper's `y` for the defect-level model.
+    pub yield_fraction: f64,
+    /// The paper's `n0` for the defect-level model.
+    pub n0: f64,
+    /// Sweep the full 25 000-transistor device instead of the reduced one.
+    pub full_size: bool,
+}
+
+impl BistSweepSpec {
+    /// The reference sweep of the `bist_sweep` harness binary: test lengths
+    /// 64–256, signature widths 4/8/16, 64-pattern sessions, the paper's
+    /// Section 7 ground truth (`y ≈ 0.07`, `n0 = 8`) on the reduced device.
+    pub fn reference() -> BistSweepSpec {
+        BistSweepSpec {
+            test_lengths: vec![64, 128, 192, 256],
+            signature_widths: vec![4, 8, 16],
+            session_len: 64,
+            channels: 8,
+            yield_fraction: 0.07,
+            n0: 8.0,
+            full_size: false,
+        }
+    }
+}
+
+/// One cell of a BIST sweep: a `(test length, signature width)` pair with
+/// its coverages and defect levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BistSweepRow {
+    /// Applied pattern count.
+    pub test_length: usize,
+    /// MISR width `k`.
+    pub signature_width: u32,
+    /// Signature readouts performed.
+    pub sessions: usize,
+    /// Fault coverage before compaction (`detected / N`).
+    pub raw_coverage: f64,
+    /// Aliasing-corrected coverage (`(detected − aliased) / N`); never above
+    /// [`raw_coverage`](Self::raw_coverage).
+    pub effective_coverage: f64,
+    /// Detected-but-masked fault count.
+    pub aliased: usize,
+    /// Observed per-detected-fault aliasing probability.
+    pub aliasing_fraction: f64,
+    /// The classical `2^−k` estimate of that probability.
+    pub estimated_aliasing_fraction: f64,
+    /// Defect level (eq. 8) at the raw coverage — what a stored-pattern
+    /// tester of the same length would ship.
+    pub defect_level_raw: f64,
+    /// Defect level at the effective coverage — what the self-test actually
+    /// ships.  At least [`defect_level_raw`](Self::defect_level_raw).
+    pub defect_level_effective: f64,
+}
+
+/// The result of a [`Session::run_bist_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BistSweep {
+    /// Size of the swept (uncollapsed) fault universe.
+    pub universe_size: usize,
+    /// Patterns per signature readout.
+    pub session_len: usize,
+    /// One row per `(test length, signature width)` grid cell, lengths
+    /// outermost, widths in spec order within a length.
+    pub rows: Vec<BistSweepRow>,
 }
 
 #[cfg(test)]
@@ -241,6 +449,99 @@ mod tests {
         let session = Session::from_env().expect("clean environment");
         assert_eq!(session.config().engine(), EngineKind::Parallel);
         assert_eq!(session.config().base_seed(), lsiq_exec::DEFAULT_BASE_SEED);
+    }
+
+    #[test]
+    fn bist_sweep_corrects_coverage_downward_and_converges_with_width() {
+        let session = Session::new(RunConfig::default().with_workers(2));
+        let circuit = lsiq_netlist::library::alu4();
+        // One session per test (session_len >= length): each detected fault
+        // aliases with probability ~2^-k, so the k = 4 column carries a
+        // visible penalty and the k = 16 column essentially none.
+        let spec = BistSweepSpec {
+            test_lengths: vec![32, 64],
+            signature_widths: vec![4, 8, 16],
+            session_len: 64,
+            channels: 4,
+            ..BistSweepSpec::reference()
+        };
+        let sweep = session.run_bist_sweep_on(&circuit, &spec);
+        assert_eq!(sweep.rows.len(), 6);
+        assert_eq!(sweep.session_len, 64);
+        for row in &sweep.rows {
+            assert!(
+                row.effective_coverage <= row.raw_coverage + 1e-15,
+                "effective must not exceed raw: {row:?}"
+            );
+            assert!(
+                row.defect_level_effective >= row.defect_level_raw - 1e-15,
+                "aliasing can only worsen the defect level: {row:?}"
+            );
+            assert_eq!(
+                row.aliased,
+                ((row.raw_coverage - row.effective_coverage) * sweep.universe_size as f64).round()
+                    as usize
+            );
+        }
+        // Convergence with signature width: per length, the narrow register
+        // pays a real aliasing penalty and the wide one (weakly) less.
+        for cells in sweep.rows.chunks(3) {
+            let penalty = |row: &BistSweepRow| row.raw_coverage - row.effective_coverage;
+            assert!(
+                cells[0].aliased > 0,
+                "k = 4 single-session sweep should alias something: {:?}",
+                cells[0]
+            );
+            assert!(penalty(&cells[2]) <= penalty(&cells[0]) + 1e-15);
+            assert!(
+                cells[2].defect_level_effective <= cells[0].defect_level_effective + 1e-15,
+                "widening the signature must not worsen shipped quality"
+            );
+        }
+    }
+
+    #[test]
+    fn bist_mode_line_experiment_is_session_quantised() {
+        let stored = Session::new(RunConfig::default().with_workers(2));
+        let bist = Session::new(
+            RunConfig::default()
+                .with_workers(2)
+                .with_test_mode(TestMode::Bist),
+        );
+        let spec = LineSpec {
+            chips: 150,
+            yield_fraction: 0.2,
+            n0: 4.0,
+            full_size: false,
+        };
+        let stored_line = stored.run_production_line(&spec);
+        let bist_line = bist.run_production_line(&spec);
+        assert_eq!(stored_line.test_mode, TestMode::Stored);
+        assert_eq!(bist_line.test_mode, TestMode::Bist);
+        // Same device, same patterns, same lot — only the observable
+        // changes.
+        assert_eq!(stored_line.universe_size, bist_line.universe_size);
+        assert_eq!(
+            stored_line.suite.patterns.as_slice(),
+            bist_line.suite.patterns.as_slice()
+        );
+        assert_eq!(stored_line.observed_yield, bist_line.observed_yield);
+        // A BIST tester can only reject at session boundaries, so by any
+        // checkpoint it has rejected at most as many chips as the
+        // stored-pattern tester.
+        for (stored_row, bist_row) in stored_line
+            .experiment
+            .rows()
+            .iter()
+            .zip(bist_line.experiment.rows())
+        {
+            assert!(bist_row.chips_failed <= stored_row.chips_failed);
+        }
+        // By the end of the test both testers agree up to aliasing, which
+        // the 16-bit line signature makes negligible but not impossible.
+        let last = |line: &LineExperiment| line.experiment.rows().last().unwrap().chips_failed;
+        assert!(last(&bist_line) <= last(&stored_line));
+        assert!(last(&bist_line) + 3 >= last(&stored_line));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Golden test for collapse-before-simulation in the suite builder.
+//!
+//! The `table1`/`lsiq-bench` suite-construction path now collapses the full
+//! fault universe structurally and simulates one representative per
+//! equivalence class by default.  Because equivalent faults are detected by
+//! exactly the same patterns, the optimisation must be *invisible*: this
+//! test pins the reported coverages to their pre-collapsing golden values
+//! and requires byte-identity between the collapse-on and collapse-off
+//! builds on every engine.
+
+use lsi_quality::exec::EngineKind;
+use lsi_quality::fault::universe::FaultUniverse;
+use lsi_quality::netlist::library;
+use lsi_quality::tpg::suite::TestSuiteBuilder;
+
+#[test]
+fn collapsed_suite_coverages_match_the_golden_values() {
+    // Golden numbers recorded before collapsing became the default.
+    let cases = [
+        ("c17", library::c17(), 32usize, 46usize, 1.0),
+        ("alu4", library::alu4(), 64, 466, 0.978_991_596_638_655),
+    ];
+    for (name, circuit, patterns, detected, coverage) in cases {
+        let universe = FaultUniverse::full(&circuit);
+        let suite = TestSuiteBuilder::default().build(&circuit, &universe);
+        assert_eq!(suite.patterns.len(), patterns, "{name}");
+        assert_eq!(suite.fault_list.detected_count(), detected, "{name}");
+        assert!(
+            (suite.coverage() - coverage).abs() < 1e-12,
+            "{name}: coverage {} != golden {coverage}",
+            suite.coverage()
+        );
+    }
+}
+
+#[test]
+fn collapse_on_and_off_agree_on_every_engine() {
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    for engine in EngineKind::ALL {
+        let collapsed = TestSuiteBuilder {
+            engine,
+            ..TestSuiteBuilder::default()
+        }
+        .build(&circuit, &universe);
+        let raw = TestSuiteBuilder {
+            engine,
+            collapse: false,
+            ..TestSuiteBuilder::default()
+        }
+        .build(&circuit, &universe);
+        assert_eq!(collapsed.fault_list, raw.fault_list, "{engine}");
+        assert_eq!(collapsed.coverage_curve, raw.coverage_curve, "{engine}");
+        assert_eq!(collapsed.dictionary, raw.dictionary, "{engine}");
+    }
+}
