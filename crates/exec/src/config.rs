@@ -25,7 +25,7 @@ pub const TEST_MODE_VAR: &str = "LSIQ_TEST_MODE";
 /// historical default of the `production_line` example.
 pub const DEFAULT_BASE_SEED: u64 = 42;
 
-/// Names one of the four fault-simulation engines, for configuration
+/// Names one of the five fault-simulation engines, for configuration
 /// surfaces that select an engine at run time (test-suite builders, bench
 /// binaries, differential harnesses).
 ///
@@ -43,15 +43,19 @@ pub enum EngineKind {
     /// Fault-sharded multi-threaded PPSFP — the production default.
     #[default]
     Parallel,
+    /// Event-driven cone propagation over 64-packed words — the large-circuit
+    /// engine.
+    Incremental,
 }
 
 impl EngineKind {
     /// Every engine, in cross-check order (reference first).
-    pub const ALL: [EngineKind; 4] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Serial,
         EngineKind::Ppsfp,
         EngineKind::Deductive,
         EngineKind::Parallel,
+        EngineKind::Incremental,
     ];
 
     /// The engine's short name (matches `FaultSimulator::name`).
@@ -61,6 +65,7 @@ impl EngineKind {
             EngineKind::Ppsfp => "ppsfp",
             EngineKind::Deductive => "deductive",
             EngineKind::Parallel => "parallel",
+            EngineKind::Incremental => "incremental",
         }
     }
 
@@ -83,7 +88,7 @@ impl FromStr for EngineKind {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         EngineKind::from_name(s).ok_or_else(|| {
-            format!("unknown fault-simulation engine {s:?} (expected serial, ppsfp, deductive or parallel)")
+            format!("unknown fault-simulation engine {s:?} (expected serial, ppsfp, deductive, parallel or incremental)")
         })
     }
 }
@@ -155,8 +160,9 @@ impl FromStr for TestMode {
 /// // to an invalid value)
 /// if let Err(error) = RunConfig::from_env() {
 ///     eprintln!("{error}");
-///     // e.g. `LSIQ_ENGINE: expected one of serial, ppsfp, deductive or
-///     // parallel, got "warp"; unset the variable to use the default`
+///     // e.g. `LSIQ_ENGINE: expected one of serial, ppsfp, deductive,
+///     // parallel or incremental, got "warp"; unset the variable to use
+///     // the default`
 /// }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -245,7 +251,7 @@ impl RunConfig {
                 ConfigError::new(
                     ENGINE_VAR,
                     value.clone(),
-                    "one of serial, ppsfp, deductive or parallel",
+                    "one of serial, ppsfp, deductive, parallel or incremental",
                 )
             })?;
         }
@@ -475,7 +481,7 @@ mod tests {
         let message = error.to_string();
         assert!(message.contains("LSIQ_ENGINE"), "{message}");
         assert!(
-            message.contains("serial, ppsfp, deductive or parallel"),
+            message.contains("serial, ppsfp, deductive, parallel or incremental"),
             "{message}"
         );
         assert!(message.contains("unset the variable"), "{message}");

@@ -23,7 +23,9 @@
 //! # Collapsed-universe simulation
 //!
 //! By default the engine partitions the requested fault universe into
-//! structural equivalence classes ([`collapse_equivalence`]) and propagates
+//! structural equivalence classes
+//! ([`collapse_equivalence`](crate::collapse::collapse_equivalence)) and
+//! propagates
 //! one representative per class; the detection of the representative is then
 //! credited to every member.  Equivalent faults are detected by exactly the
 //! same patterns, so the reported [`FaultList`] is identical to a
@@ -31,7 +33,7 @@
 //! list entries.  Disable with
 //! [`with_collapsing(false)`](DeductiveSimulator::with_collapsing).
 
-use crate::collapse::{collapse_equivalence, CollapseResult};
+use crate::classes::{simulation_classes, CollapseContext, SimulationClasses};
 use crate::list::{FaultList, ListArena, ListRef};
 use crate::model::{Fault, StuckValue};
 use crate::simulator::FaultSimulator;
@@ -42,27 +44,6 @@ use lsiq_sim::eval::controlling_value;
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::packed::PATTERNS_PER_WORD;
 use lsiq_sim::pattern::PatternSet;
-
-/// The circuit-only collapsing state a simulator reuses across `run` calls
-/// (suite builders re-simulate a growing pattern set many times; the
-/// equivalence classes never change).
-#[derive(Debug)]
-struct CollapseContext {
-    equivalence: CollapseResult,
-    full: FaultUniverse,
-    table: SiteTable,
-}
-
-impl CollapseContext {
-    fn new(circuit: &Circuit) -> CollapseContext {
-        let full = FaultUniverse::full(circuit);
-        CollapseContext {
-            equivalence: collapse_equivalence(circuit),
-            table: SiteTable::new(circuit, &full),
-            full,
-        }
-    }
-}
 
 /// A deductive fault simulator.
 #[derive(Debug)]
@@ -114,104 +95,15 @@ impl<'c> DeductiveSimulator<'c> {
     }
 
     /// Partitions the universe's fault indices into groups that provably
-    /// share their set of detecting patterns; each group is simulated through
-    /// its first member.
+    /// share their set of detecting patterns (see
+    /// [`classes::simulation_classes`](simulation_classes)).
     fn simulation_classes(&self, universe: &FaultUniverse) -> SimulationClasses {
-        assert!(
-            universe.len() <= u32::MAX as usize,
-            "fault universe exceeds u32 index space"
-        );
-        if !self.collapse {
-            return SimulationClasses::identity(universe.len());
-        }
-        let context = self
-            .context
-            .get_or_init(|| CollapseContext::new(self.compiled.circuit()));
-        // The common case is simulating exactly the full universe, where the
-        // fault → full-position mapping is the identity; otherwise resolve
-        // positions through the precomputed O(1) site table.
-        let identical = universe.faults() == context.full.faults();
-        let mut class_of: Vec<u32> = Vec::with_capacity(universe.len());
-        let mut class_of_representative: Vec<Option<u32>> =
-            vec![None; context.equivalence.collapsed.len()];
-        let mut class_count = 0u32;
-        for (index, fault) in universe.iter().enumerate() {
-            let full_position = if identical {
-                Some(index)
-            } else {
-                context.table.position(fault).map(|p| p as usize)
-            };
-            let class = match full_position.and_then(|p| context.equivalence.representative_of[p]) {
-                Some(representative) => *class_of_representative[representative]
-                    .get_or_insert_with(|| {
-                        let fresh = class_count;
-                        class_count += 1;
-                        fresh
-                    }),
-                // A fault outside the full structural universe cannot be
-                // collapsed against it; simulate it individually.
-                None => {
-                    let fresh = class_count;
-                    class_count += 1;
-                    fresh
-                }
-            };
-            class_of.push(class);
-        }
-        SimulationClasses::from_class_of(&class_of, class_count as usize)
-    }
-}
-
-/// The universe fault indices of a run grouped into simulation classes, in a
-/// flat CSR layout (no per-class allocation).  Members of one class are in
-/// ascending universe order; the first member is the propagated
-/// representative.
-struct SimulationClasses {
-    members: Vec<u32>,
-    offsets: Vec<u32>,
-}
-
-impl SimulationClasses {
-    /// One singleton class per universe index (collapsing disabled).
-    fn identity(len: usize) -> SimulationClasses {
-        SimulationClasses {
-            members: (0..len as u32).collect(),
-            offsets: (0..=len as u32).collect(),
-        }
-    }
-
-    /// Builds the CSR layout from a per-index class assignment.
-    fn from_class_of(class_of: &[u32], class_count: usize) -> SimulationClasses {
-        let mut offsets = vec![0u32; class_count + 1];
-        for &class in class_of {
-            offsets[class as usize + 1] += 1;
-        }
-        for class in 0..class_count {
-            offsets[class + 1] += offsets[class];
-        }
-        let mut cursor: Vec<u32> = offsets[..class_count].to_vec();
-        let mut members = vec![0u32; class_of.len()];
-        for (index, &class) in class_of.iter().enumerate() {
-            members[cursor[class as usize] as usize] = index as u32;
-            cursor[class as usize] += 1;
-        }
-        SimulationClasses { members, offsets }
-    }
-
-    /// Number of classes.
-    fn count(&self) -> usize {
-        self.offsets.len() - 1
-    }
-
-    /// The universe indices belonging to `class`.
-    fn members_of(&self, class: u32) -> &[u32] {
-        &self.members
-            [self.offsets[class as usize] as usize..self.offsets[class as usize + 1] as usize]
-    }
-
-    /// The universe index whose fault is propagated for `class`.
-    fn representative(&self, class: u32) -> u32 {
-        self.members[self.offsets[class as usize] as usize]
+        simulation_classes(
+            self.compiled.circuit(),
+            &self.context,
+            self.collapse,
+            universe,
+        )
     }
 }
 

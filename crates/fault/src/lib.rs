@@ -8,10 +8,12 @@
 //! * [`collapse`] — structural equivalence and dominance collapsing,
 //! * [`list`] — fault lists with detection status and coverage accounting,
 //! * [`simulator`] — the [`FaultSimulator`] trait every engine implements,
-//! * [`serial`], [`ppsfp`], [`deductive`], [`parallel`] — four independent
-//!   fault-simulation algorithms (serial, 64-pattern-parallel single fault
-//!   propagation, deductive, and the multi-threaded sharded engine), which
-//!   cross-check each other in the test suites,
+//! * [`serial`], [`ppsfp`], [`deductive`], [`parallel`], [`incremental`] —
+//!   five independent fault-simulation algorithms (serial, 64-pattern-parallel
+//!   single fault propagation, deductive, the multi-threaded sharded engine,
+//!   and event-driven incremental cone propagation), which cross-check each
+//!   other in the test suites; the architecture guide comparing them is
+//!   `docs/ENGINES.md` at the repository root,
 //! * [`coverage`] — cumulative fault-coverage curves as a function of the
 //!   number of applied patterns (the paper's `f` axis), and
 //! * [`dictionary`] — per-fault first-failing-pattern records, the raw
@@ -33,10 +35,12 @@
 //! assert!(result.coverage() > 0.99); // exhaustive patterns detect everything
 //! ```
 
+mod classes;
 pub mod collapse;
 pub mod coverage;
 pub mod deductive;
 pub mod dictionary;
+pub mod incremental;
 pub mod inject;
 pub mod list;
 pub mod model;
@@ -47,6 +51,7 @@ pub mod simulator;
 pub mod universe;
 
 pub use coverage::CoverageCurve;
+pub use incremental::IncrementalSimulator;
 pub use list::{DetectionState, FaultList, ListArena, ListRef};
 pub use model::{Fault, FaultSite, StuckValue};
 pub use parallel::ParallelSimulator;

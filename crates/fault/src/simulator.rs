@@ -1,6 +1,6 @@
 //! The common interface of every fault-simulation engine.
 //!
-//! Four engines implement [`FaultSimulator`]:
+//! Five engines implement [`FaultSimulator`]:
 //!
 //! * [`SerialSimulator`] — one fault, one
 //!   pattern at a time; the reference implementation,
@@ -10,7 +10,10 @@
 //!   faults of a pattern at once via signal fault lists,
 //! * [`ParallelSimulator`] — the default
 //!   production engine: the fault universe sharded across threads, each shard
-//!   simulating 64-packed pattern words with fault dropping.
+//!   simulating 64-packed pattern words with fault dropping,
+//! * [`IncrementalSimulator`] — event-driven cone propagation: the good
+//!   machine once per 64-pattern block, then per fault only the disturbed
+//!   fanout cone; the large-circuit engine.
 //!
 //! All engines report *identical* detection results (the first detecting
 //! pattern of every fault, in application order); they differ only in speed.
@@ -19,9 +22,11 @@
 //!
 //! # Choosing an engine
 //!
-//! Pick by workload shape; [`EngineKind`] names the four choices for
+//! Pick by workload shape; [`EngineKind`] names the five choices for
 //! configuration knobs (`TestSuiteBuilder::engine`, the `LSIQ_ENGINE`
-//! environment variable of the bench binaries):
+//! environment variable of the bench binaries).  The full guide with data
+//! structures, complexity and a decision table is `docs/ENGINES.md`; in
+//! brief:
 //!
 //! * **Serial** re-simulates the whole circuit for every `(pattern, fault)`
 //!   pair — `O(patterns × faults × gates)`.  It exists to be obviously
@@ -45,12 +50,19 @@
 //!   of the PPSFP core.  Best wall-clock on large universes with many
 //!   patterns (the production-line Monte-Carlo); pointless for tiny runs
 //!   where thread spawn dominates.
+//! * **Incremental** keeps the good machine per 64-pattern block and
+//!   re-evaluates only each fault's disturbed fanout cone, level by level,
+//!   until the event frontier dies.  Per-fault cost scales with the cone,
+//!   not the circuit, so it pulls ahead of deductive as circuits grow past
+//!   tens of thousands of gates (ISCAS scale and beyond).
 //!
 //! When in doubt: `Parallel` for throughput, `Deductive` for verification
-//! work and single-core latency, `Serial` for debugging a disagreement.
+//! work and single-core latency on small-to-medium circuits, `Incremental`
+//! for very large circuits, `Serial` for debugging a disagreement.
 
 use crate::coverage::CoverageCurve;
 use crate::deductive::DeductiveSimulator;
+use crate::incremental::IncrementalSimulator;
 use crate::list::FaultList;
 use crate::parallel::ParallelSimulator;
 use crate::ppsfp::PpsfpSimulator;
@@ -118,10 +130,11 @@ pub trait BuildEngine {
     ) -> Box<dyn FaultSimulator + 'c>;
 
     /// Instantiates the engine bound to a persistent [`ExecutionContext`]:
-    /// the parallel engine shards its fault universe across the context's
-    /// pooled workers instead of the process-wide default pool, and the
-    /// single-threaded engines simply run on the calling thread (which may
-    /// itself be one of the context's workers).
+    /// the parallel engine shards its fault universe (and the incremental
+    /// engine its simulation classes) across the context's pooled workers
+    /// instead of the process-wide default pool, and the single-threaded
+    /// engines simply run on the calling thread (which may itself be one of
+    /// the context's workers).
     fn build_in<'c>(
         self,
         context: &'c ExecutionContext,
@@ -152,6 +165,9 @@ impl BuildEngine for EngineKind {
             EngineKind::Parallel => {
                 Box::new(ParallelSimulator::new(circuit).with_fault_dropping(fault_dropping))
             }
+            EngineKind::Incremental => {
+                Box::new(IncrementalSimulator::new(circuit).with_fault_dropping(fault_dropping))
+            }
         }
     }
 
@@ -162,6 +178,9 @@ impl BuildEngine for EngineKind {
     ) -> Box<dyn FaultSimulator + 'c> {
         match self {
             EngineKind::Parallel => Box::new(ParallelSimulator::new(circuit).with_context(context)),
+            EngineKind::Incremental => {
+                Box::new(IncrementalSimulator::new(circuit).with_context(context))
+            }
             other => other.build(circuit),
         }
     }

@@ -39,6 +39,33 @@ impl Default for RandomCircuitConfig {
 }
 
 impl RandomCircuitConfig {
+    /// Industrial-scale preset: a circuit of `gates` logic gates shaped like
+    /// a flattened production netlist rather than the default narrow control
+    /// block.  The input count and the locality window grow with the square
+    /// root of the gate count, which keeps the levelised depth in the
+    /// hundreds even at 100 000+ gates — wide and shallow, the shape where
+    /// event-driven fault simulation pays off.
+    ///
+    /// ```
+    /// use lsiq_netlist::generator::{random_circuit, RandomCircuitConfig};
+    /// use lsiq_netlist::levelize::levelize;
+    ///
+    /// let config = RandomCircuitConfig::industrial(5_000, 42);
+    /// let circuit = random_circuit(&config);
+    /// assert_eq!(circuit.gate_count(), 5_000 + circuit.primary_inputs().len());
+    /// assert!(levelize(&circuit).is_ok());
+    /// ```
+    pub fn industrial(gates: usize, seed: u64) -> RandomCircuitConfig {
+        let breadth = (gates.max(1) as f64).sqrt().ceil() as usize;
+        RandomCircuitConfig {
+            inputs: breadth.clamp(16, 4096),
+            gates,
+            max_fanin: 4,
+            locality: (breadth * 4).max(32),
+            seed,
+        }
+    }
+
     /// Validates the configuration, normalising out-of-range values.
     fn normalised(&self) -> RandomCircuitConfig {
         RandomCircuitConfig {
@@ -204,6 +231,31 @@ mod tests {
                 "gate {id} is dead logic"
             );
         }
+    }
+
+    #[test]
+    fn industrial_preset_scales_to_one_hundred_thousand_gates() {
+        let config = RandomCircuitConfig::industrial(100_000, 9);
+        let circuit = random_circuit(&config);
+        assert_eq!(
+            circuit.gate_count(),
+            100_000 + circuit.primary_inputs().len()
+        );
+        let levels = levelize(&circuit).expect("acyclic");
+        // Wide and shallow: the whole point of the preset.
+        assert!(
+            levels.depth() < 2_000,
+            "industrial circuit too deep: {} levels",
+            levels.depth()
+        );
+        assert!(!circuit.primary_outputs().is_empty());
+    }
+
+    #[test]
+    fn industrial_preset_is_deterministic() {
+        let a = random_circuit(&RandomCircuitConfig::industrial(2_000, 5));
+        let b = random_circuit(&RandomCircuitConfig::industrial(2_000, 5));
+        assert_eq!(a, b);
     }
 
     #[test]

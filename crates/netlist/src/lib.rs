@@ -6,7 +6,9 @@
 //! to stand in for it:
 //!
 //! * a typed, validated gate-level [`Circuit`] representation,
-//! * an ISCAS-style `.bench` reader and writer ([`bench_format`]),
+//! * an ISCAS-style `.bench` reader and writer ([`bench_format`]) and a
+//!   combinational BLIF reader and writer ([`blif`]); the format guide is
+//!   `docs/FORMATS.md` at the repository root,
 //! * levelisation and structural analysis ([`levelize`], [`stats`]),
 //! * parameterised circuit generators (adders, multipliers, ALUs, parity and
 //!   multiplexer trees, random logic) in [`generator`], and
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod bench_format;
+pub mod blif;
 pub mod builder;
 pub mod circuit;
 pub mod error;

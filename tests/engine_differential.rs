@@ -2,12 +2,12 @@
 //!
 //! Each case draws a random netlist (`netlist::generator::random`) and a
 //! pattern set from one of two differently structured sources (uniform
-//! random or LFSR), then requires the serial, PPSFP, deductive and parallel
-//! engines to report *byte-identical* detection results — the full
-//! [`FaultList`], i.e. the first detecting pattern of every fault — with and
-//! without fault dropping, on full, equivalence-collapsed and checkpoint
-//! fault universes, and for the deductive engine additionally with its
-//! internal collapsing disabled.
+//! random or LFSR), then requires the serial, PPSFP, deductive, parallel and
+//! incremental engines to report *byte-identical* detection results — the
+//! full [`FaultList`], i.e. the first detecting pattern of every fault —
+//! with and without fault dropping, on full, equivalence-collapsed and
+//! checkpoint fault universes, and for the deductive and incremental engines
+//! additionally with their internal collapsing disabled.
 //!
 //! The case count is 100 in release builds (the CI release-test and
 //! bench-smoke jobs); debug builds run a reduced sweep so plain `cargo test`
@@ -16,6 +16,7 @@
 use lsi_quality::exec::ExecutionContext;
 use lsi_quality::fault::collapse::collapse_equivalence;
 use lsi_quality::fault::deductive::DeductiveSimulator;
+use lsi_quality::fault::incremental::IncrementalSimulator;
 use lsi_quality::fault::list::FaultList;
 use lsi_quality::fault::parallel::ParallelSimulator;
 use lsi_quality::fault::simulator::{BuildEngine, EngineKind, FaultSimulator};
@@ -115,6 +116,13 @@ fn assert_engines_identical(case: &Case, universe_name: &str, universe: &FaultUn
             "deductive(uncollapsed)".to_string(),
             uncollapsed.run(universe, &case.patterns),
         );
+        let incremental_uncollapsed = IncrementalSimulator::new(&case.circuit)
+            .with_fault_dropping(fault_dropping)
+            .with_collapsing(false);
+        check(
+            "incremental(uncollapsed)".to_string(),
+            incremental_uncollapsed.run(universe, &case.patterns),
+        );
     }
 }
 
@@ -180,6 +188,55 @@ fn parallel_engine_on_explicit_contexts_matches_the_reference() {
                 case.label,
                 context.workers()
             );
+        }
+    }
+}
+
+#[test]
+fn incremental_engine_matches_deductive_everywhere() {
+    // The incremental engine's dedicated differential block: byte-identical
+    // to the deductive oracle on the full, equivalence-collapsed and
+    // checkpoint universes, with and without fault dropping, with and
+    // without its internal collapsing, and sharded across explicit worker
+    // pools.  Deductive is the oracle because its algorithm shares nothing
+    // with event-driven cone propagation — agreement is two independent
+    // derivations of the same answer.
+    let contexts: Vec<ExecutionContext> = [1, 3].map(ExecutionContext::new).into();
+    let case_count = CASES.min(16);
+    for index in 0..case_count {
+        let case = build_case(index);
+        for (universe_name, universe) in universes(&case.circuit) {
+            for fault_dropping in [true, false] {
+                let oracle = DeductiveSimulator::new(&case.circuit)
+                    .with_fault_dropping(fault_dropping)
+                    .run(&universe, &case.patterns);
+                for collapse in [true, false] {
+                    let list = IncrementalSimulator::new(&case.circuit)
+                        .with_fault_dropping(fault_dropping)
+                        .with_collapsing(collapse)
+                        .run(&universe, &case.patterns);
+                    assert_eq!(
+                        oracle, list,
+                        "{}, {universe_name} universe, dropping={fault_dropping}, \
+                         collapse={collapse}",
+                        case.label
+                    );
+                }
+                for context in &contexts {
+                    let pooled = IncrementalSimulator::new(&case.circuit)
+                        .with_fault_dropping(fault_dropping)
+                        .with_context(context)
+                        .run(&universe, &case.patterns);
+                    assert_eq!(
+                        oracle,
+                        pooled,
+                        "{}, {universe_name} universe, dropping={fault_dropping}, \
+                         {} workers",
+                        case.label,
+                        context.workers()
+                    );
+                }
+            }
         }
     }
 }

@@ -1,12 +1,14 @@
-//! Property-style cross-check of the four fault-simulation engines.
+//! Property-style cross-check of the five fault-simulation engines.
 //!
-//! Serial, PPSFP, deductive and the multi-threaded parallel engine must
-//! report *identical* detected-fault sets (and identical first detecting
-//! patterns) on every circuit, with and without fault dropping.  A timed
-//! check also pins down the performance contract: the parallel engine must
-//! beat the scalar serial reference in wall-clock time.
+//! Serial, PPSFP, deductive, the multi-threaded parallel engine and the
+//! event-driven incremental engine must report *identical* detected-fault
+//! sets (and identical first detecting patterns) on every circuit, with and
+//! without fault dropping.  A timed check also pins down the performance
+//! contract: the parallel engine must beat the scalar serial reference in
+//! wall-clock time.
 
 use lsi_quality::fault::deductive::DeductiveSimulator;
+use lsi_quality::fault::incremental::IncrementalSimulator;
 use lsi_quality::fault::list::FaultList;
 use lsi_quality::fault::parallel::ParallelSimulator;
 use lsi_quality::fault::ppsfp::PpsfpSimulator;
@@ -36,7 +38,7 @@ fn generated_circuit() -> Circuit {
     })
 }
 
-/// Runs all four engines with the given dropping mode and returns
+/// Runs all five engines with the given dropping mode and returns
 /// `(engine name, fault list)` pairs.
 fn run_all_engines(
     circuit: &Circuit,
@@ -48,7 +50,9 @@ fn run_all_engines(
     let ppsfp = PpsfpSimulator::new(circuit).with_fault_dropping(fault_dropping);
     let deductive = DeductiveSimulator::new(circuit).with_fault_dropping(fault_dropping);
     let parallel = ParallelSimulator::new(circuit).with_fault_dropping(fault_dropping);
-    let engines: Vec<&dyn FaultSimulator> = vec![&serial, &ppsfp, &deductive, &parallel];
+    let incremental = IncrementalSimulator::new(circuit).with_fault_dropping(fault_dropping);
+    let engines: Vec<&dyn FaultSimulator> =
+        vec![&serial, &ppsfp, &deductive, &parallel, &incremental];
     engines
         .into_iter()
         .map(|engine| (engine.name(), engine.run(universe, patterns)))
