@@ -16,7 +16,7 @@
 //! validation like every binary; this sweep is BIST by definition).
 
 use lsi_quality::BistSweepSpec;
-use lsiq_bench::session_from_env;
+use lsiq_bench::{session_from_env, unwrap_or_exit};
 
 fn main() {
     let session = session_from_env();
@@ -28,7 +28,7 @@ fn main() {
         spec.yield_fraction, spec.n0, spec.session_len, spec.channels
     );
 
-    let sweep = session.run_bist_sweep(&spec);
+    let sweep = unwrap_or_exit(session.run_bist_sweep(&spec));
     println!("fault universe: {} stuck-at faults", sweep.universe_size);
     println!();
     println!(

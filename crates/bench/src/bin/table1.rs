@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p lsiq-bench --bin table1`
 
-use lsiq_bench::session_from_env;
+use lsiq_bench::{session_from_env, unwrap_or_exit};
 use lsiq_core::chip_test::ChipTestTable;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
     // flow through Session::from_env; the historical 1981 lot seed applies
     // unless LSIQ_SEED overrides it.
     let session = session_from_env();
-    let line = session.reproduce_table1();
+    let line = unwrap_or_exit(session.reproduce_table1());
     println!(
         "device: {} gates (~{} transistors), {} stuck-at faults",
         line.circuit.gate_count(),

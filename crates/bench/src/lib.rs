@@ -45,8 +45,17 @@ pub fn reproduction_circuit(full: bool) -> Circuit {
 /// backtrace) on an invalid value — the graceful path the CI smoke job
 /// asserts.
 pub fn run_config_from_env() -> RunConfig {
-    match RunConfig::from_env() {
-        Ok(config) => config,
+    unwrap_or_exit(RunConfig::from_env())
+}
+
+/// Unwraps a fallible configuration step, exiting the process with the
+/// [`ConfigError`](lsiq_exec::ConfigError) message (status 2, no panic
+/// backtrace) on failure — the graceful path the CI smoke job asserts.
+/// Used both for the `LSIQ_*` parse and for session runs that validate
+/// their spec (scan plans, sweep grids) at run time.
+pub fn unwrap_or_exit<T>(result: Result<T, lsiq_exec::ConfigError>) -> T {
+    match result {
+        Ok(value) => value,
         Err(error) => {
             eprintln!("lsiq: {error}");
             std::process::exit(2);
@@ -84,12 +93,12 @@ pub fn run_line_experiment(
     full_size: bool,
 ) -> LineExperiment {
     let session = Session::new(run_config_from_env().with_base_seed(seed));
-    session.run_production_line(&LineSpec {
+    unwrap_or_exit(session.run_production_line(&LineSpec {
         chips,
         yield_fraction,
         n0,
         full_size,
-    })
+    }))
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@
 //! revisions is now a thin wrapper over a degree-64 register from this
 //! module; its output sequence is bit-for-bit unchanged.
 
+use lsiq_exec::ConfigError;
 use lsiq_stats::rng::{Rng, SplitMix64};
+
+/// The accepted-degree grammar shared by every fallible constructor that
+/// validates against [`SUPPORTED_DEGREES`].
+pub(crate) const DEGREE_GRAMMAR: &str = "one of 4, 8, 12, 16, 24, 32, 48 or 64";
 
 /// The LFSR degrees for which [`maximal_polynomial`] carries a primitive
 /// tap polynomial, in ascending order.
@@ -95,10 +100,21 @@ impl GaloisLfsr {
     ///
     /// Panics if `degree` is not in [`SUPPORTED_DEGREES`].
     pub fn maximal(degree: u32, seed: u64) -> GaloisLfsr {
-        let mask = maximal_polynomial(degree).unwrap_or_else(|| {
+        GaloisLfsr::try_maximal(degree, seed).unwrap_or_else(|_| {
             panic!("no built-in maximal polynomial of degree {degree} (supported: {SUPPORTED_DEGREES:?})")
-        });
-        GaloisLfsr::with_polynomial(degree, mask, seed)
+        })
+    }
+
+    /// The fallible form of [`maximal`](GaloisLfsr::maximal), for degrees
+    /// that arrive from user configuration (a
+    /// [`StumpsConfig`](crate::stumps::StumpsConfig)'s register degree, a
+    /// sweep specification): an unsupported degree becomes a typed
+    /// [`ConfigError`] instead of a panic.
+    pub fn try_maximal(degree: u32, seed: u64) -> Result<GaloisLfsr, ConfigError> {
+        let mask = maximal_polynomial(degree).ok_or_else(|| {
+            ConfigError::invalid_value("StumpsConfig::degree", degree.to_string(), DEGREE_GRAMMAR)
+        })?;
+        Ok(GaloisLfsr::with_polynomial(degree, mask, seed))
     }
 
     /// Creates a register with an explicit Galois tap mask (bit `t − 1` set
@@ -239,6 +255,15 @@ mod tests {
     #[should_panic(expected = "no built-in maximal polynomial")]
     fn unsupported_degree_panics() {
         let _ = GaloisLfsr::maximal(5, 1);
+    }
+
+    #[test]
+    fn try_maximal_returns_typed_errors() {
+        let lfsr = GaloisLfsr::try_maximal(16, 7).expect("supported degree");
+        assert_eq!(lfsr, GaloisLfsr::maximal(16, 7));
+        let error = GaloisLfsr::try_maximal(5, 7).expect_err("unsupported degree");
+        assert_eq!(error.value(), "5");
+        assert!(error.to_string().contains("4, 8, 12, 16"), "{error}");
     }
 
     #[test]

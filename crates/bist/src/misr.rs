@@ -22,7 +22,8 @@
 //! register; the signature-dictionary builder inlines the same identity to
 //! drive several widths and mid-block session boundaries at once.
 
-use crate::lfsr::{maximal_polynomial, SUPPORTED_DEGREES};
+use crate::lfsr::{maximal_polynomial, DEGREE_GRAMMAR, SUPPORTED_DEGREES};
+use lsiq_exec::ConfigError;
 use lsiq_sim::packed::gather_slot;
 
 /// A `width`-bit multiple-input signature register with the built-in
@@ -63,16 +64,26 @@ impl Misr {
     ///
     /// Panics if `width` is not one of [`SUPPORTED_DEGREES`].
     pub fn new(width: u32) -> Misr {
-        let polynomial = maximal_polynomial(width).unwrap_or_else(|| {
+        Misr::try_new(width).unwrap_or_else(|_| {
             panic!(
                 "no built-in MISR polynomial of width {width} (supported: {SUPPORTED_DEGREES:?})"
             )
-        });
-        Misr {
+        })
+    }
+
+    /// The fallible form of [`new`](Misr::new), for signature widths that
+    /// arrive from user configuration (a `BistPlan`, a sweep
+    /// specification): an unsupported width becomes a typed [`ConfigError`]
+    /// instead of a panic.
+    pub fn try_new(width: u32) -> Result<Misr, ConfigError> {
+        let polynomial = maximal_polynomial(width).ok_or_else(|| {
+            ConfigError::invalid_value("signature width", width.to_string(), DEGREE_GRAMMAR)
+        })?;
+        Ok(Misr {
             state: 0,
             width,
             polynomial,
-        }
+        })
     }
 
     /// The register width `k` (signature bits).
@@ -264,5 +275,13 @@ mod tests {
     #[should_panic(expected = "no built-in MISR polynomial")]
     fn unsupported_width_panics() {
         let _ = Misr::new(10);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert_eq!(Misr::try_new(16).expect("supported width"), Misr::new(16));
+        let error = Misr::try_new(10).expect_err("unsupported width");
+        assert_eq!(error.value(), "10");
+        assert!(error.to_string().contains("4, 8, 12, 16"), "{error}");
     }
 }

@@ -163,38 +163,92 @@ impl SignatureDictionary {
         session_len: usize,
         widths: &[u32],
     ) -> Vec<SignatureDictionary> {
+        SignatureDictionary::build_sweep_in(
+            context,
+            circuit,
+            universe,
+            patterns,
+            session_len,
+            widths,
+            &[patterns.len()],
+        )
+        .pop()
+        .expect("one length in, one dictionary row out")
+    }
+
+    /// Builds one dictionary per `(test length, signature width)` grid cell
+    /// in a *single* fault-simulation pass over the full pattern set.
+    ///
+    /// Each requested length is a prefix of `patterns`, and MISR sessions
+    /// are independent (the register resets at every readout), so one
+    /// maximum-length simulation determines every prefix: full-session
+    /// readouts are shared verbatim, and the only extra state a shorter
+    /// test needs is the error register's value at its trailing partial
+    /// session — captured as a snapshot when the pass crosses that length
+    /// boundary.  The result is indexed `[length][width]` (input order) and
+    /// each dictionary is byte-identical to what
+    /// [`build_many_in`](SignatureDictionary::build_many_in) produces on the
+    /// truncated pattern set, at a fault-simulation cost paid once instead
+    /// of once per length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_len` is 0, `widths` or `lengths` is empty, any
+    /// width is not a supported MISR width, or any length exceeds the
+    /// pattern set.
+    pub fn build_sweep_in(
+        context: &ExecutionContext,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        session_len: usize,
+        widths: &[u32],
+        lengths: &[usize],
+    ) -> Vec<Vec<SignatureDictionary>> {
         assert!(session_len >= 1, "a session must apply at least 1 pattern");
         assert!(!widths.is_empty(), "at least one signature width required");
+        assert!(!lengths.is_empty(), "at least one test length required");
+        assert!(
+            lengths.iter().all(|&length| length <= patterns.len()),
+            "test lengths cannot exceed the pattern set"
+        );
         let compiled = CompiledCircuit::new(circuit);
         let blocks = precompute_blocks(&compiled, patterns);
-        let sessions = patterns.len().div_ceil(session_len);
+        let mut boundaries: Vec<usize> = lengths.to_vec();
+        boundaries.sort_unstable();
+        boundaries.dedup();
 
-        // Fault-free signatures per width per session, folded once up front.
+        // Fault-free signatures, folded once up front: one signature per
+        // *full* session, plus a running-state snapshot at every length
+        // boundary (used by lengths whose trailing session is partial).
         let mut good_registers: Vec<Misr> = widths.iter().map(|&w| Misr::new(w)).collect();
-        let mut good: Vec<Vec<u64>> = vec![Vec::with_capacity(sessions); widths.len()];
+        let mut good_full: Vec<Vec<u64>> = vec![Vec::new(); widths.len()];
+        let mut good_partial: Vec<Vec<u64>> = vec![vec![0; boundaries.len()]; widths.len()];
+        let mut consumed = 0usize;
         let mut in_session = 0usize;
+        let mut next_boundary = 0usize;
         for block in &blocks {
             for slot in 0..block.count {
                 for register in good_registers.iter_mut() {
                     register.fold(lsiq_sim::packed::gather_slot(&block.good_outputs, slot));
                 }
+                consumed += 1;
                 in_session += 1;
+                while next_boundary < boundaries.len() && boundaries[next_boundary] == consumed {
+                    for (which, register) in good_registers.iter().enumerate() {
+                        good_partial[which][next_boundary] = register.signature();
+                    }
+                    next_boundary += 1;
+                }
                 if in_session == session_len {
                     for (which, register) in good_registers.iter_mut().enumerate() {
-                        good[which].push(register.signature());
+                        good_full[which].push(register.signature());
                         register.reset();
                     }
                     in_session = 0;
                 }
             }
         }
-        if in_session > 0 {
-            for (which, register) in good_registers.iter_mut().enumerate() {
-                good[which].push(register.signature());
-                register.reset();
-            }
-        }
-        debug_assert!(good.iter().all(|g| g.len() == sessions));
 
         // Shard the fault universe across the pool, mirroring the parallel
         // fault engine's geometry.
@@ -211,35 +265,75 @@ impl SignatureDictionary {
                 faults,
                 session_len,
                 widths,
+                &boundaries,
             )]
         } else {
             let shards: Vec<&[lsiq_fault::model::Fault]> = faults.chunks(chunk).collect();
             context.scope_map(shards, |shard| {
-                simulate_shard(&compiled, &blocks, shard, session_len, widths)
+                simulate_shard(&compiled, &blocks, shard, session_len, widths, &boundaries)
             })
         };
 
-        // Assemble one dictionary per width.
-        let mut raw_detected = Vec::with_capacity(faults.len());
+        // Concatenate the shards back into universe fault order.
+        let mut first_error: Vec<Option<usize>> = Vec::with_capacity(faults.len());
         let mut first_fail: Vec<Vec<Option<usize>>> =
             vec![Vec::with_capacity(faults.len()); widths.len()];
+        let mut partial_fail: Vec<Vec<Vec<bool>>> =
+            vec![Vec::with_capacity(faults.len()); widths.len()];
         for shard in results {
-            raw_detected.extend(shard.raw_detected);
+            first_error.extend(shard.first_error);
             for (which, fails) in shard.first_fail.into_iter().enumerate() {
                 first_fail[which].extend(fails);
             }
+            for (which, partials) in shard.partial_fail.into_iter().enumerate() {
+                partial_fail[which].extend(partials);
+            }
         }
-        widths
+
+        // Derive every (length, width) dictionary from the one pass.
+        lengths
             .iter()
-            .zip(first_fail)
-            .zip(good)
-            .map(|((&width, first_fail), good)| SignatureDictionary {
-                session_len,
-                sessions,
-                signature_width: width,
-                good,
-                first_fail,
-                raw_detected: raw_detected.clone(),
+            .map(|&length| {
+                let boundary = boundaries
+                    .binary_search(&length)
+                    .expect("every length is a recorded boundary");
+                let full_sessions = length / session_len;
+                let has_partial = length % session_len != 0;
+                widths
+                    .iter()
+                    .enumerate()
+                    .map(|(which, &width)| {
+                        let mut good = good_full[which][..full_sessions].to_vec();
+                        if has_partial {
+                            good.push(good_partial[which][boundary]);
+                        }
+                        let first_fail: Vec<Option<usize>> = first_fail[which]
+                            .iter()
+                            .zip(&partial_fail[which])
+                            .map(|(&fail, partials)| match fail {
+                                // A full-session failure inside the prefix
+                                // is the answer for every longer length.
+                                Some(session) if session < full_sessions => Some(session),
+                                // Otherwise the prefix's only remaining
+                                // readout is its trailing partial session.
+                                _ if has_partial && partials[boundary] => Some(full_sessions),
+                                _ => None,
+                            })
+                            .collect();
+                        let raw_detected: Vec<bool> = first_error
+                            .iter()
+                            .map(|error| error.is_some_and(|pattern| pattern < length))
+                            .collect();
+                        SignatureDictionary {
+                            session_len,
+                            sessions: length.div_ceil(session_len),
+                            signature_width: width,
+                            good,
+                            first_fail,
+                            raw_detected,
+                        }
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -334,10 +428,16 @@ const MIN_FAULTS_PER_SHARD: usize = 64;
 
 /// One shard's per-fault results, in shard-local fault order.
 struct ShardResult {
-    /// `[width][fault]` first failing session.
+    /// `[width][fault]` first failing *full* session.
     first_fail: Vec<Vec<Option<usize>>>,
-    /// `[fault]` raw (pre-compaction) detection.
-    raw_detected: Vec<bool>,
+    /// `[width][fault][boundary]` whether the error register was non-zero
+    /// when the pass crossed that length boundary — the trailing
+    /// partial-session verdict of the test ending there.
+    partial_fail: Vec<Vec<Vec<bool>>>,
+    /// `[fault]` index of the first pattern whose response differs, or
+    /// `None` if no response ever does.  `first_error < length` is the raw
+    /// (pre-compaction) detection verdict of every prefix at once.
+    first_error: Vec<Option<usize>>,
 }
 
 fn simulate_shard(
@@ -346,22 +446,27 @@ fn simulate_shard(
     faults: &[lsiq_fault::model::Fault],
     session_len: usize,
     widths: &[u32],
+    boundaries: &[usize],
 ) -> ShardResult {
     let mut result = ShardResult {
         first_fail: vec![Vec::with_capacity(faults.len()); widths.len()],
-        raw_detected: Vec::with_capacity(faults.len()),
+        partial_fail: vec![Vec::with_capacity(faults.len()); widths.len()],
+        first_error: Vec::with_capacity(faults.len()),
     };
     let mut registers: Vec<Misr> = widths.iter().map(|&w| Misr::new(w)).collect();
     let mut error_words: Vec<u64> = Vec::new();
     for fault in faults {
         let mut first_fail: Vec<Option<usize>> = vec![None; widths.len()];
+        let mut partial_fail: Vec<Vec<bool>> = vec![vec![false; boundaries.len()]; widths.len()];
         let mut unresolved = widths.len();
-        let mut raw = false;
+        let mut first_error: Option<usize> = None;
         for register in registers.iter_mut() {
             register.reset();
         }
         let mut session = 0usize;
         let mut in_session = 0usize;
+        let mut consumed = 0usize;
+        let mut next_boundary = 0usize;
         // Read out every register, record new failures, reset for the next
         // session.
         let readout = |registers: &mut [Misr],
@@ -386,15 +491,23 @@ fn simulate_shard(
                     .zip(&faulty)
                     .map(|(&good, &bad)| (good ^ bad) & block.valid),
             );
-            let block_has_error = error_words.iter().any(|&word| word != 0);
-            raw |= block_has_error;
-            if !block_has_error && registers.iter().all(|r| r.signature() == 0) {
+            let error_union = error_words.iter().fold(0u64, |union, &word| union | word);
+            if first_error.is_none() && error_union != 0 {
+                first_error = Some(consumed + error_union.trailing_zeros() as usize);
+            }
+            if error_union == 0 && registers.iter().all(|r| r.signature() == 0) {
                 // A quiet block cannot move a zero register; fast-forward
-                // the session counters (each readout trivially passes).
+                // the session counters (each readout trivially passes) and
+                // the boundary cursor (each snapshot trivially passes too —
+                // `partial_fail` is already `false`).
+                consumed += block.count;
                 in_session += block.count;
                 while in_session >= session_len {
                     in_session -= session_len;
                     session += 1;
+                }
+                while next_boundary < boundaries.len() && boundaries[next_boundary] <= consumed {
+                    next_boundary += 1;
                 }
                 continue;
             }
@@ -406,27 +519,39 @@ fn simulate_shard(
                         register.fold(lsiq_sim::packed::gather_slot(&error_words, slot));
                     }
                 }
+                consumed += 1;
                 in_session += 1;
+                while next_boundary < boundaries.len() && boundaries[next_boundary] == consumed {
+                    // A test ending here reads its last, partial session out
+                    // of the register as it stands — snapshot the verdict
+                    // without disturbing the ongoing fold.  (A resolved
+                    // width's register is zero and its snapshot is unused.)
+                    for (which, register) in registers.iter().enumerate() {
+                        partial_fail[which][next_boundary] = register.signature() != 0;
+                    }
+                    next_boundary += 1;
+                }
                 if in_session == session_len {
                     readout(&mut registers, &mut first_fail, &mut unresolved, session);
                     session += 1;
                     in_session = 0;
                     if unresolved == 0 {
-                        // Every width has its first failing session; a
-                        // signature failure implies a response difference,
-                        // so `raw` is already true.
+                        // Every width has its first failing full session.
+                        // Later boundaries lie in later sessions, so their
+                        // dictionaries resolve from `first_fail` alone, and
+                        // a signature failure implies a response difference,
+                        // so `first_error` is already set.
                         break 'blocks;
                     }
                 }
             }
         }
-        if unresolved > 0 && in_session > 0 {
-            // Trailing partial session.
-            readout(&mut registers, &mut first_fail, &mut unresolved, session);
-        }
-        result.raw_detected.push(raw);
+        result.first_error.push(first_error);
         for (which, fail) in first_fail.into_iter().enumerate() {
             result.first_fail[which].push(fail);
+        }
+        for (which, partials) in partial_fail.into_iter().enumerate() {
+            result.partial_fail[which].push(partials);
         }
     }
     result
@@ -581,6 +706,47 @@ mod tests {
                 },
             );
             assert_eq!(*dictionary, single, "width {width}");
+        }
+    }
+
+    #[test]
+    fn one_pass_sweep_matches_per_length_builds() {
+        // The sweep's single maximum-length pass must reproduce, byte for
+        // byte, what a fresh build on each truncated pattern set computes —
+        // including lengths shorter than a session, unaligned mid-session
+        // boundaries, and out-of-order requests.
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = StumpsGenerator::new(&StumpsConfig::with_width(
+            circuit.primary_inputs().len(),
+            11,
+        ))
+        .generate(96);
+        let widths = [4u32, 8, 16];
+        let session_len = 16;
+        let lengths = [48usize, 10, 16, 57, 96];
+        let context = ExecutionContext::new(4);
+        let sweep = SignatureDictionary::build_sweep_in(
+            &context,
+            &circuit,
+            &universe,
+            &patterns,
+            session_len,
+            &widths,
+            &lengths,
+        );
+        assert_eq!(sweep.len(), lengths.len());
+        for (row, &length) in sweep.iter().zip(&lengths) {
+            let prefix: PatternSet = patterns.iter().take(length).cloned().collect();
+            let reference = SignatureDictionary::build_many_in(
+                &ExecutionContext::new(1),
+                &circuit,
+                &universe,
+                &prefix,
+                session_len,
+                &widths,
+            );
+            assert_eq!(*row, reference, "length {length}");
         }
     }
 

@@ -18,6 +18,7 @@
 //! the same network from different starting states.
 
 use crate::lfsr::{state_mask, GaloisLfsr};
+use lsiq_exec::ConfigError;
 use lsiq_sim::pattern::{Pattern, PatternSet};
 use lsiq_stats::rng::{Rng, SplitMix64};
 
@@ -93,18 +94,29 @@ impl StumpsGenerator {
     ///
     /// # Panics
     ///
-    /// Panics if the configured degree has no built-in maximal polynomial
-    /// (see [`GaloisLfsr::maximal`]).
+    /// Panics if the configuration is invalid — use
+    /// [`try_new`](StumpsGenerator::try_new) for configuration that arrives
+    /// from the user.
     pub fn new(config: &StumpsConfig) -> StumpsGenerator {
-        let lfsr = GaloisLfsr::maximal(config.degree, config.seed);
+        StumpsGenerator::try_new(config)
+            .unwrap_or_else(|error| panic!("invalid STUMPS configuration: {error}"))
+    }
+
+    /// The fallible form of [`new`](StumpsGenerator::new): an unsupported
+    /// register degree or a channel count exceeding the register's distinct
+    /// non-zero phase masks becomes a typed [`ConfigError`] instead of a
+    /// panic.
+    pub fn try_new(config: &StumpsConfig) -> Result<StumpsGenerator, ConfigError> {
+        let lfsr = GaloisLfsr::try_maximal(config.degree, config.seed)?;
         let channels = config.channels.clamp(1, config.width.max(1));
         let state_bits = state_mask(config.degree);
-        assert!(
-            (channels as u64) <= state_bits,
-            "{channels} scan channels exceed the {} distinct non-zero phase masks of a degree-{} register",
-            state_bits,
-            config.degree
-        );
+        if channels as u64 > state_bits {
+            return Err(ConfigError::invalid_value(
+                "StumpsConfig::channels",
+                channels.to_string(),
+                "a channel count not exceeding the register's distinct non-zero phase masks",
+            ));
+        }
         // A fixed, structure-only XOR network: each channel taps a
         // seed-independent pseudo-random subset of the register.  Masks are
         // drawn by rejection so no two channels collide — colliding channels
@@ -122,11 +134,11 @@ impl StumpsGenerator {
                 }
             }
         }
-        StumpsGenerator {
+        Ok(StumpsGenerator {
             lfsr,
             width: config.width,
             phase_masks,
-        }
+        })
     }
 
     /// The number of scan channels.
@@ -255,6 +267,28 @@ mod tests {
             degree: 4,
             seed: 1,
         });
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let bad_degree = StumpsConfig {
+            width: 8,
+            channels: 2,
+            degree: 5,
+            seed: 1,
+        };
+        let error = StumpsGenerator::try_new(&bad_degree).expect_err("bad degree");
+        assert_eq!(error.value(), "5");
+        let bad_channels = StumpsConfig {
+            width: 40,
+            channels: 16,
+            degree: 4,
+            seed: 1,
+        };
+        let error = StumpsGenerator::try_new(&bad_channels).expect_err("too many channels");
+        assert_eq!(error.value(), "16");
+        assert!(error.to_string().contains("phase masks"), "{error}");
+        assert!(StumpsGenerator::try_new(&config(12, 4, 1)).is_ok());
     }
 
     #[test]

@@ -20,10 +20,22 @@ pub const WORKERS_VAR: &str = "LSIQ_LOT_THREADS";
 pub const SEED_VAR: &str = "LSIQ_SEED";
 /// Environment variable selecting the wafer-test mode (`stored` or `bist`).
 pub const TEST_MODE_VAR: &str = "LSIQ_TEST_MODE";
+/// Environment variable enabling full-scan testing with the given number of
+/// scan chains.
+pub const SCAN_CHAINS_VAR: &str = "LSIQ_SCAN_CHAINS";
 
 /// The base seed a [`RunConfig`] falls back to when none is given — the
 /// historical default of the `production_line` example.
 pub const DEFAULT_BASE_SEED: u64 = 42;
+
+/// Upper bound accepted for `LSIQ_LOT_THREADS`: far above any real machine,
+/// low enough that a typo (`"40000"` for `"4"`) is caught before the work
+/// pool tries to spawn that many operating-system threads.
+pub const MAX_WORKERS: usize = 1024;
+
+/// Upper bound accepted for `LSIQ_SCAN_CHAINS`: a chip has at most as many
+/// chains as scan cells, and the experiments' devices stay well under this.
+pub const MAX_SCAN_CHAINS: usize = 4096;
 
 /// Names one of the five fault-simulation engines, for configuration
 /// surfaces that select an engine at run time (test-suite builders, bench
@@ -181,6 +193,21 @@ impl ConfigError {
         }
     }
 
+    /// Builds a configuration error for `variable` holding `value` where
+    /// `expected` describes the accepted grammar.
+    ///
+    /// This is the constructor for validation sites *outside* this crate
+    /// (BIST geometry, scan plans, sweep specifications) that want their
+    /// failures to render in the same actionable shape as the `LSIQ_*`
+    /// parser's.
+    pub fn invalid_value(
+        variable: &'static str,
+        value: impl Into<String>,
+        expected: &'static str,
+    ) -> Self {
+        ConfigError::new(variable, value, expected)
+    }
+
     /// The environment variable (or configuration field) at fault.
     pub fn variable(&self) -> &str {
         self.variable
@@ -203,6 +230,50 @@ impl fmt::Display for ConfigError {
 }
 
 impl Error for ConfigError {}
+
+/// How a sequential device is tested: the number of scan chains its
+/// flip-flops are stitched into before fault simulation.
+///
+/// A plan on a [`RunConfig`] tells the session layer to use a sequential
+/// device, insert full scan (`lsiq_netlist::scan::insert_scan`) and run
+/// every experiment on the expanded combinational test view.  Like the rest
+/// of the run configuration this is pure data — the netlist transformation
+/// lives in `lsiq-netlist`, which this crate does not depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScanPlan {
+    chains: usize,
+}
+
+impl ScanPlan {
+    /// A plan with `chains` scan chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] (named after [`SCAN_CHAINS_VAR`], the knob
+    /// this value usually arrives through) if `chains` is zero or exceeds
+    /// [`MAX_SCAN_CHAINS`].
+    pub fn new(chains: usize) -> Result<ScanPlan, ConfigError> {
+        if chains == 0 || chains > MAX_SCAN_CHAINS {
+            return Err(ConfigError::invalid_value(
+                SCAN_CHAINS_VAR,
+                chains.to_string(),
+                "a scan-chain count between 1 and 4096",
+            ));
+        }
+        Ok(ScanPlan { chains })
+    }
+
+    /// The number of scan chains.
+    pub fn chains(self) -> usize {
+        self.chains
+    }
+}
+
+impl fmt::Display for ScanPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} chain(s)", self.chains)
+    }
+}
 
 /// The typed configuration of one run: which fault-simulation engine to use,
 /// how many worker threads to run, and the base seed every stochastic stage
@@ -228,6 +299,7 @@ pub struct RunConfig {
     workers: Option<usize>,
     base_seed: Option<u64>,
     test_mode: TestMode,
+    scan: Option<ScanPlan>,
 }
 
 impl RunConfig {
@@ -260,12 +332,12 @@ impl RunConfig {
                 .trim()
                 .parse::<usize>()
                 .ok()
-                .filter(|&workers| workers > 0)
+                .filter(|&workers| workers > 0 && workers <= MAX_WORKERS)
                 .ok_or_else(|| {
                     ConfigError::new(
                         WORKERS_VAR,
                         value.clone(),
-                        "a positive integer worker count",
+                        "a worker count between 1 and 1024",
                     )
                 })?;
             config.workers = Some(workers);
@@ -280,6 +352,22 @@ impl RunConfig {
             config.test_mode = TestMode::from_name(&value).ok_or_else(|| {
                 ConfigError::new(TEST_MODE_VAR, value.clone(), "one of stored or bist")
             })?;
+        }
+        if let Some(value) = read_var(SCAN_CHAINS_VAR)? {
+            let chains = value.trim().parse::<usize>().map_err(|_| {
+                ConfigError::new(
+                    SCAN_CHAINS_VAR,
+                    value.clone(),
+                    "a scan-chain count between 1 and 4096",
+                )
+            })?;
+            config.scan = Some(ScanPlan::new(chains).map_err(|_| {
+                ConfigError::new(
+                    SCAN_CHAINS_VAR,
+                    value.clone(),
+                    "a scan-chain count between 1 and 4096",
+                )
+            })?);
         }
         Ok(config)
     }
@@ -309,6 +397,13 @@ impl RunConfig {
         self
     }
 
+    /// Enables full-scan testing of a sequential device with the given
+    /// plan; `None` (the default) tests the combinational device directly.
+    pub fn with_scan(mut self, scan: Option<ScanPlan>) -> RunConfig {
+        self.scan = scan;
+        self
+    }
+
     /// The configured fault-simulation engine.
     pub fn engine(self) -> EngineKind {
         self.engine
@@ -317,6 +412,11 @@ impl RunConfig {
     /// The configured wafer-test mode.
     pub fn test_mode(self) -> TestMode {
         self.test_mode
+    }
+
+    /// The full-scan plan, if the run targets a sequential device.
+    pub fn scan(self) -> Option<ScanPlan> {
+        self.scan
     }
 
     /// The explicit worker-count override, if any (`None` means "use the
@@ -361,7 +461,11 @@ impl fmt::Display for RunConfig {
             ", base seed = {}, test mode = {}",
             self.base_seed(),
             self.test_mode
-        )
+        )?;
+        if let Some(scan) = self.scan {
+            write!(f, ", scan = {scan}")?;
+        }
+        Ok(())
     }
 }
 
@@ -460,6 +564,7 @@ mod tests {
             env::remove_var(WORKERS_VAR);
             env::remove_var(SEED_VAR);
             env::remove_var(TEST_MODE_VAR);
+            env::remove_var(SCAN_CHAINS_VAR);
         };
         clear();
         assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
@@ -468,11 +573,14 @@ mod tests {
         env::set_var(WORKERS_VAR, " 4 ");
         env::set_var(SEED_VAR, "1981");
         env::set_var(TEST_MODE_VAR, "BIST");
+        env::set_var(SCAN_CHAINS_VAR, "8");
         let config = RunConfig::from_env().expect("valid environment");
         assert_eq!(config.engine(), EngineKind::Deductive);
         assert_eq!(config.workers(), Some(4));
         assert_eq!(config.base_seed(), 1981);
         assert_eq!(config.test_mode(), TestMode::Bist);
+        assert_eq!(config.scan().map(ScanPlan::chains), Some(8));
+        env::remove_var(SCAN_CHAINS_VAR);
 
         env::set_var(ENGINE_VAR, "warp");
         let error = RunConfig::from_env().expect_err("invalid engine");
@@ -490,7 +598,7 @@ mod tests {
         env::set_var(WORKERS_VAR, "0");
         let error = RunConfig::from_env().expect_err("zero workers");
         assert_eq!(error.variable(), WORKERS_VAR);
-        assert!(error.to_string().contains("positive integer"), "{error}");
+        assert!(error.to_string().contains("between 1 and 1024"), "{error}");
 
         env::set_var(WORKERS_VAR, "8");
         env::set_var(SEED_VAR, "not-a-seed");
@@ -505,7 +613,54 @@ mod tests {
         assert_eq!(error.value(), "scan");
         assert!(error.to_string().contains("stored or bist"), "{error}");
 
+        env::set_var(TEST_MODE_VAR, "bist");
+        env::set_var(WORKERS_VAR, "40000");
+        let error = RunConfig::from_env().expect_err("workers above the bound");
+        assert_eq!(error.variable(), WORKERS_VAR);
+        assert!(error.to_string().contains("1 and 1024"), "{error}");
+
+        env::set_var(WORKERS_VAR, "8");
+        for bad in ["0", "-1", "many", "99999"] {
+            env::set_var(SCAN_CHAINS_VAR, bad);
+            let error = RunConfig::from_env().expect_err("bad scan-chain count");
+            assert_eq!(error.variable(), SCAN_CHAINS_VAR);
+            assert_eq!(error.value(), bad);
+            assert!(error.to_string().contains("1 and 4096"), "{error}");
+        }
+
         clear();
         assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
+    }
+
+    #[test]
+    fn scan_plan_validates_and_displays() {
+        let plan = ScanPlan::new(4).expect("valid plan");
+        assert_eq!(plan.chains(), 4);
+        assert_eq!(plan.to_string(), "4 chain(s)");
+        assert!(ScanPlan::new(0).is_err());
+        assert!(ScanPlan::new(MAX_SCAN_CHAINS + 1).is_err());
+        let error = ScanPlan::new(0).expect_err("zero chains");
+        assert_eq!(error.variable(), SCAN_CHAINS_VAR);
+
+        let config = RunConfig::new().with_scan(Some(plan));
+        assert_eq!(config.scan(), Some(plan));
+        assert!(config.to_string().contains("scan = 4 chain(s)"));
+        assert_eq!(config.with_scan(None).scan(), None);
+        assert_eq!(RunConfig::default().scan(), None);
+    }
+
+    #[test]
+    fn invalid_value_constructor_renders_like_the_parser() {
+        let error = ConfigError::invalid_value(
+            "BistPlan::signature_width",
+            "7",
+            "one of 4, 8, 12, 16, 24, 32, 48 or 64",
+        );
+        assert_eq!(error.variable(), "BistPlan::signature_width");
+        assert_eq!(error.value(), "7");
+        assert!(
+            error.to_string().contains("expected one of 4, 8"),
+            "{error}"
+        );
     }
 }

@@ -49,5 +49,7 @@
 pub mod config;
 pub mod pool;
 
-pub use config::{ConfigError, EngineKind, RunConfig, TestMode, DEFAULT_BASE_SEED};
+pub use config::{
+    ConfigError, EngineKind, RunConfig, ScanPlan, TestMode, DEFAULT_BASE_SEED, SCAN_CHAINS_VAR,
+};
 pub use pool::{ExecutionContext, Scope};

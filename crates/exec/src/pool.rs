@@ -144,6 +144,12 @@ impl ExecutionContext {
     /// The calling thread participates in every [`scope`](Self::scope), so
     /// only `workers - 1` pool threads are spawned; a 1-worker context runs
     /// every job inline on the caller.
+    ///
+    /// Thread spawning is best-effort: if the operating system refuses a
+    /// thread (resource exhaustion, a configured count beyond the process's
+    /// limits), the context runs with the lanes it obtained — correctness
+    /// never depends on the pool size, because the caller drains the queue
+    /// itself — and [`workers`](Self::workers) reports the real count.
     pub fn new(workers: usize) -> ExecutionContext {
         let workers = if workers == 0 {
             thread::available_parallelism()
@@ -159,15 +165,20 @@ impl ExecutionContext {
             }),
             job_ready: Condvar::new(),
         });
-        let handles = (1..workers)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("lsiq-exec-{index}"))
-                    .spawn(move || worker_loop(shared))
-                    .expect("failed to spawn lsiq-exec worker thread")
-            })
-            .collect();
+        let mut handles = Vec::with_capacity(workers.saturating_sub(1));
+        for index in 1..workers {
+            let shared = Arc::clone(&shared);
+            match thread::Builder::new()
+                .name(format!("lsiq-exec-{index}"))
+                .spawn(move || worker_loop(shared))
+            {
+                Ok(handle) => handles.push(handle),
+                // Out of threads: degrade to the lanes already running
+                // rather than crashing the whole session.
+                Err(_) => break,
+            }
+        }
+        let workers = handles.len() + 1;
         ExecutionContext {
             shared,
             workers,

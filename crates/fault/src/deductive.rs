@@ -317,7 +317,11 @@ impl<'a, 'c> Propagation<'a, 'c> {
                 }
                 acc
             }
-            GateKind::Input | GateKind::Const0 | GateKind::Const1 => ListRef::EMPTY,
+            // A DFF output is held state within one time frame: no fault
+            // propagates through it combinationally (sequential circuits are
+            // fault-simulated on their scan-expanded views, where flip-flops
+            // have already been replaced by pseudo-primary inputs).
+            GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1 => ListRef::EMPTY,
         }
     }
 }

@@ -10,8 +10,9 @@
 //! carry = AND(a, b)
 //! ```
 //!
-//! Only combinational primitives are supported (no `DFF`), matching the
-//! scope of the paper's analysis.
+//! Combinational primitives and `DFF` state elements are supported (`q =
+//! DFF(d)`, the ISCAS-89 convention); sequential circuits are tested
+//! through scan insertion ([`crate::scan`]), so the clock stays implicit.
 
 use crate::builder::CircuitBuilder;
 use crate::circuit::{Circuit, GateId};
@@ -367,9 +368,18 @@ y = NOT(a)
     }
 
     #[test]
-    fn dff_is_not_supported() {
-        let text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
-        assert!(parse("seq", text).is_err());
+    fn dff_parses_and_round_trips() {
+        // ISCAS-89 style: a flip-flop in a feedback loop, referenced before
+        // it is defined.
+        let text = "INPUT(a)\nOUTPUT(z)\nz = AND(a, q)\nq = DFF(z)\n";
+        let circuit = parse("seq", text).expect("parses");
+        let q = circuit.find_signal("q").expect("exists");
+        assert_eq!(circuit.gate(q).kind(), GateKind::Dff);
+        assert_eq!(circuit.state_elements(), &[q]);
+        let written = write(&circuit);
+        assert!(written.contains("q = DFF(z)"), "{written}");
+        let reparsed = parse("seq", &written).expect("round trips");
+        assert_eq!(reparsed.state_elements().len(), 1);
     }
 
     #[test]

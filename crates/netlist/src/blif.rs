@@ -1,9 +1,9 @@
 //! Reader and writer for the Berkeley Logic Interchange Format (BLIF),
-//! combinational subset.
+//! gate-level subset with single-clock latches.
 //!
 //! BLIF is the exchange format of the Berkeley synthesis tools (SIS, ABC)
 //! and the form in which the ISCAS benchmark circuits commonly circulate.
-//! The supported subset is purely combinational:
+//! The supported subset is gate-level logic plus `.latch`:
 //!
 //! ```text
 //! .model c17
@@ -13,6 +13,7 @@
 //! 11 0
 //! .names G3 G6 G11
 //! 11 0
+//! .latch G11 S0 re clk 0   # D flip-flop: input, output, [type control], [init]
 //! .end
 //! ```
 //!
@@ -33,13 +34,25 @@
 //! (signal `out$nI`), one `AND` per multi-literal cube (signal `out$cJ`),
 //! and a final `OR`/`NOR` driving the block's output signal.
 //!
+//! # Latches
+//!
+//! `.latch <input> <output> [<type> <control>] [<init-val>]` becomes a
+//! [`GateKind::Dff`].  The model is single-clock edge-triggered full scan:
+//! the trigger type and control clock are parsed and discarded (a `<type>`
+//! outside `fe re ah al as` is rejected), and the initial value (`0`–`3`,
+//! default `3` = unknown) is accepted but not stored — state is controlled
+//! through scan ([`crate::scan`]), never through reset, so the init value
+//! carries no information here.  The writer emits `2` (don't care).
+//!
 //! # Error behaviour
 //!
-//! Sequential and hierarchical constructs (`.latch`, `.subckt`, `.gate`,
+//! Hierarchical and multi-clock constructs (`.subckt`, `.gate`, `.mlatch`,
 //! …) are rejected with [`NetlistError::Parse`] naming the line, as are
-//! malformed cover rows; references to never-defined signals surface as
-//! [`NetlistError::UnknownSignal`], and the usual structural errors
-//! (duplicates, missing outputs, cycles) come from [`CircuitBuilder`].
+//! malformed cover rows and signals driven more than once (two `.names`
+//! blocks, a `.latch` colliding with a `.names`, or a driver for a declared
+//! `.inputs` signal); references to never-defined signals surface as
+//! [`NetlistError::UnknownSignal`], and the remaining structural errors
+//! (missing outputs, cycles) come from [`CircuitBuilder`].
 //! See `docs/FORMATS.md` for the full ingestion guide.
 
 use crate::builder::CircuitBuilder;
@@ -54,6 +67,16 @@ struct NamesBlock {
     signals: Vec<String>,
     cover: Vec<(String, char)>,
     line: usize,
+}
+
+/// One parsed netlist element, in declaration order.
+enum Element {
+    Names(NamesBlock),
+    Latch {
+        input: String,
+        output: String,
+        line: usize,
+    },
 }
 
 /// One literal of a cube: a block-input position, plain or negated.
@@ -108,7 +131,7 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
     let mut model_name: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    let mut blocks: Vec<NamesBlock> = Vec::new();
+    let mut elements: Vec<Element> = Vec::new();
     let mut in_names = false;
 
     for (line, content) in logical_lines(text) {
@@ -144,20 +167,65 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
                             message: "`.names` needs at least an output signal".to_string(),
                         });
                     }
-                    blocks.push(NamesBlock {
+                    elements.push(Element::Names(NamesBlock {
                         signals,
                         cover: Vec::new(),
                         line,
-                    });
+                    }));
                     in_names = true;
                 }
+                ".latch" => {
+                    let tokens: Vec<&str> = parts.collect();
+                    let (input, output, kind, init) = match tokens.as_slice() {
+                        [input, output] => (*input, *output, None, None),
+                        [input, output, init] => (*input, *output, None, Some(*init)),
+                        [input, output, kind, _control] => (*input, *output, Some(*kind), None),
+                        [input, output, kind, _control, init] => {
+                            (*input, *output, Some(*kind), Some(*init))
+                        }
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line,
+                                message: "`.latch` needs `<input> <output> \
+                                          [<type> <control>] [<init-val>]`"
+                                    .to_string(),
+                            });
+                        }
+                    };
+                    if let Some(kind) = kind {
+                        if !matches!(kind, "fe" | "re" | "ah" | "al" | "as") {
+                            return Err(NetlistError::Parse {
+                                line,
+                                message: format!(
+                                    "invalid `.latch` trigger type `{kind}` \
+                                     (expected fe, re, ah, al or as)"
+                                ),
+                            });
+                        }
+                    }
+                    if let Some(init) = init {
+                        if !matches!(init, "0" | "1" | "2" | "3") {
+                            return Err(NetlistError::Parse {
+                                line,
+                                message: format!(
+                                    "invalid `.latch` initial value `{init}` (expected 0-3)"
+                                ),
+                            });
+                        }
+                    }
+                    elements.push(Element::Latch {
+                        input: input.to_string(),
+                        output: output.to_string(),
+                        line,
+                    });
+                }
                 ".end" => break,
-                ".latch" | ".subckt" | ".gate" | ".mlatch" | ".clock" | ".exdc" => {
+                ".subckt" | ".gate" | ".mlatch" | ".clock" | ".exdc" => {
                     return Err(NetlistError::Parse {
                         line,
                         message: format!(
-                            "unsupported BLIF construct `{directive}` (combinational subset: \
-                             .model, .inputs, .outputs, .names, .end)"
+                            "unsupported BLIF construct `{directive}` (supported subset: \
+                             .model, .inputs, .outputs, .names, .latch, .end)"
                         ),
                     });
                 }
@@ -175,15 +243,53 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
                     message: format!("cover row `{content}` outside a `.names` block"),
                 });
             }
-            let block = blocks.last_mut().expect("in_names implies a block");
+            let block = match elements.last_mut() {
+                Some(Element::Names(block)) => block,
+                _ => unreachable!("in_names implies a trailing block"),
+            };
             block
                 .cover
                 .push(parse_cover_row(content, block.signals.len() - 1, line)?);
         }
     }
 
+    // Every signal has exactly one driver; report collisions with the line
+    // of the second definition before the builder turns them into a
+    // line-less `DuplicateSignal`.
+    let input_set: std::collections::HashSet<&str> = inputs.iter().map(String::as_str).collect();
+    let mut driven: HashMap<&str, usize> = HashMap::new();
+    for element in &elements {
+        let (output, line) = match element {
+            Element::Names(block) => (
+                block.signals.last().expect("validated non-empty").as_str(),
+                block.line,
+            ),
+            Element::Latch { output, line, .. } => (output.as_str(), *line),
+        };
+        if input_set.contains(output) {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!("signal `{output}` is declared `.inputs` and also driven"),
+            });
+        }
+        if let Some(first) = driven.insert(output, line) {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!(
+                    "signal `{output}` driven more than once (first driven at line {first})"
+                ),
+            });
+        }
+    }
+
     let circuit_name = model_name.unwrap_or_else(|| name.to_string());
-    let plans: Vec<Plan> = blocks.iter().map(plan_block).collect::<Result<_, _>>()?;
+    let plans: Vec<Option<Plan>> = elements
+        .iter()
+        .map(|element| match element {
+            Element::Names(block) => plan_block(block).map(Some),
+            Element::Latch { .. } => Ok(None),
+        })
+        .collect::<Result<_, _>>()?;
 
     // First pass: create every gate (including the synthesised NOT/AND
     // helpers) with placeholder fanin, purely to assign ids to names; both
@@ -192,8 +298,8 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
     for input in &inputs {
         index.input(input.clone());
     }
-    for (block, plan) in blocks.iter().zip(plans.iter()) {
-        emit_block(&mut index, block, plan, &mut |_| Ok(GateId(0)))?;
+    for (element, plan) in elements.iter().zip(plans.iter()) {
+        emit_element(&mut index, element, plan.as_ref(), &mut |_| Ok(GateId(0)))?;
     }
 
     // Second pass: emit again with fanin resolved through the first pass.
@@ -201,8 +307,8 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
     for input in &inputs {
         builder.input(input.clone());
     }
-    for (block, plan) in blocks.iter().zip(plans.iter()) {
-        emit_block(&mut builder, block, plan, &mut |signal| {
+    for (element, plan) in elements.iter().zip(plans.iter()) {
+        emit_element(&mut builder, element, plan.as_ref(), &mut |signal| {
             index
                 .find_signal(signal)
                 .ok_or_else(|| NetlistError::UnknownSignal {
@@ -341,6 +447,27 @@ fn plan_block(block: &NamesBlock) -> Result<Plan, NetlistError> {
     Ok(Plan::Sop { cubes, phase })
 }
 
+/// Emits one parsed element: a `.latch` becomes a single DFF gate, a
+/// `.names` block goes through [`emit_block`].
+fn emit_element(
+    builder: &mut CircuitBuilder,
+    element: &Element,
+    plan: Option<&Plan>,
+    resolve: &mut dyn FnMut(&str) -> Result<GateId, NetlistError>,
+) -> Result<(), NetlistError> {
+    match element {
+        Element::Names(block) => {
+            let plan = plan.expect("names elements carry a plan");
+            emit_block(builder, block, plan, resolve)
+        }
+        Element::Latch { input, output, .. } => {
+            let driver = resolve(input)?;
+            builder.dff(output.clone(), driver);
+            Ok(())
+        }
+    }
+}
+
 /// Emits the gates of one planned `.names` block.
 ///
 /// `resolve` maps a referenced signal name to its gate id; the first parse
@@ -463,10 +590,12 @@ fn resolve_terms(
 
 /// Serialises a circuit to BLIF text.
 ///
-/// Every gate becomes one `.names` block with a canonical cover; the output
-/// parses back to a circuit with the same signal names and equivalent logic
-/// (XOR/XNOR covers are exponential in fanin and re-synthesise as
-/// sum-of-products networks, all other kinds round-trip structurally).
+/// Every logic gate becomes one `.names` block with a canonical cover and
+/// every D flip-flop a `.latch` line (initial value `2`, don't care — state
+/// is controlled through scan, not reset); the output parses back to a
+/// circuit with the same signal names and equivalent logic (XOR/XNOR covers
+/// are exponential in fanin and re-synthesise as sum-of-products networks,
+/// all other kinds round-trip structurally).
 pub fn write(circuit: &Circuit) -> String {
     let mut out = String::new();
     out.push_str(&format!(".model {}\n", circuit.name()));
@@ -490,6 +619,14 @@ pub fn write(circuit: &Circuit) -> String {
         if gate.kind() == GateKind::Input {
             continue;
         }
+        if gate.kind() == GateKind::Dff {
+            out.push_str(&format!(
+                ".latch {} {} 2\n",
+                circuit.signal_name(gate.fanin()[0]),
+                circuit.signal_name(id)
+            ));
+            continue;
+        }
         out.push_str(".names");
         for &driver in gate.fanin() {
             out.push(' ');
@@ -500,7 +637,7 @@ pub fn write(circuit: &Circuit) -> String {
         out.push('\n');
         let fanin = gate.fanin().len();
         match gate.kind() {
-            GateKind::Input => unreachable!("skipped above"),
+            GateKind::Input | GateKind::Dff => unreachable!("handled above"),
             GateKind::Const0 => {}
             GateKind::Const1 => out.push_str("1\n"),
             GateKind::Buf => out.push_str("1 1\n"),
@@ -573,6 +710,7 @@ mod tests {
                 .collect();
             let result = match gate.kind() {
                 GateKind::Input => false,
+                GateKind::Dff => false, // reset state
                 GateKind::Const0 => false,
                 GateKind::Const1 => true,
                 GateKind::Buf => inputs[0],
@@ -754,11 +892,11 @@ z
     }
 
     #[test]
-    fn sequential_and_hierarchical_constructs_are_rejected() {
+    fn hierarchical_constructs_are_rejected() {
         for (construct, snippet) in [
-            (".latch", ".latch d q re clk 0\n"),
             (".subckt", ".subckt sub a=x\n"),
             (".gate", ".gate nand2 a=x b=y o=z\n"),
+            (".mlatch", ".mlatch lat d=x q=z clk 0\n"),
         ] {
             let text = format!(".model seq\n.inputs a\n.outputs z\n{snippet}");
             match parse("seq", &text) {
@@ -830,6 +968,164 @@ z
             parse("m", text),
             Err(NetlistError::UnknownSignal { .. })
         ));
+    }
+
+    #[test]
+    fn latch_forms_all_parse_to_dff() {
+        // 2-, 3-, 4- and 5-token `.latch` lines, including a feedback loop
+        // through a latch (q2 toggles off its own inverse).
+        let text = "\
+.model seq
+.inputs d clk
+.outputs q0 q1 q2 q3
+.latch d q0
+.latch d q1 0
+.latch d q3 re clk
+.latch nq2 q2 re clk 3
+.names q2 nq2
+0 1
+.end
+";
+        let circuit = parse("seq", text).expect("parses");
+        assert_eq!(circuit.state_elements().len(), 4);
+        assert!(circuit.has_state());
+        for signal in ["q0", "q1", "q2", "q3"] {
+            let id = circuit.find_signal(signal).expect("exists");
+            assert_eq!(circuit.gate(id).kind(), GateKind::Dff, "{signal}");
+        }
+        let q2 = circuit.find_signal("q2").expect("exists");
+        let nq2 = circuit.find_signal("nq2").expect("exists");
+        assert_eq!(circuit.gate(q2).fanin(), &[nq2]);
+    }
+
+    #[test]
+    fn malformed_latches_are_rejected_with_lines() {
+        // Too few tokens.
+        let text = ".model m\n.inputs d\n.outputs q\n.latch d\n.end\n";
+        match parse("m", text) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains(".latch"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Bad initial value.
+        let text = ".model m\n.inputs d\n.outputs q\n.latch d q 7\n.end\n";
+        match parse("m", text) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("initial value"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Bad trigger type.
+        let text = ".model m\n.inputs d\n.outputs q\n.latch d q xx clk 0\n.end\n";
+        match parse("m", text) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("trigger type"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Too many tokens.
+        let text = ".model m\n.inputs d\n.outputs q\n.latch d q re clk 0 extra\n.end\n";
+        assert!(matches!(
+            parse("m", text),
+            Err(NetlistError::Parse { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_drivers_are_rejected_with_lines() {
+        // Two `.names` blocks for one signal.
+        let text = ".model m\n.inputs a b\n.outputs z\n.names a z\n1 1\n.names b z\n1 1\n.end\n";
+        match parse("m", text) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 6);
+                assert!(message.contains("more than once"), "{message}");
+                assert!(message.contains("line 4"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // A `.latch` output colliding with a `.names` output.
+        let text = ".model m\n.inputs a\n.outputs z\n.names a z\n1 1\n.latch a z\n.end\n";
+        assert!(matches!(
+            parse("m", text),
+            Err(NetlistError::Parse { line: 6, .. })
+        ));
+        // A driver for a declared `.inputs` signal.
+        let text = ".model m\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n";
+        match parse("m", text) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains(".inputs"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Same, through a latch.
+        let text = ".model m\n.inputs a b\n.outputs a\n.latch b a\n.end\n";
+        assert!(matches!(
+            parse("m", text),
+            Err(NetlistError::Parse { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn output_that_is_also_an_input_round_trips() {
+        let mut b = CircuitBuilder::new("passthrough");
+        let a = b.input("a");
+        let z = b.gate("z", GateKind::Not, &[a]);
+        b.mark_output(a);
+        b.mark_output(z);
+        let original = b.finish().expect("valid");
+        let text = write(&original);
+        let reparsed = parse("passthrough", &text).expect("round trips");
+        assert_eq!(reparsed.primary_outputs().len(), 2);
+        let a = reparsed.find_signal("a").expect("exists");
+        assert_eq!(reparsed.gate(a).kind(), GateKind::Input);
+        assert!(reparsed.is_primary_output(a));
+    }
+
+    #[test]
+    fn constant_gates_round_trip() {
+        let mut b = CircuitBuilder::new("consts");
+        let zero = b.constant_zero("zero");
+        let one = b.constant_one("one");
+        b.mark_output(zero);
+        b.mark_output(one);
+        let original = b.finish().expect("valid");
+        let text = write(&original);
+        let reparsed = parse("consts", &text).expect("round trips");
+        let zero = reparsed.find_signal("zero").expect("exists");
+        let one = reparsed.find_signal("one").expect("exists");
+        assert_eq!(reparsed.gate(zero).kind(), GateKind::Const0);
+        assert_eq!(reparsed.gate(one).kind(), GateKind::Const1);
+    }
+
+    #[test]
+    fn latch_round_trip_preserves_state_elements() {
+        // A two-bit Johnson-style twist: q1 = DFF(q0), q0 = DFF(NOT(q1)).
+        let mut b = CircuitBuilder::new("twist");
+        let q1 = b.dff_placeholder("q1");
+        let nq1 = b.gate("nq1", GateKind::Not, &[q1]);
+        let q0 = b.dff("q0", nq1);
+        b.bind_dff(q1, q0);
+        let out = b.gate("out", GateKind::And, &[q0, q1]);
+        b.mark_output(out);
+        let original = b.finish().expect("valid");
+        let text = write(&original);
+        assert!(text.contains(".latch q0 q1 2"), "{text}");
+        assert!(text.contains(".latch nq1 q0 2"), "{text}");
+        let reparsed = parse("twist", &text).expect("round trips");
+        assert_eq!(
+            reparsed.state_elements().len(),
+            original.state_elements().len()
+        );
+        for (id, gate) in original.iter() {
+            let name = original.signal_name(id);
+            let new_id = reparsed.find_signal(name).expect("signal survives");
+            assert_eq!(reparsed.gate(new_id).kind(), gate.kind(), "{name}");
+        }
     }
 
     #[test]

@@ -74,6 +74,41 @@ impl CircuitBuilder {
         self.push(name.into(), Gate::new(kind, fanin.to_vec()))
     }
 
+    /// Adds a D flip-flop driven by `d` and returns its id (the Q output).
+    ///
+    /// For feedback through the flip-flop (state machines, counters) use
+    /// [`dff_placeholder`](CircuitBuilder::dff_placeholder) /
+    /// [`bind_dff`](CircuitBuilder::bind_dff) so the next-state logic can be
+    /// built from the Q output before the D pin exists.
+    pub fn dff(&mut self, name: impl Into<String>, d: GateId) -> GateId {
+        self.push(name.into(), Gate::new(GateKind::Dff, vec![d]))
+    }
+
+    /// Adds a D flip-flop whose D pin is bound later with
+    /// [`bind_dff`](CircuitBuilder::bind_dff).  The returned id is the Q
+    /// output and can be used as fanin immediately.  A placeholder left
+    /// unbound fails [`finish`](CircuitBuilder::finish) with a
+    /// [`NetlistError::BadFanin`] (a DFF takes exactly one input).
+    pub fn dff_placeholder(&mut self, name: impl Into<String>) -> GateId {
+        self.push(name.into(), Gate::new(GateKind::Dff, Vec::new()))
+    }
+
+    /// Binds the D pin of a flip-flop created by
+    /// [`dff_placeholder`](CircuitBuilder::dff_placeholder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not an unbound DFF placeholder — binding twice or
+    /// binding a logic gate is a construction bug, not an input error.
+    pub fn bind_dff(&mut self, dff: GateId, d: GateId) {
+        let gate = &self.gates[dff.index()];
+        assert!(
+            gate.kind() == GateKind::Dff && gate.fanin_count() == 0,
+            "bind_dff target must be an unbound DFF placeholder"
+        );
+        self.gates[dff.index()] = Gate::new(GateKind::Dff, vec![d]);
+    }
+
     /// Adds a constant-0 source.
     pub fn constant_zero(&mut self, name: impl Into<String>) -> GateId {
         self.push(name.into(), Gate::new(GateKind::Const0, Vec::new()))
@@ -211,6 +246,29 @@ mod tests {
         assert_eq!(b.find_signal("a"), Some(a));
         assert_eq!(b.find_signal("b"), None);
         assert_eq!(b.gate_count(), 1);
+    }
+
+    #[test]
+    fn dff_feedback_builds_through_placeholder() {
+        // A toggle cell: q = DFF(NOT(q)).
+        let mut b = CircuitBuilder::new("toggle");
+        let q = b.dff_placeholder("q");
+        let nq = b.gate("nq", GateKind::Not, &[q]);
+        b.bind_dff(q, nq);
+        b.mark_output(nq);
+        let circuit = b.finish().expect("valid sequential loop");
+        assert_eq!(circuit.gate(q).kind(), GateKind::Dff);
+        assert_eq!(circuit.gate(q).fanin(), &[nq]);
+        assert_eq!(circuit.state_elements(), &[q]);
+        assert!(circuit.has_state());
+    }
+
+    #[test]
+    fn unbound_dff_placeholder_fails_finish() {
+        let mut b = CircuitBuilder::new("unbound");
+        let q = b.dff_placeholder("q");
+        b.mark_output(q);
+        assert!(matches!(b.finish(), Err(NetlistError::BadFanin { .. })));
     }
 
     #[test]

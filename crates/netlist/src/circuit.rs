@@ -25,7 +25,8 @@ impl std::fmt::Display for GateId {
     }
 }
 
-/// A validated combinational gate-level circuit.
+/// A validated gate-level circuit — combinational logic plus optional D
+/// flip-flop state elements.
 ///
 /// Construct one with [`CircuitBuilder`](crate::builder::CircuitBuilder) or
 /// by parsing a `.bench` description with
@@ -37,6 +38,7 @@ pub struct Circuit {
     signal_names: Vec<String>,
     primary_inputs: Vec<GateId>,
     primary_outputs: Vec<GateId>,
+    state_elements: Vec<GateId>,
     fanout: Vec<Vec<GateId>>,
     name_index: HashMap<String, GateId>,
 }
@@ -59,6 +61,7 @@ impl Circuit {
     ) -> Result<Self, NetlistError> {
         let gate_count = gates.len();
         let mut primary_inputs = Vec::new();
+        let mut state_elements = Vec::new();
         let mut fanout = vec![Vec::new(); gate_count];
         for (index, gate) in gates.iter().enumerate() {
             let id = GateId(index);
@@ -85,6 +88,9 @@ impl Circuit {
             if gate.kind() == GateKind::Input {
                 primary_inputs.push(id);
             }
+            if gate.kind().is_state() {
+                state_elements.push(id);
+            }
         }
         if primary_outputs.is_empty() {
             return Err(NetlistError::NoOutputs);
@@ -107,6 +113,7 @@ impl Circuit {
             signal_names,
             primary_inputs,
             primary_outputs,
+            state_elements,
             fanout,
             name_index,
         })
@@ -158,6 +165,17 @@ impl Circuit {
     /// Primary output gates in declaration order.
     pub fn primary_outputs(&self) -> &[GateId] {
         &self.primary_outputs
+    }
+
+    /// State elements (D flip-flops) in declaration order.
+    pub fn state_elements(&self) -> &[GateId] {
+        &self.state_elements
+    }
+
+    /// Returns `true` if the circuit contains any state element, i.e. is
+    /// sequential rather than purely combinational.
+    pub fn has_state(&self) -> bool {
+        !self.state_elements.is_empty()
     }
 
     /// Gates driven by the output of gate `id` (its fanout list).

@@ -45,6 +45,11 @@ pub enum NetlistError {
         /// The number of gates in the circuit.
         gate_count: usize,
     },
+    /// A scan-insertion request was invalid for the target circuit.
+    Scan {
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -69,6 +74,7 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error at line {line}: {message}")
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::Scan { message } => write!(f, "scan insertion failed: {message}"),
             NetlistError::InvalidGateId { id, gate_count } => {
                 write!(
                     f,
@@ -118,6 +124,12 @@ mod tests {
                     gate_count: 3,
                 },
                 "9",
+            ),
+            (
+                NetlistError::Scan {
+                    message: "no flip-flops".into(),
+                },
+                "no flip-flops",
             ),
         ];
         for (err, needle) in cases {

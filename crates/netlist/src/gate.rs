@@ -3,15 +3,24 @@
 use crate::circuit::GateId;
 use std::fmt;
 
-/// The kind of a gate in a combinational netlist.
+/// The kind of a gate in a netlist.
 ///
-/// `Input` marks a primary input; the remaining kinds are ordinary logic
-/// primitives.  Multi-input XOR/XNOR follow the parity convention (output is
-/// the odd/even parity of the inputs), matching the ISCAS benchmark usage.
+/// `Input` marks a primary input; `Dff` marks a D flip-flop (the only state
+/// element); the remaining kinds are ordinary logic primitives.  Multi-input
+/// XOR/XNOR follow the parity convention (output is the odd/even parity of
+/// the inputs), matching the ISCAS benchmark usage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GateKind {
     /// A primary input (no fanin).
     Input,
+    /// A D flip-flop: one fanin (the D pin), output is the stored state Q.
+    ///
+    /// Combinational evaluation treats a DFF like a primary input held at
+    /// its current state (reset state 0); the clock is implicit.  Scan
+    /// insertion ([`scan`](crate::scan)) replaces DFFs with scan cells so
+    /// the fault-simulation engines only ever see the time-frame-expanded
+    /// combinational core.
+    Dff,
     /// Non-inverting buffer (one input).
     Buf,
     /// Inverter (one input).
@@ -53,6 +62,7 @@ impl GateKind {
     pub fn name(self) -> &'static str {
         match self {
             GateKind::Input => "INPUT",
+            GateKind::Dff => "DFF",
             GateKind::Buf => "BUF",
             GateKind::Not => "NOT",
             GateKind::And => "AND",
@@ -67,12 +77,10 @@ impl GateKind {
     }
 
     /// Parses a `.bench` gate-function name (case-insensitive).
-    ///
-    /// `DFF` is intentionally not accepted: this workspace models purely
-    /// combinational test application, as the paper's analysis does.
     pub fn parse(token: &str) -> Option<GateKind> {
         match token.to_ascii_uppercase().as_str() {
             "INPUT" => Some(GateKind::Input),
+            "DFF" => Some(GateKind::Dff),
             "BUF" | "BUFF" => Some(GateKind::Buf),
             "NOT" | "INV" => Some(GateKind::Not),
             "AND" => Some(GateKind::And),
@@ -92,6 +100,14 @@ impl GateKind {
         matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
     }
 
+    /// Returns `true` if this kind is a state element (a DFF): its output is
+    /// held state, not a combinational function of its fanin, so levelisation
+    /// treats it as a level-0 source and simulation as an externally supplied
+    /// value.
+    pub fn is_state(self) -> bool {
+        self == GateKind::Dff
+    }
+
     /// Returns `true` if the gate output is the inversion of the
     /// corresponding non-inverting function (NOT, NAND, NOR, XNOR).
     pub fn is_inverting(self) -> bool {
@@ -106,7 +122,7 @@ impl GateKind {
     pub fn fanin_bounds(self) -> (usize, usize) {
         match self {
             GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
-            GateKind::Buf | GateKind::Not => (1, 1),
+            GateKind::Buf | GateKind::Not | GateKind::Dff => (1, 1),
             GateKind::And
             | GateKind::Nand
             | GateKind::Or
@@ -135,6 +151,9 @@ impl GateKind {
             GateKind::Buf => 4,
             GateKind::Nand | GateKind::Nor => 2 * fanin.max(1),
             GateKind::And | GateKind::Or => 2 * fanin.max(1) + 2,
+            // A standard static-CMOS edge-triggered D flip-flop (two latch
+            // stages plus local clock inverters).
+            GateKind::Dff => 24,
             // A two-input XOR/XNOR is typically 10-12 transistors; a tree of
             // (fanin - 1) two-input stages gives the multi-input cost.
             GateKind::Xor | GateKind::Xnor => 10 * fanin.max(2).saturating_sub(1),
@@ -199,6 +218,7 @@ mod tests {
             GateKind::Xnor,
             GateKind::Const0,
             GateKind::Const1,
+            GateKind::Dff,
         ] {
             assert_eq!(GateKind::parse(kind.name()), Some(kind));
         }
@@ -211,7 +231,7 @@ mod tests {
         assert_eq!(GateKind::parse("nand"), Some(GateKind::Nand));
         assert_eq!(GateKind::parse("gnd"), Some(GateKind::Const0));
         assert_eq!(GateKind::parse("vdd"), Some(GateKind::Const1));
-        assert_eq!(GateKind::parse("DFF"), None);
+        assert_eq!(GateKind::parse("dff"), Some(GateKind::Dff));
         assert_eq!(GateKind::parse("bogus"), None);
     }
 
@@ -241,6 +261,18 @@ mod tests {
         assert!(GateKind::Input.is_source());
         assert!(GateKind::Const0.is_source());
         assert!(!GateKind::Nand.is_source());
+        assert!(!GateKind::Dff.is_source());
+    }
+
+    #[test]
+    fn state_classification() {
+        assert!(GateKind::Dff.is_state());
+        assert!(!GateKind::Input.is_state());
+        assert!(!GateKind::Buf.is_state());
+        assert!(GateKind::Dff.accepts_fanin(1));
+        assert!(!GateKind::Dff.accepts_fanin(0));
+        assert!(!GateKind::Dff.accepts_fanin(2));
+        assert_eq!(GateKind::Dff.transistor_count(1), 24);
     }
 
     #[test]

@@ -19,6 +19,7 @@ mod multiplier;
 mod mux;
 mod parity;
 mod random;
+mod sequential;
 
 pub use adder::{ripple_carry_adder, ripple_carry_adder_block};
 pub use alu::{alu, alu_block, AluWidth};
@@ -28,6 +29,10 @@ pub use multiplier::{array_multiplier, array_multiplier_block};
 pub use mux::{mux_tree, mux_tree_block};
 pub use parity::{parity_tree, parity_tree_block};
 pub use random::{random_circuit, RandomCircuitConfig};
+pub use sequential::{
+    binary_counter, binary_counter_block, pipelined_datapath, sequence_detector,
+    sequence_detector_block,
+};
 
 use crate::builder::CircuitBuilder;
 use crate::circuit::GateId;

@@ -1,0 +1,210 @@
+//! Sequential circuit generators: counters, finite-state machines and a
+//! pipelined datapath.
+//!
+//! These are the device classes the scan methodology of the era was built
+//! for: state registers with combinational next-state logic.  Each
+//! generator returns a sequential [`Circuit`] whose flip-flops are meant to
+//! be stitched into scan chains with
+//! [`scan::insert_scan`](crate::scan::insert_scan) before fault simulation.
+//!
+//! Reset semantics are deliberately out of scope: state is controlled and
+//! observed through the scan path, so the generators specify only the
+//! next-state functions, not initialisation.
+
+use super::{fresh_inputs, ripple_carry_adder_block};
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::gate::GateKind;
+
+/// Instantiates an n-bit binary up-counter with enable inside `builder`.
+///
+/// Bit `i` toggles when `enable` and all lower bits are 1:
+/// `d_i = q_i XOR (enable AND q_0 AND … AND q_{i-1})`.  Returns the state
+/// bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn binary_counter_block(
+    builder: &mut CircuitBuilder,
+    enable: GateId,
+    bits: usize,
+    prefix: &str,
+) -> Vec<GateId> {
+    assert!(bits > 0, "counter width must be at least one bit");
+    let q: Vec<GateId> = (0..bits)
+        .map(|i| builder.dff_placeholder(format!("{prefix}_q{i}")))
+        .collect();
+    let mut carry = enable;
+    for (i, &qi) in q.iter().enumerate() {
+        let d = builder.gate(format!("{prefix}_d{i}"), GateKind::Xor, &[qi, carry]);
+        builder.bind_dff(qi, d);
+        if i + 1 < bits {
+            carry = builder.gate(format!("{prefix}_c{i}"), GateKind::And, &[carry, qi]);
+        }
+    }
+    q
+}
+
+/// Builds a standalone n-bit binary up-counter.
+///
+/// Input `en` enables counting; outputs are the state bits `ctr_q0..`.
+pub fn binary_counter(bits: usize) -> Circuit {
+    let mut builder = CircuitBuilder::new(format!("counter{bits}"));
+    let enable = builder.input("en");
+    let q = binary_counter_block(&mut builder, enable, bits, "ctr");
+    for &bit in &q {
+        builder.mark_output(bit);
+    }
+    builder.finish().expect("counter is structurally valid")
+}
+
+/// Instantiates a one-hot sequence-detector FSM inside `builder`.
+///
+/// The machine watches input `x` for the bit string `pattern`.  State bit
+/// `s_i` (1-indexed) means "the last `i` symbols matched the first `i`
+/// pattern symbols"; the returned accept signal is the last state bit and
+/// matches may overlap.  The encoding self-recovers from any state — in
+/// particular from the all-zero scan-load state.
+///
+/// Returns `(state_bits, accept)`.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty.
+pub fn sequence_detector_block(
+    builder: &mut CircuitBuilder,
+    x: GateId,
+    pattern: &[bool],
+    prefix: &str,
+) -> (Vec<GateId>, GateId) {
+    assert!(!pattern.is_empty(), "pattern must have at least one symbol");
+    let not_x = builder.gate(format!("{prefix}_nx"), GateKind::Not, &[x]);
+    let literal = |want: bool| if want { x } else { not_x };
+    let mut states = Vec::with_capacity(pattern.len());
+    let mut prev: Option<GateId> = None;
+    for (i, &symbol) in pattern.iter().enumerate() {
+        let d = match prev {
+            // s_1 watches the raw input: a match can start on any symbol.
+            None => literal(symbol),
+            Some(p) => builder.gate(
+                format!("{prefix}_d{}", i + 1),
+                GateKind::And,
+                &[p, literal(symbol)],
+            ),
+        };
+        let s = builder.dff(format!("{prefix}_s{}", i + 1), d);
+        states.push(s);
+        prev = Some(s);
+    }
+    let accept = *states.last().expect("pattern is non-empty");
+    (states, accept)
+}
+
+/// Builds a standalone sequence-detector FSM for `pattern` with input `x`
+/// and output `accept` (a buffer of the final state bit).
+pub fn sequence_detector(pattern: &[bool]) -> Circuit {
+    let mut builder = CircuitBuilder::new(format!("seqdet{}", pattern.len()));
+    let x = builder.input("x");
+    let (_, accept) = sequence_detector_block(&mut builder, x, pattern, "fsm");
+    let out = builder.gate("accept", GateKind::Buf, &[accept]);
+    builder.mark_output(out);
+    builder.finish().expect("detector is structurally valid")
+}
+
+/// Builds a three-stage pipelined datapath:
+///
+/// ```text
+/// stage 1: registers operands a, b, c        (3w flip-flops)
+/// stage 2: registers a + b                   (w+1 flip-flops)
+/// stage 3: registers (a + b) XOR c and the
+///          carry bit                         (w+1 flip-flops)
+/// ```
+///
+/// Inputs are `a0..`, `b0..`, `c0..`; outputs are the final-stage register
+/// bits.  Total state: `5w + 2` flip-flops (42 at the default width used by
+/// the BIST experiments, `w = 8`).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn pipelined_datapath(width: usize) -> Circuit {
+    assert!(width > 0, "datapath width must be at least one bit");
+    let mut builder = CircuitBuilder::new(format!("pipeline{width}"));
+    let a = fresh_inputs(&mut builder, "a", width);
+    let b = fresh_inputs(&mut builder, "b", width);
+    let c = fresh_inputs(&mut builder, "c", width);
+    let reg = |builder: &mut CircuitBuilder, bits: &[GateId], prefix: &str| -> Vec<GateId> {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &bit)| builder.dff(format!("{prefix}{i}"), bit))
+            .collect()
+    };
+    let ra = reg(&mut builder, &a, "ra");
+    let rb = reg(&mut builder, &b, "rb");
+    let rc = reg(&mut builder, &c, "rc");
+    let (sum, carry) = ripple_carry_adder_block(&mut builder, &ra, &rb, None, "add");
+    let rs = reg(&mut builder, &sum, "rs");
+    let rcar = builder.dff("rcar", carry);
+    let xors: Vec<GateId> = rs
+        .iter()
+        .zip(rc.iter())
+        .enumerate()
+        .map(|(i, (&s, &m))| builder.gate(format!("x{i}"), GateKind::Xor, &[s, m]))
+        .collect();
+    let ro = reg(&mut builder, &xors, "ro");
+    let rco = builder.dff("rco", rcar);
+    for &bit in &ro {
+        builder.mark_output(bit);
+    }
+    builder.mark_output(rco);
+    builder.finish().expect("pipeline is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::insert_scan;
+
+    #[test]
+    fn counter_has_expected_state_and_outputs() {
+        let c = binary_counter(4);
+        assert_eq!(c.state_elements().len(), 4);
+        assert_eq!(c.primary_outputs().len(), 4);
+        assert_eq!(c.primary_inputs().len(), 1);
+        assert!(c.has_state());
+        // The counter's feedback loops must levelise (state breaks cycles).
+        assert!(crate::levelize::levelize(&c).is_ok());
+    }
+
+    #[test]
+    fn detector_state_matches_pattern_length() {
+        let c = sequence_detector(&[true, false, true]);
+        assert_eq!(c.state_elements().len(), 3);
+        assert_eq!(c.primary_inputs().len(), 1);
+        assert_eq!(c.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn pipeline_has_five_w_plus_two_flops() {
+        let c = pipelined_datapath(8);
+        assert_eq!(c.state_elements().len(), 5 * 8 + 2);
+        assert_eq!(c.primary_inputs().len(), 24);
+        assert_eq!(c.primary_outputs().len(), 9);
+        assert!(c.state_elements().len() >= 32, "BIST-experiment scale");
+    }
+
+    #[test]
+    fn generated_circuits_accept_scan_insertion() {
+        for circuit in [
+            binary_counter(6),
+            sequence_detector(&[true, true, false, true]),
+            pipelined_datapath(4),
+        ] {
+            let cells = circuit.state_elements().len();
+            let scan = insert_scan(&circuit, 2.min(cells)).expect("scan inserts");
+            assert_eq!(scan.cell_count(), cells);
+            assert!(!scan.test_view().has_state());
+        }
+    }
+}

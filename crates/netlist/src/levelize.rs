@@ -47,22 +47,36 @@ impl Levelization {
 
 /// Computes a topological order and per-gate levels.
 ///
+/// State elements ([`GateKind::Dff`](crate::gate::GateKind::Dff)) are
+/// level-0 sources: their output is held state, so the D-pin edge is not an
+/// ordering constraint and feedback loops through a flip-flop are legal.
+/// Only cycles made entirely of combinational gates are rejected.
+///
 /// # Errors
 ///
 /// Returns [`NetlistError::CombinationalCycle`] if the circuit graph contains
-/// a cycle; the reported signal lies on one such cycle.
+/// a combinational cycle; the reported signal lies on one such cycle.
 pub fn levelize(circuit: &Circuit) -> Result<Levelization, NetlistError> {
     let gate_count = circuit.gate_count();
+    // A DFF's fanin edge carries state across clock cycles, not a
+    // combinational dependency: its pending count starts at zero and its
+    // loads-of-driver edge is skipped below.
     let mut pending_fanin: Vec<usize> = circuit
         .gates()
         .iter()
-        .map(|gate| gate.fanin_count())
+        .map(|gate| {
+            if gate.kind().is_state() {
+                0
+            } else {
+                gate.fanin_count()
+            }
+        })
         .collect();
     let mut levels = vec![0usize; gate_count];
     let mut order = Vec::with_capacity(gate_count);
     let mut ready: Vec<GateId> = circuit
         .iter()
-        .filter(|(_, gate)| gate.fanin_count() == 0)
+        .filter(|(_, gate)| gate.fanin_count() == 0 || gate.kind().is_state())
         .map(|(id, _)| id)
         .collect();
     // Kahn's algorithm; the ready list is processed as a stack which is fine
@@ -71,6 +85,10 @@ pub fn levelize(circuit: &Circuit) -> Result<Levelization, NetlistError> {
         order.push(id);
         let gate_level = levels[id.index()];
         for &load in circuit.fanout(id) {
+            if circuit.gate(load).kind().is_state() {
+                // The load is a DFF: it is already scheduled as a source.
+                continue;
+            }
             let load_index = load.index();
             levels[load_index] = levels[load_index].max(gate_level + 1);
             pending_fanin[load_index] -= 1;
@@ -178,6 +196,36 @@ mod tests {
                 assert_eq!(lev.level(id), level);
             }
         }
+    }
+
+    #[test]
+    fn dff_feedback_loop_is_legal_and_level_zero() {
+        // A toggle flip-flop: q = DFF(NOT(q)).  The feedback loop passes
+        // through the state element, so it is not a combinational cycle.
+        let mut b = CircuitBuilder::new("toggle");
+        let q = b.dff_placeholder("q");
+        let nq = b.gate("nq", GateKind::Not, &[q]);
+        b.bind_dff(q, nq);
+        b.mark_output(q);
+        let c = b.finish().expect("sequential loop is valid");
+        let lev = levelize(&c).expect("dff loop must not be a cycle");
+        assert_eq!(lev.level(q), 0);
+        assert_eq!(lev.level(nq), 1);
+        assert_eq!(lev.order().len(), c.gate_count());
+    }
+
+    #[test]
+    fn combinational_cycle_is_still_rejected_alongside_dffs() {
+        // a = AND(na, q); na = NOT(a): a pure combinational cycle plus a
+        // flip-flop.  The cycle must still be reported.  Forward GateId
+        // references are resolved at finish, like the builder's cycle test.
+        let mut b = CircuitBuilder::new("bad");
+        let q = b.dff("q", GateId(1)); // D reads `a`, defined next
+        let a = b.gate("a", GateKind::And, &[GateId(2), q]);
+        let _na = b.gate("na", GateKind::Not, &[a]);
+        b.mark_output(a);
+        let err = b.finish().expect_err("combinational cycle");
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
     }
 
     #[test]

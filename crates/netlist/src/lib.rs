@@ -37,9 +37,11 @@ pub mod gate;
 pub mod generator;
 pub mod levelize;
 pub mod library;
+pub mod scan;
 pub mod stats;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, GateId};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
+pub use scan::{insert_scan, ScanCircuit};

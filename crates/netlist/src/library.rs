@@ -105,20 +105,56 @@ impl Default for LsiClassConfig {
 /// combinational stuck-at universe) and deterministic for a given
 /// configuration.
 pub fn lsi_class(config: LsiClassConfig) -> Circuit {
+    lsi_class_impl(config, false)
+}
+
+/// Builds the sequential variant of [`lsi_class`]: the same composite of
+/// datapath, decode and random-logic blocks, but with every bus and control
+/// input held in a D flip-flop, the way an LSI chip of the era latched its
+/// pads into an internal register file.
+///
+/// The 40 input registers (two 16-bit buses plus 8 control bits) are the
+/// state that [`scan::insert_scan`](crate::scan::insert_scan) stitches into
+/// chains for the full-scan BIST experiments.
+pub fn sequential_lsi_class(config: LsiClassConfig) -> Circuit {
+    lsi_class_impl(config, true)
+}
+
+fn lsi_class_impl(config: LsiClassConfig, registered_inputs: bool) -> Circuit {
+    let variant = if registered_inputs { "seq_" } else { "" };
     let mut builder = CircuitBuilder::new(format!(
-        "lsi_class_{}t_{}",
+        "lsi_class_{variant}{}t_{}",
         config.target_transistors, config.seed
     ));
     // A shared bus of primary inputs that the blocks draw operands from,
-    // mimicking an internal data bus.
+    // mimicking an internal data bus.  In the sequential variant each bus
+    // and control line is registered before use.
+    let latch = |builder: &mut CircuitBuilder, pin: crate::circuit::GateId, name: String| {
+        if registered_inputs {
+            builder.dff(name, pin)
+        } else {
+            pin
+        }
+    };
     let bus_width = 16usize;
     let bus_a: Vec<_> = (0..bus_width)
-        .map(|i| builder.input(format!("busa{i}")))
+        .map(|i| {
+            let pin = builder.input(format!("busa{i}"));
+            latch(&mut builder, pin, format!("rbusa{i}"))
+        })
         .collect();
     let bus_b: Vec<_> = (0..bus_width)
-        .map(|i| builder.input(format!("busb{i}")))
+        .map(|i| {
+            let pin = builder.input(format!("busb{i}"));
+            latch(&mut builder, pin, format!("rbusb{i}"))
+        })
         .collect();
-    let control: Vec<_> = (0..8).map(|i| builder.input(format!("ctl{i}"))).collect();
+    let control: Vec<_> = (0..8)
+        .map(|i| {
+            let pin = builder.input(format!("ctl{i}"));
+            latch(&mut builder, pin, format!("rctl{i}"))
+        })
+        .collect();
 
     let mut block_index = 0usize;
     let mut estimate = 0usize;
@@ -312,5 +348,25 @@ mod tests {
     fn default_lsi_class_config_targets_paper_chip() {
         let config = LsiClassConfig::default();
         assert_eq!(config.target_transistors, 25_000);
+    }
+
+    #[test]
+    fn sequential_lsi_class_registers_every_pad() {
+        let config = LsiClassConfig {
+            target_transistors: 3_000,
+            seed: 7,
+        };
+        let c = sequential_lsi_class(config);
+        // Two 16-bit buses plus 8 control lines, each behind a flip-flop.
+        assert_eq!(c.state_elements().len(), 40);
+        assert_eq!(c.primary_inputs().len(), 40);
+        assert!(c.has_state());
+        // The combinational portion is the same block rotation: same input
+        // and output counts as the combinational build.
+        let comb = lsi_class(config);
+        assert_eq!(c.primary_outputs().len(), comb.primary_outputs().len());
+        assert!(!comb.has_state());
+        // Deterministic like its combinational sibling.
+        assert_eq!(sequential_lsi_class(config), sequential_lsi_class(config));
     }
 }

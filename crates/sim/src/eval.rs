@@ -7,10 +7,15 @@ use lsiq_netlist::GateKind;
 ///
 /// Source kinds ([`GateKind::Input`], constants) take no inputs; `Input`
 /// evaluates to `false` here because its value is supplied externally by the
-/// simulator, never computed.
+/// simulator, never computed.  A [`GateKind::Dff`] holds state, not a
+/// combinational function: one evaluation step reads it at its reset state
+/// (0).  Sequential devices are tested through scan
+/// (`lsiq_netlist::scan`), whose expanded test view replaces every
+/// flip-flop with a pseudo-primary input before simulation.
 pub fn eval_bool(kind: GateKind, inputs: &[bool]) -> bool {
     match kind {
         GateKind::Input => false,
+        GateKind::Dff => false,
         GateKind::Const0 => false,
         GateKind::Const1 => true,
         GateKind::Buf => inputs[0],
@@ -28,6 +33,7 @@ pub fn eval_bool(kind: GateKind, inputs: &[bool]) -> bool {
 pub fn eval_value3(kind: GateKind, inputs: &[Value3]) -> Value3 {
     match kind {
         GateKind::Input => Value3::Unknown,
+        GateKind::Dff => Value3::Unknown,
         GateKind::Const0 => Value3::Zero,
         GateKind::Const1 => Value3::One,
         GateKind::Buf => inputs[0],
@@ -46,6 +52,7 @@ pub fn eval_value3(kind: GateKind, inputs: &[Value3]) -> Value3 {
 pub fn eval_packed(kind: GateKind, inputs: &[u64]) -> u64 {
     match kind {
         GateKind::Input => 0,
+        GateKind::Dff => 0,
         GateKind::Const0 => 0,
         GateKind::Const1 => u64::MAX,
         GateKind::Buf => inputs[0],

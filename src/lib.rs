@@ -19,7 +19,8 @@
 //!
 //! * [`exec`] — typed run configuration and the persistent fork-join pool,
 //! * [`stats`] — PRNGs, distributions, fitting, root finding,
-//! * [`netlist`] — circuits, `.bench` parsing, generators,
+//! * [`netlist`] — circuits (combinational and sequential), `.bench` / BLIF
+//!   parsing, generators, full-scan insertion,
 //! * [`sim`] — logic simulation,
 //! * [`fault`] — stuck-at faults and fault simulation,
 //! * [`bist`] — built-in self-test: STUMPS pattern generation, MISR

@@ -39,11 +39,12 @@
 //! panic, so binaries can exit gracefully on a bad knob.
 
 use lsiq_bist::aliasing::AliasingReport;
+use lsiq_bist::misr::Misr;
 use lsiq_bist::signature::{BistPlan, SignatureDictionary};
 use lsiq_bist::stumps::{StumpsConfig, StumpsGenerator};
 use lsiq_core::params::{FaultCoverage, ModelParams, Yield};
 use lsiq_core::reject::field_reject_rate;
-use lsiq_exec::{ConfigError, ExecutionContext, RunConfig, TestMode};
+use lsiq_exec::{ConfigError, ExecutionContext, RunConfig, ScanPlan, TestMode, SCAN_CHAINS_VAR};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::universe::FaultUniverse;
@@ -52,8 +53,8 @@ use lsiq_manufacturing::lot::ModelLotConfig;
 use lsiq_manufacturing::pipeline::ParallelLotRunner;
 use lsiq_manufacturing::tester::TestRecord;
 use lsiq_netlist::circuit::Circuit;
-use lsiq_netlist::library::{lsi_class, LsiClassConfig};
-use lsiq_sim::pattern::PatternSet;
+use lsiq_netlist::library::{lsi_class, sequential_lsi_class, LsiClassConfig};
+use lsiq_netlist::scan::{insert_scan, ScanCircuit};
 use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
 
 /// The seed of the reference test programme (and, by default, of the
@@ -179,6 +180,53 @@ impl Session {
         })
     }
 
+    /// The sequential reproduction device — the same LSI-class composite
+    /// with every pad registered behind a D flip-flop — stitched into
+    /// `plan`'s scan chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] (named after the `LSIQ_SCAN_CHAINS` knob)
+    /// when the plan asks for more chains than the device has flip-flops.
+    pub fn scan_reproduction_circuit(
+        full: bool,
+        plan: ScanPlan,
+    ) -> Result<ScanCircuit, ConfigError> {
+        let target = if full { 25_000 } else { 10_000 };
+        let sequential = sequential_lsi_class(LsiClassConfig {
+            target_transistors: target,
+            seed: PROGRAMME_SEED,
+        });
+        insert_scan(&sequential, plan.chains()).map_err(|_| {
+            ConfigError::invalid_value(
+                SCAN_CHAINS_VAR,
+                plan.chains().to_string(),
+                "a chain count not exceeding the device's flip-flop count",
+            )
+        })
+    }
+
+    /// The device a session's experiments actually run on: the combinational
+    /// reproduction circuit or — when the session configures scan chains —
+    /// the capture-mode test view of the scan-inserted sequential device.
+    ///
+    /// The test view shares the scan circuit's gate-id space, replaces
+    /// every scan cell by a pseudo primary input (loaded through the chains)
+    /// and exposes each cell's capture value as a pseudo primary output (as
+    /// observed by the scan-out shift), so one pattern is one full
+    /// scan-in/capture/scan-out cycle and every combinational engine — and
+    /// the whole BIST stack — applies unchanged.  Its fault universe covers
+    /// the scan path itself: the per-cell shift/capture multiplexers and
+    /// the scan-enable fanout.
+    fn device_under_test(&self, full: bool) -> Result<Circuit, ConfigError> {
+        match self.config.scan() {
+            None => Ok(Session::reproduction_circuit(full)),
+            Some(plan) => Ok(Session::scan_reproduction_circuit(full, plan)?
+                .test_view()
+                .clone()),
+        }
+    }
+
     /// Runs the standard Section 7 style line experiment: an LSI-class
     /// device, a random pattern suite evaluated on the session's engine and
     /// pool, and a lot drawn from the statistical model with `spec`'s ground
@@ -186,19 +234,34 @@ impl Session {
     /// the streamed reject tabulation all execute on the session's worker
     /// pool; results are byte-identical at any worker count, so the
     /// configuration only changes wall-clock time.
-    pub fn run_production_line(&self, spec: &LineSpec) -> LineExperiment {
+    ///
+    /// With scan chains configured ([`RunConfig::with_scan`] or the
+    /// `LSIQ_SCAN_CHAINS` knob) the line tests the scan-inserted sequential
+    /// device through its capture-mode test view instead — a full-scan flow
+    /// whose fault universe includes the scan path itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configured scan plan does not fit
+    /// the device.
+    pub fn run_production_line(&self, spec: &LineSpec) -> Result<LineExperiment, ConfigError> {
         self.run_line(spec, self.config.base_seed())
     }
 
     /// Reproduces the paper's Table 1 run: the [`LineSpec::table1`] ground
     /// truth with the historical seed (1981) unless the session configures
     /// an explicit one.
-    pub fn reproduce_table1(&self) -> LineExperiment {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the configured scan plan does not fit
+    /// the device.
+    pub fn reproduce_table1(&self) -> Result<LineExperiment, ConfigError> {
         self.run_line(&LineSpec::table1(), self.config.seed_or(PROGRAMME_SEED))
     }
 
-    fn run_line(&self, spec: &LineSpec, lot_seed: u64) -> LineExperiment {
-        let circuit = Session::reproduction_circuit(spec.full_size);
+    fn run_line(&self, spec: &LineSpec, lot_seed: u64) -> Result<LineExperiment, ConfigError> {
+        let circuit = self.device_under_test(spec.full_size)?;
         let universe = FaultUniverse::full(&circuit);
         let suite = TestSuiteBuilder {
             seed: PROGRAMME_SEED,
@@ -249,7 +312,7 @@ impl Session {
         };
         let checkpoints: Vec<usize> = (1..=coverage.pattern_count()).collect();
         let experiment = runner.experiment(&records, &coverage, &checkpoints);
-        LineExperiment {
+        Ok(LineExperiment {
             universe_size: universe.len(),
             suite,
             coverage,
@@ -258,7 +321,7 @@ impl Session {
             observed_n0: lot.observed_n0(),
             circuit,
             test_mode,
-        }
+        })
     }
 
     /// Sweeps self-test length × signature width on the reproduction device
@@ -268,40 +331,83 @@ impl Session {
     ///
     /// Patterns come from a STUMPS-style generator seeded by the session
     /// (the `LSIQ_SEED` knob, defaulting to the historical 1981); per-fault
-    /// signatures are computed on the session's worker pool, one simulation
-    /// pass per test length shared across all signature widths.
-    pub fn run_bist_sweep(&self, spec: &BistSweepSpec) -> BistSweep {
-        let circuit = Session::reproduction_circuit(spec.full_size);
+    /// signatures are computed on the session's worker pool in exactly one
+    /// fault-simulation pass at the maximum length, shared across every
+    /// test length *and* signature width of the grid
+    /// ([`SignatureDictionary::build_sweep_in`]).
+    ///
+    /// With scan chains configured the sweep runs the full-scan BIST flow
+    /// on the sequential reproduction device's capture-mode test view, scan
+    /// path included — see [`run_production_line`](Self::run_production_line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the spec's model parameters or grid
+    /// are invalid (empty lengths or widths, unsupported MISR width, zero
+    /// session length, a STUMPS geometry the register cannot feed) or the
+    /// configured scan plan does not fit the device.
+    pub fn run_bist_sweep(&self, spec: &BistSweepSpec) -> Result<BistSweep, ConfigError> {
+        let circuit = self.device_under_test(spec.full_size)?;
         self.run_bist_sweep_on(&circuit, spec)
     }
 
     /// [`run_bist_sweep`](Self::run_bist_sweep) on an explicit device —
     /// used by the tests to sweep small library circuits quickly.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the spec's model parameters (`yield_fraction`, `n0`) or
-    /// grid are invalid (empty lengths or widths, unsupported MISR width,
-    /// zero session length).
-    pub fn run_bist_sweep_on(&self, circuit: &Circuit, spec: &BistSweepSpec) -> BistSweep {
-        let params = ModelParams::new(
-            Yield::new(spec.yield_fraction).expect("sweep yield must be in (0, 1]"),
-            spec.n0,
-        )
-        .expect("sweep n0 must be at least 1");
+    /// Returns a [`ConfigError`] when the spec's model parameters or grid
+    /// are invalid — see [`run_bist_sweep`](Self::run_bist_sweep).
+    pub fn run_bist_sweep_on(
+        &self,
+        circuit: &Circuit,
+        spec: &BistSweepSpec,
+    ) -> Result<BistSweep, ConfigError> {
+        let yield_fraction = Yield::new(spec.yield_fraction).map_err(|_| {
+            ConfigError::invalid_value(
+                "BistSweepSpec::yield_fraction",
+                spec.yield_fraction.to_string(),
+                "a yield fraction in [0, 1]",
+            )
+        })?;
+        let params = ModelParams::new(yield_fraction, spec.n0).map_err(|_| {
+            ConfigError::invalid_value(
+                "BistSweepSpec::n0",
+                spec.n0.to_string(),
+                "a mean fault count of at least 1",
+            )
+        })?;
+        if spec.session_len == 0 {
+            return Err(ConfigError::invalid_value(
+                "BistSweepSpec::session_len",
+                "0",
+                "a session of at least 1 pattern",
+            ));
+        }
+        if spec.signature_widths.is_empty() {
+            return Err(ConfigError::invalid_value(
+                "BistSweepSpec::signature_widths",
+                "(empty)",
+                "at least one signature width",
+            ));
+        }
+        for &width in &spec.signature_widths {
+            Misr::try_new(width)?;
+        }
+        let max_length = spec.test_lengths.iter().copied().max().ok_or_else(|| {
+            ConfigError::invalid_value(
+                "BistSweepSpec::test_lengths",
+                "(empty)",
+                "at least one test length",
+            )
+        })?;
         let universe = FaultUniverse::full(circuit);
-        let max_length = spec
-            .test_lengths
-            .iter()
-            .copied()
-            .max()
-            .expect("at least one test length");
-        let generator = StumpsGenerator::new(&StumpsConfig {
+        let generator = StumpsGenerator::try_new(&StumpsConfig {
             width: circuit.primary_inputs().len(),
             channels: spec.channels,
             degree: 64,
             seed: self.config.seed_or(PROGRAMME_SEED),
-        });
+        })?;
         let all_patterns = generator.generate(max_length);
         let defect_level = |coverage: f64| {
             field_reject_rate(
@@ -310,19 +416,22 @@ impl Session {
             )
             .value()
         };
+        // One fault-simulation pass at the maximum length serves the whole
+        // grid: shorter lengths are derived from recorded first-failure
+        // patterns and partial-session snapshots, byte-identical to a fresh
+        // per-length build.
+        let grid = SignatureDictionary::build_sweep_in(
+            &self.context,
+            circuit,
+            &universe,
+            &all_patterns,
+            spec.session_len,
+            &spec.signature_widths,
+            &spec.test_lengths,
+        );
         let mut rows = Vec::with_capacity(spec.test_lengths.len() * spec.signature_widths.len());
-        for &test_length in &spec.test_lengths {
-            let patterns: PatternSet = all_patterns.iter().take(test_length).cloned().collect();
-            // One simulation pass per length serves every signature width.
-            let dictionaries = SignatureDictionary::build_many_in(
-                &self.context,
-                circuit,
-                &universe,
-                &patterns,
-                spec.session_len,
-                &spec.signature_widths,
-            );
-            for dictionary in &dictionaries {
+        for (dictionaries, &test_length) in grid.iter().zip(&spec.test_lengths) {
+            for dictionary in dictionaries {
                 let report = AliasingReport::from_dictionary(dictionary);
                 rows.push(BistSweepRow {
                     test_length,
@@ -338,11 +447,11 @@ impl Session {
                 });
             }
         }
-        BistSweep {
+        Ok(BistSweep {
             universe_size: universe.len(),
             session_len: spec.session_len,
             rows,
-        }
+        })
     }
 }
 
@@ -428,6 +537,7 @@ pub struct BistSweep {
 mod tests {
     use super::*;
     use lsiq_exec::EngineKind;
+    use lsiq_netlist::library;
 
     #[test]
     fn session_bundles_config_and_pool() {
@@ -465,7 +575,9 @@ mod tests {
             channels: 4,
             ..BistSweepSpec::reference()
         };
-        let sweep = session.run_bist_sweep_on(&circuit, &spec);
+        let sweep = session
+            .run_bist_sweep_on(&circuit, &spec)
+            .expect("valid sweep spec");
         assert_eq!(sweep.rows.len(), 6);
         assert_eq!(sweep.session_len, 64);
         for row in &sweep.rows {
@@ -514,8 +626,10 @@ mod tests {
             n0: 4.0,
             full_size: false,
         };
-        let stored_line = stored.run_production_line(&spec);
-        let bist_line = bist.run_production_line(&spec);
+        let stored_line = stored
+            .run_production_line(&spec)
+            .expect("no scan configured");
+        let bist_line = bist.run_production_line(&spec).expect("no scan configured");
         assert_eq!(stored_line.test_mode, TestMode::Stored);
         assert_eq!(bist_line.test_mode, TestMode::Bist);
         // Same device, same patterns, same lot — only the observable
@@ -542,6 +656,88 @@ mod tests {
         let last = |line: &LineExperiment| line.experiment.rows().last().unwrap().chips_failed;
         assert!(last(&bist_line) <= last(&stored_line));
         assert!(last(&bist_line) + 3 >= last(&stored_line));
+    }
+
+    #[test]
+    fn bist_sweep_rejects_invalid_specs_without_panicking() {
+        let session = Session::new(RunConfig::default().with_workers(1));
+        let circuit = library::c17();
+        let reference = BistSweepSpec::reference();
+
+        let bad_width = BistSweepSpec {
+            signature_widths: vec![10],
+            ..reference.clone()
+        };
+        let error = session
+            .run_bist_sweep_on(&circuit, &bad_width)
+            .expect_err("unsupported MISR width");
+        assert_eq!(error.value(), "10");
+
+        let no_lengths = BistSweepSpec {
+            test_lengths: vec![],
+            ..reference.clone()
+        };
+        let error = session
+            .run_bist_sweep_on(&circuit, &no_lengths)
+            .expect_err("empty length grid");
+        assert_eq!(error.variable(), "BistSweepSpec::test_lengths");
+
+        let zero_session = BistSweepSpec {
+            session_len: 0,
+            ..reference.clone()
+        };
+        let error = session
+            .run_bist_sweep_on(&circuit, &zero_session)
+            .expect_err("zero-length session");
+        assert_eq!(error.variable(), "BistSweepSpec::session_len");
+
+        let bad_yield = BistSweepSpec {
+            yield_fraction: 1.5,
+            ..reference
+        };
+        let error = session
+            .run_bist_sweep_on(&circuit, &bad_yield)
+            .expect_err("impossible yield");
+        assert_eq!(error.variable(), "BistSweepSpec::yield_fraction");
+    }
+
+    #[test]
+    fn scan_session_runs_full_scan_bist_on_the_sequential_device() {
+        let plan = ScanPlan::new(4).expect("valid plan");
+        // The sequential reproduction device carries the acceptance
+        // floor of 32 flip-flops.
+        let scan = Session::scan_reproduction_circuit(false, plan).expect("plan fits");
+        assert!(scan.cell_count() >= 32, "{} cells", scan.cell_count());
+        assert_eq!(scan.chain_count(), 4);
+
+        let session = Session::new(RunConfig::default().with_workers(2).with_scan(Some(plan)));
+        let spec = BistSweepSpec {
+            test_lengths: vec![32],
+            signature_widths: vec![16],
+            session_len: 32,
+            ..BistSweepSpec::reference()
+        };
+        let sweep = session.run_bist_sweep(&spec).expect("scan plan fits");
+        assert_eq!(sweep.rows.len(), 1);
+        let row = &sweep.rows[0];
+        assert!(row.raw_coverage > 0.0 && row.raw_coverage <= 1.0);
+        assert!(row.effective_coverage <= row.raw_coverage + 1e-15);
+        assert!(row.defect_level_effective >= row.defect_level_raw - 1e-15);
+        // The swept universe is the test view's: scan-path gates included,
+        // so it is strictly larger than the combinational device's.
+        let combinational = FaultUniverse::full(&Session::reproduction_circuit(false));
+        assert!(sweep.universe_size > combinational.len());
+
+        // A plan with more chains than flip-flops surfaces as a typed
+        // error named after the knob it arrives through — never a panic.
+        let oversized = Session::new(
+            RunConfig::default().with_scan(Some(ScanPlan::new(4096).expect("in bounds"))),
+        );
+        let error = oversized
+            .run_bist_sweep(&spec)
+            .expect_err("more chains than cells");
+        assert_eq!(error.variable(), SCAN_CHAINS_VAR);
+        assert_eq!(error.value(), "4096");
     }
 
     #[test]

@@ -18,9 +18,11 @@ use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::manufacturing::bist_test::SignatureTester;
 use lsi_quality::manufacturing::lot::{ChipLot, ModelLotConfig};
 use lsi_quality::manufacturing::pipeline::ParallelLotRunner;
+use lsi_quality::netlist::generator::pipelined_datapath;
 use lsi_quality::netlist::library;
+use lsi_quality::netlist::scan::insert_scan;
 use lsi_quality::tpg::suite::TestSuiteBuilder;
-use lsi_quality::{LineSpec, Session};
+use lsi_quality::{BistSweepSpec, LineSpec, Session};
 
 fn cores() -> usize {
     std::thread::available_parallelism()
@@ -138,6 +140,61 @@ fn suite_driven_bist_outcomes_are_engine_invariant() {
 }
 
 #[test]
+fn scan_bist_sweep_is_one_pass_and_worker_invariant() {
+    // The full-scan BIST sweep on a sequential device: the 42-flip-flop
+    // pipelined datapath is scan-inserted, its capture-mode test view swept
+    // through `run_bist_sweep_on` — which performs exactly one
+    // fault-simulation pass at the maximum length and derives every
+    // shorter test (the 70-pattern cell ends mid-session) from recorded
+    // first-failure patterns and partial-session snapshots.  The grid must
+    // be byte-identical across the whole worker ladder.
+    let sequential = pipelined_datapath(8);
+    let scan = insert_scan(&sequential, 3).expect("3 chains fit 42 cells");
+    assert!(scan.cell_count() >= 32, "{} cells", scan.cell_count());
+    let view = scan.test_view().clone();
+    let spec = BistSweepSpec {
+        test_lengths: vec![24, 48, 70, 96],
+        signature_widths: vec![4, 8, 16],
+        session_len: 32,
+        channels: 4,
+        yield_fraction: 0.2,
+        n0: 4.0,
+        full_size: false,
+    };
+    let reference = Session::new(RunConfig::default().with_workers(1))
+        .run_bist_sweep_on(&view, &spec)
+        .expect("valid sweep spec");
+    assert_eq!(reference.rows.len(), 12);
+    for row in &reference.rows {
+        assert!(row.raw_coverage > 0.0, "vacuous sweep cell: {row:?}");
+        assert!(row.effective_coverage <= row.raw_coverage + 1e-15);
+        assert_eq!(row.sessions, row.test_length.div_ceil(spec.session_len));
+    }
+    // Longer tests never lose raw coverage (prefix monotonicity of the
+    // single pass).
+    for widths in 0..spec.signature_widths.len() {
+        let column: Vec<f64> = reference
+            .rows
+            .iter()
+            .skip(widths)
+            .step_by(spec.signature_widths.len())
+            .map(|row| row.raw_coverage)
+            .collect();
+        assert!(
+            column.windows(2).all(|pair| pair[0] <= pair[1] + 1e-15),
+            "raw coverage not monotone in test length: {column:?}"
+        );
+    }
+    for workers in worker_ladder() {
+        let sweep = Session::new(RunConfig::default().with_workers(workers))
+            .run_bist_sweep_on(&view, &spec)
+            .expect("valid sweep spec");
+        assert_eq!(reference.rows, sweep.rows, "workers = {workers}");
+        assert_eq!(reference.universe_size, sweep.universe_size);
+    }
+}
+
+#[test]
 fn bist_mode_session_lines_are_engine_and_worker_invariant() {
     // Whole production-line passes on the reproduction device are a
     // release-build concern (the release CI jobs run this); debug builds
@@ -157,7 +214,8 @@ fn bist_mode_session_lines_are_engine_and_worker_invariant() {
             .with_workers(1)
             .with_test_mode(TestMode::Bist),
     )
-    .run_production_line(&spec);
+    .run_production_line(&spec)
+    .expect("no scan configured");
     let reference_rows = reference.experiment.rows();
     for engine in EngineKind::ALL {
         for workers in [2, 2 * cores()] {
@@ -167,7 +225,8 @@ fn bist_mode_session_lines_are_engine_and_worker_invariant() {
                     .with_workers(workers)
                     .with_test_mode(TestMode::Bist),
             )
-            .run_production_line(&spec);
+            .run_production_line(&spec)
+            .expect("no scan configured");
             assert_eq!(line.test_mode, TestMode::Bist);
             assert_eq!(
                 reference_rows,

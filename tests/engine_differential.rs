@@ -18,11 +18,15 @@ use lsi_quality::fault::collapse::collapse_equivalence;
 use lsi_quality::fault::deductive::DeductiveSimulator;
 use lsi_quality::fault::incremental::IncrementalSimulator;
 use lsi_quality::fault::list::FaultList;
+use lsi_quality::fault::model::{Fault, StuckValue};
 use lsi_quality::fault::parallel::ParallelSimulator;
 use lsi_quality::fault::simulator::{BuildEngine, EngineKind, FaultSimulator};
 use lsi_quality::fault::universe::FaultUniverse;
 use lsi_quality::netlist::circuit::Circuit;
-use lsi_quality::netlist::generator::{random_circuit, RandomCircuitConfig};
+use lsi_quality::netlist::generator::{
+    binary_counter, pipelined_datapath, random_circuit, sequence_detector, RandomCircuitConfig,
+};
+use lsi_quality::netlist::scan::insert_scan;
 use lsi_quality::sim::pattern::{Pattern, PatternSet};
 use lsi_quality::stats::rng::{Rng, SplitMix64, Xoshiro256StarStar};
 use lsi_quality::tpg::lfsr::Lfsr;
@@ -31,6 +35,12 @@ use lsi_quality::tpg::lfsr::Lfsr;
 const CASES: u64 = 12;
 #[cfg(not(debug_assertions))]
 const CASES: u64 = 100;
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// One generated scenario: a circuit, a fault universe and a pattern set.
 struct Case {
@@ -151,15 +161,79 @@ fn engines_agree_on_seeded_random_cases() {
 }
 
 #[test]
+fn engines_agree_on_scan_expanded_sequential_devices() {
+    // Time-frame-expanded scan devices: scan insertion turns a sequential
+    // circuit into its capture-mode *test view*, where one pattern is one
+    // full scan-in/capture/scan-out cycle — a combinational circuit every
+    // engine can simulate unchanged.  All five engines (plus the
+    // uncollapsed deductive/incremental variants) must stay byte-identical
+    // on the expanded universes, including a dedicated scan-path universe
+    // of stuck-at faults on the shift/capture multiplexer gates, and the
+    // parallel engine must stay invariant at 1, 2 and 2×cores workers.
+    let contexts: Vec<ExecutionContext> = [1, 2, 2 * cores()].map(ExecutionContext::new).into();
+    let devices: Vec<(&str, Circuit, usize)> = vec![
+        ("counter8", binary_counter(8), 1),
+        ("detector", sequence_detector(&[true, false, true, true]), 2),
+        ("datapath8", pipelined_datapath(8), 3),
+    ];
+    for (name, sequential, chains) in devices {
+        let scan = insert_scan(&sequential, chains).expect("chains fit the state elements");
+        let case = Case {
+            label: format!("scan {name} ({chains} chains)"),
+            circuit: scan.test_view().clone(),
+            patterns: Lfsr::new(
+                scan.test_view().primary_inputs().len(),
+                0x5C4A ^ chains as u64,
+            )
+            .generate(48),
+        };
+        for (universe_name, universe) in universes(&case.circuit) {
+            assert_engines_identical(&case, universe_name, &universe);
+        }
+        // The scan path as its own fault-universe axis: every shift/capture
+        // gate the insertion added, stuck both ways.
+        let scan_path = FaultUniverse::from_faults(
+            scan.scan_path_gates()
+                .iter()
+                .flat_map(|&gate| {
+                    StuckValue::BOTH
+                        .into_iter()
+                        .map(move |stuck| Fault::output(gate, stuck))
+                })
+                .collect(),
+        );
+        assert!(!scan_path.is_empty());
+        assert_engines_identical(&case, "scan-path", &scan_path);
+        let reference = EngineKind::Serial
+            .build(&case.circuit)
+            .run(&scan_path, &case.patterns);
+        assert!(
+            reference.detected_count() > 0,
+            "{}: no scan-path fault detected",
+            case.label
+        );
+        for context in &contexts {
+            let pooled = EngineKind::Parallel
+                .build_in(context, &case.circuit)
+                .run(&scan_path, &case.patterns);
+            assert_eq!(
+                reference,
+                pooled,
+                "{}, {} workers",
+                case.label,
+                context.workers()
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_engine_on_explicit_contexts_matches_the_reference() {
     // The Session-era API: the parallel engine bound to a persistent
     // ExecutionContext pool must stay byte-identical to the serial
     // reference at 1, 2 and 2×cores workers — the pool is reused across
     // every case, exactly like a session reuses it across sweep points.
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let contexts: Vec<ExecutionContext> = [1, 2, 2 * cores].map(ExecutionContext::new).into();
+    let contexts: Vec<ExecutionContext> = [1, 2, 2 * cores()].map(ExecutionContext::new).into();
     let case_count = CASES.min(12);
     for index in 0..case_count {
         let case = build_case(index);

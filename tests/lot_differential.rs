@@ -225,13 +225,16 @@ fn session_production_line_is_worker_count_invariant() {
         full_size: false,
     };
     let reference = Session::new(RunConfig::default().with_workers(1).with_base_seed(7))
-        .run_production_line(&spec);
+        .run_production_line(&spec)
+        .expect("no scan configured");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     for workers in [2, 2 * cores] {
         let session = Session::new(RunConfig::default().with_workers(workers).with_base_seed(7));
-        let line = session.run_production_line(&spec);
+        let line = session
+            .run_production_line(&spec)
+            .expect("no scan configured");
         assert_eq!(
             reference.suite.patterns.as_slice(),
             line.suite.patterns.as_slice(),
@@ -244,7 +247,9 @@ fn session_production_line_is_worker_count_invariant() {
         assert_eq!(reference.observed_n0, line.observed_n0);
     }
     // reproduce_table1 pins the paper's lot: 277 chips at the 1981 seed.
-    let table1 = Session::new(RunConfig::default().with_workers(2)).reproduce_table1();
+    let table1 = Session::new(RunConfig::default().with_workers(2))
+        .reproduce_table1()
+        .expect("no scan configured");
     assert_eq!(table1.experiment.total_chips(), 277);
 }
 
