@@ -1,6 +1,7 @@
 //! Criterion benchmarks comparing the five fault-simulation algorithms.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsiq_exec::LaneWidth;
 use lsiq_fault::deductive::DeductiveSimulator;
 use lsiq_fault::incremental::IncrementalSimulator;
 use lsiq_fault::parallel::ParallelSimulator;
@@ -10,6 +11,7 @@ use lsiq_fault::simulator::FaultSimulator;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::generator::{random_circuit, RandomCircuitConfig};
 use lsiq_netlist::library;
+use lsiq_sim::cache::GoodMachineCache;
 use lsiq_sim::pattern::{Pattern, PatternSet};
 use lsiq_stats::rng::{Rng, Xoshiro256StarStar};
 use std::hint::black_box;
@@ -155,10 +157,60 @@ fn bench_fault_sim_iscas_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lane-width scaling of the packed engines: the same 1024-pattern
+/// workload at every [`LaneWidth`], single-threaded (PPSFP) and sharded
+/// (parallel), plus the widest lane with a warm [`GoodMachineCache`].
+/// Results are byte-identical across all entries — this group measures
+/// pure throughput, and is where the `×8` lanes earn their keep (wide
+/// chunks autovectorize and amortize the per-chunk walk over 512 patterns
+/// instead of 64).
+fn bench_fault_sim_lanes(c: &mut Criterion) {
+    let circuit = random_circuit(&RandomCircuitConfig {
+        inputs: 24,
+        gates: 600,
+        seed: 8,
+        ..RandomCircuitConfig::default()
+    });
+    let universe = FaultUniverse::full(&circuit);
+    let patterns = random_patterns(circuit.primary_inputs().len(), 1024, 17);
+    let mut group = c.benchmark_group("fault_sim_lanes_1024_patterns");
+    for lanes in LaneWidth::EXPLICIT {
+        group.bench_with_input(BenchmarkId::new("ppsfp", lanes), &(), |b, _| {
+            b.iter(|| {
+                PpsfpSimulator::new(&circuit)
+                    .with_lanes(lanes)
+                    .run(black_box(&universe), black_box(&patterns))
+            })
+        });
+    }
+    for lanes in LaneWidth::EXPLICIT {
+        group.bench_with_input(BenchmarkId::new("parallel", lanes), &(), |b, _| {
+            b.iter(|| {
+                ParallelSimulator::new(&circuit)
+                    .with_lanes(lanes)
+                    .run(black_box(&universe), black_box(&patterns))
+            })
+        });
+    }
+    // A warm cache removes the good-machine pass entirely (every iteration
+    // after the first replays it), leaving pure faulty-machine work.
+    let cache = GoodMachineCache::new();
+    group.bench_function("ppsfp/8_cached", |b| {
+        b.iter(|| {
+            PpsfpSimulator::new(&circuit)
+                .with_lanes(LaneWidth::X8)
+                .with_cache(&cache)
+                .run(black_box(&universe), black_box(&patterns))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fault_sim,
     bench_fault_sim_large,
-    bench_fault_sim_iscas_scale
+    bench_fault_sim_iscas_scale,
+    bench_fault_sim_lanes
 );
 criterion_main!(benches);

@@ -24,7 +24,7 @@
 
 use crate::lfsr::{maximal_polynomial, DEGREE_GRAMMAR, SUPPORTED_DEGREES};
 use lsiq_exec::ConfigError;
-use lsiq_sim::packed::gather_slot;
+use lsiq_sim::packed::{gather_chunk_slot, gather_slot, PackedBlock};
 
 /// A `width`-bit multiple-input signature register with the built-in
 /// maximal-length feedback polynomial of that width.
@@ -161,6 +161,37 @@ impl Misr {
         self.fold_block(error_words, pattern_count);
         self.state
     }
+
+    /// Folds a lane-wide packed chunk of output responses — one
+    /// [`PackedBlock`] per circuit output, as produced by
+    /// [`CompiledCircuit::output_chunks`](lsiq_sim::levelized::CompiledCircuit::output_chunks)
+    /// — in pattern order.  Only the low `pattern_count` slots are folded;
+    /// the `L = 1` case is exactly [`fold_block`](Misr::fold_block).
+    pub fn fold_chunk<const L: usize>(
+        &mut self,
+        output_chunks: &[PackedBlock<L>],
+        pattern_count: usize,
+    ) {
+        for slot in 0..pattern_count {
+            self.fold(gather_chunk_slot(output_chunks, slot));
+        }
+    }
+
+    /// Folds a lane-wide packed chunk of *error* responses and returns the
+    /// resulting error state (the chunk analogue of
+    /// [`fold_error_block`](Misr::fold_error_block), with the same
+    /// quiet-chunk skip).
+    pub fn fold_error_chunk<const L: usize>(
+        &mut self,
+        error_chunks: &[PackedBlock<L>],
+        pattern_count: usize,
+    ) -> u64 {
+        if self.state == 0 && error_chunks.iter().all(|chunk| chunk.is_zero()) {
+            return 0;
+        }
+        self.fold_chunk(error_chunks, pattern_count);
+        self.state
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +279,43 @@ mod tests {
         let mut idle = Misr::new(8);
         assert_eq!(idle.fold_error_block(&[0, 0, 0, 0, 0, 0], 64), 0);
         assert_eq!(idle.signature(), 0);
+    }
+
+    #[test]
+    fn chunk_folds_match_word_folds_at_every_lane_width() {
+        fn check<const L: usize>() {
+            let patterns = 64 * L - 7; // partial tail in the last lane
+            let responses = random_responses(6, patterns, L as u64);
+            let mut chunks = vec![PackedBlock::<L>::ZERO; 6];
+            for (slot, response) in responses.iter().enumerate() {
+                for (output, &bit) in response.iter().enumerate() {
+                    if bit {
+                        chunks[output].0[slot / 64] |= 1u64 << (slot % 64);
+                    }
+                }
+            }
+            let mut serial = Misr::new(16);
+            for response in &responses {
+                serial.fold(response.iter().copied());
+            }
+            let mut packed = Misr::new(16);
+            packed.fold_chunk(&chunks, patterns);
+            assert_eq!(serial.signature(), packed.signature(), "L = {L}");
+
+            let mut error = Misr::new(16);
+            assert_eq!(
+                error.fold_error_chunk(&chunks, patterns),
+                serial.signature()
+            );
+            let mut idle = Misr::new(16);
+            assert_eq!(
+                idle.fold_error_chunk(&[PackedBlock::<L>::ZERO; 6], patterns),
+                0
+            );
+        }
+        check::<1>();
+        check::<4>();
+        check::<8>();
     }
 
     #[test]

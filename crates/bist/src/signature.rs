@@ -22,12 +22,13 @@
 //! its first failing session.
 
 use crate::misr::Misr;
-use lsiq_exec::ExecutionContext;
-use lsiq_fault::inject::output_words_with_fault;
+use lsiq_exec::{ExecutionContext, LaneWidth};
+use lsiq_fault::inject::output_chunks_with_fault;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::levelized::CompiledCircuit;
-use lsiq_sim::packed::valid_mask;
+use lsiq_sim::packed::{gather_chunk_slot, PackedBlock};
 use lsiq_sim::pattern::PatternSet;
 
 /// The readout schedule and signature geometry of one self-test.
@@ -52,28 +53,44 @@ impl Default for BistPlan {
     }
 }
 
-/// One precomputed 64-pattern block: packed inputs, good-machine outputs,
+/// One precomputed lane-wide chunk: packed inputs, good-machine outputs,
 /// valid mask, pattern count.
-struct Block {
-    inputs: Vec<u64>,
-    good_outputs: Vec<u64>,
-    valid: u64,
+struct Block<const L: usize> {
+    inputs: Vec<PackedBlock<L>>,
+    good_outputs: Vec<PackedBlock<L>>,
+    valid: PackedBlock<L>,
     count: usize,
 }
 
-fn precompute_blocks(compiled: &CompiledCircuit<'_>, patterns: &PatternSet) -> Vec<Block> {
-    let input_count = compiled.circuit().primary_inputs().len();
-    let mut blocks = Vec::with_capacity(patterns.block_count());
-    for block in 0..patterns.block_count() {
-        let (inputs, count) = patterns.pack_block(input_count, block);
+fn precompute_blocks<const L: usize>(
+    compiled: &CompiledCircuit<'_>,
+    patterns: &PatternSet,
+    cache: Option<&GoodMachineCache>,
+) -> Vec<Block<L>> {
+    let circuit = compiled.circuit();
+    let input_count = circuit.primary_inputs().len();
+    let fingerprint = cache.map(|_| circuit_fingerprint(circuit));
+    let mut blocks = Vec::with_capacity(patterns.chunk_count(L));
+    for chunk in 0..patterns.chunk_count(L) {
+        let (inputs, count) = patterns.pack_chunk::<L>(input_count, chunk);
         if count == 0 {
             break;
         }
-        let good_outputs = compiled.output_words(&inputs);
+        let good_outputs = match (cache, fingerprint) {
+            (Some(cache), Some(fingerprint)) => {
+                let nodes = cache.node_chunks_keyed(fingerprint, compiled, &inputs, count);
+                circuit
+                    .primary_outputs()
+                    .iter()
+                    .map(|&out| nodes[out.index()])
+                    .collect()
+            }
+            _ => compiled.output_chunks(&inputs),
+        };
         blocks.push(Block {
             inputs,
             good_outputs,
-            valid: valid_mask(count),
+            valid: PackedBlock::valid_mask(count),
             count,
         });
     }
@@ -205,6 +222,85 @@ impl SignatureDictionary {
         widths: &[u32],
         lengths: &[usize],
     ) -> Vec<Vec<SignatureDictionary>> {
+        SignatureDictionary::build_sweep_cached(
+            context,
+            circuit,
+            universe,
+            patterns,
+            session_len,
+            widths,
+            lengths,
+            LaneWidth::Auto,
+            None,
+        )
+    }
+
+    /// The fully configured form of
+    /// [`build_sweep_in`](SignatureDictionary::build_sweep_in): the packed
+    /// lane width is selectable (results are byte-identical at every width)
+    /// and an optional shared [`GoodMachineCache`] supplies — or receives —
+    /// the per-chunk good-machine images, so a session that has already
+    /// simulated the same circuit over the same patterns (a test-suite
+    /// build, an earlier sweep) never re-runs the fault-free machine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_sweep_cached(
+        context: &ExecutionContext,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        session_len: usize,
+        widths: &[u32],
+        lengths: &[usize],
+        lanes: LaneWidth,
+        cache: Option<&GoodMachineCache>,
+    ) -> Vec<Vec<SignatureDictionary>> {
+        match lanes.resolve(patterns.len()) {
+            1 => SignatureDictionary::build_sweep_lanes::<1>(
+                context,
+                circuit,
+                universe,
+                patterns,
+                session_len,
+                widths,
+                lengths,
+                cache,
+            ),
+            4 => SignatureDictionary::build_sweep_lanes::<4>(
+                context,
+                circuit,
+                universe,
+                patterns,
+                session_len,
+                widths,
+                lengths,
+                cache,
+            ),
+            _ => SignatureDictionary::build_sweep_lanes::<8>(
+                context,
+                circuit,
+                universe,
+                patterns,
+                session_len,
+                widths,
+                lengths,
+                cache,
+            ),
+        }
+    }
+
+    /// One lane-monomorphized sweep (see
+    /// [`build_sweep_cached`](SignatureDictionary::build_sweep_cached)).
+    #[allow(clippy::too_many_arguments)]
+    fn build_sweep_lanes<const L: usize>(
+        context: &ExecutionContext,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+        session_len: usize,
+        widths: &[u32],
+        lengths: &[usize],
+        cache: Option<&GoodMachineCache>,
+    ) -> Vec<Vec<SignatureDictionary>> {
         assert!(session_len >= 1, "a session must apply at least 1 pattern");
         assert!(!widths.is_empty(), "at least one signature width required");
         assert!(!lengths.is_empty(), "at least one test length required");
@@ -213,7 +309,7 @@ impl SignatureDictionary {
             "test lengths cannot exceed the pattern set"
         );
         let compiled = CompiledCircuit::new(circuit);
-        let blocks = precompute_blocks(&compiled, patterns);
+        let blocks = precompute_blocks::<L>(&compiled, patterns, cache);
         let mut boundaries: Vec<usize> = lengths.to_vec();
         boundaries.sort_unstable();
         boundaries.dedup();
@@ -230,7 +326,7 @@ impl SignatureDictionary {
         for block in &blocks {
             for slot in 0..block.count {
                 for register in good_registers.iter_mut() {
-                    register.fold(lsiq_sim::packed::gather_slot(&block.good_outputs, slot));
+                    register.fold(gather_chunk_slot(&block.good_outputs, slot));
                 }
                 consumed += 1;
                 in_session += 1;
@@ -440,9 +536,9 @@ struct ShardResult {
     first_error: Vec<Option<usize>>,
 }
 
-fn simulate_shard(
+fn simulate_shard<const L: usize>(
     compiled: &CompiledCircuit<'_>,
-    blocks: &[Block],
+    blocks: &[Block<L>],
     faults: &[lsiq_fault::model::Fault],
     session_len: usize,
     widths: &[u32],
@@ -454,7 +550,7 @@ fn simulate_shard(
         first_error: Vec::with_capacity(faults.len()),
     };
     let mut registers: Vec<Misr> = widths.iter().map(|&w| Misr::new(w)).collect();
-    let mut error_words: Vec<u64> = Vec::new();
+    let mut error_words: Vec<PackedBlock<L>> = Vec::new();
     for fault in faults {
         let mut first_fail: Vec<Option<usize>> = vec![None; widths.len()];
         let mut partial_fail: Vec<Vec<bool>> = vec![vec![false; boundaries.len()]; widths.len()];
@@ -482,7 +578,7 @@ fn simulate_shard(
             }
         };
         'blocks: for block in blocks {
-            let faulty = output_words_with_fault(compiled, &block.inputs, fault);
+            let faulty = output_chunks_with_fault(compiled, &block.inputs, fault);
             error_words.clear();
             error_words.extend(
                 block
@@ -491,11 +587,15 @@ fn simulate_shard(
                     .zip(&faulty)
                     .map(|(&good, &bad)| (good ^ bad) & block.valid),
             );
-            let error_union = error_words.iter().fold(0u64, |union, &word| union | word);
-            if first_error.is_none() && error_union != 0 {
-                first_error = Some(consumed + error_union.trailing_zeros() as usize);
+            let error_union = error_words
+                .iter()
+                .fold(PackedBlock::<L>::ZERO, |union, &word| union | word);
+            if first_error.is_none() {
+                if let Some(slot) = error_union.first_set_slot() {
+                    first_error = Some(consumed + slot);
+                }
             }
-            if error_union == 0 && registers.iter().all(|r| r.signature() == 0) {
+            if error_union.is_zero() && registers.iter().all(|r| r.signature() == 0) {
                 // A quiet block cannot move a zero register; fast-forward
                 // the session counters (each readout trivially passes) and
                 // the boundary cursor (each snapshot trivially passes too —
@@ -516,7 +616,7 @@ fn simulate_shard(
                     // A resolved width's register was reset at its failing
                     // readout and is never read again; skip its folds.
                     if first_fail[which].is_none() {
-                        register.fold(lsiq_sim::packed::gather_slot(&error_words, slot));
+                        register.fold(gather_chunk_slot(&error_words, slot));
                     }
                 }
                 consumed += 1;
@@ -748,6 +848,54 @@ mod tests {
             );
             assert_eq!(*row, reference, "length {length}");
         }
+    }
+
+    #[test]
+    fn lane_widths_and_cache_are_invisible_in_the_sweep() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = StumpsGenerator::new(&StumpsConfig::with_width(
+            circuit.primary_inputs().len(),
+            13,
+        ))
+        .generate(160);
+        let widths = [8u32, 16];
+        let lengths = [40usize, 96, 160];
+        let context = ExecutionContext::new(2);
+        let reference = SignatureDictionary::build_sweep_in(
+            &context, &circuit, &universe, &patterns, 32, &widths, &lengths,
+        );
+        let cache = GoodMachineCache::new();
+        for lanes in LaneWidth::EXPLICIT {
+            let sweep = SignatureDictionary::build_sweep_cached(
+                &context,
+                &circuit,
+                &universe,
+                &patterns,
+                32,
+                &widths,
+                &lengths,
+                lanes,
+                Some(&cache),
+            );
+            assert_eq!(reference, sweep, "lanes = {lanes}");
+        }
+        assert!(cache.misses() > 0);
+        // Replaying a cached width is pure hits for the good machine.
+        let before = cache.hits();
+        let replay = SignatureDictionary::build_sweep_cached(
+            &context,
+            &circuit,
+            &universe,
+            &patterns,
+            32,
+            &widths,
+            &lengths,
+            LaneWidth::X8,
+            Some(&cache),
+        );
+        assert_eq!(reference, replay);
+        assert!(cache.hits() > before);
     }
 
     #[test]

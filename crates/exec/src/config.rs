@@ -23,6 +23,9 @@ pub const TEST_MODE_VAR: &str = "LSIQ_TEST_MODE";
 /// Environment variable enabling full-scan testing with the given number of
 /// scan chains.
 pub const SCAN_CHAINS_VAR: &str = "LSIQ_SCAN_CHAINS";
+/// Environment variable selecting the packed-simulation lane width
+/// (`auto`, `1`, `4` or `8` — the number of 64-pattern words per chunk).
+pub const LANES_VAR: &str = "LSIQ_LANES";
 
 /// The base seed a [`RunConfig`] falls back to when none is given — the
 /// historical default of the `production_line` example.
@@ -156,6 +159,106 @@ impl FromStr for TestMode {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         TestMode::from_name(s)
             .ok_or_else(|| format!("unknown test mode {s:?} (expected stored or bist)"))
+    }
+}
+
+/// The lane width of packed fault simulation: how many 64-pattern machine
+/// words one simulation chunk carries (so one evaluation step processes up
+/// to `64 × lanes` patterns).
+///
+/// Like [`EngineKind`] this is pure configuration data; the lane-generic
+/// chunk type itself (`PackedBlock<L>`) lives in `lsiq-sim`, and the engines
+/// of `lsiq-fault` monomorphize over the resolved width.  Results are
+/// **byte-identical at every width** — lanes only change throughput — which
+/// the lane-differential suites enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneWidth {
+    /// Pick the width per run from the pattern count (the default): wide
+    /// chunks amortize per-gate dispatch over more patterns, but a chunk is
+    /// all-or-nothing, so short pattern sets would mostly simulate padding.
+    #[default]
+    Auto,
+    /// One 64-bit word per chunk — the classic single-word block.
+    X1,
+    /// Four words (256 patterns) per chunk.
+    X4,
+    /// Eight words (512 patterns) per chunk — the widest supported.
+    X8,
+}
+
+impl LaneWidth {
+    /// Every width, auto first.
+    pub const ALL: [LaneWidth; 4] = [LaneWidth::Auto, LaneWidth::X1, LaneWidth::X4, LaneWidth::X8];
+
+    /// The explicit (non-auto) widths, narrowest first.
+    pub const EXPLICIT: [LaneWidth; 3] = [LaneWidth::X1, LaneWidth::X4, LaneWidth::X8];
+
+    /// The width's short name (the `LSIQ_LANES` grammar).
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneWidth::Auto => "auto",
+            LaneWidth::X1 => "1",
+            LaneWidth::X4 => "4",
+            LaneWidth::X8 => "8",
+        }
+    }
+
+    /// Parses a width name (case-insensitive: `auto`, `1`, `4` or `8`).
+    pub fn from_name(name: &str) -> Option<LaneWidth> {
+        LaneWidth::ALL
+            .into_iter()
+            .find(|width| width.name().eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// The number of 64-pattern words per chunk for an explicit width, or
+    /// `None` for [`LaneWidth::Auto`].
+    pub fn lanes(self) -> Option<usize> {
+        match self {
+            LaneWidth::Auto => None,
+            LaneWidth::X1 => Some(1),
+            LaneWidth::X4 => Some(4),
+            LaneWidth::X8 => Some(8),
+        }
+    }
+
+    /// Resolves the width to a concrete lane count (1, 4 or 8) for a run
+    /// over `pattern_count` patterns.
+    ///
+    /// `Auto` minimizes estimated work: each candidate width pays for the
+    /// patterns it must simulate *including chunk padding*, discounted by
+    /// the per-word speedup wider chunks buy (amortized dispatch +
+    /// vectorization, measured at roughly 1.6× for 4 lanes and 2× for 8).
+    /// Short sets therefore stay narrow (64 patterns → 1 lane) and long
+    /// sets go wide (512+ → 8 lanes).  The choice never affects results,
+    /// only speed.
+    pub fn resolve(self, pattern_count: usize) -> usize {
+        if let Some(lanes) = self.lanes() {
+            return lanes;
+        }
+        // (lanes, relative per-word cost numerator/denominator): cost of
+        // simulating one padded pattern, scaled by 10 to stay in integers.
+        const CANDIDATES: [(usize, usize); 3] = [(1, 10), (4, 6), (8, 5)];
+        let patterns = pattern_count.max(1);
+        CANDIDATES
+            .into_iter()
+            .min_by_key(|&(lanes, cost)| patterns.div_ceil(64 * lanes) * 64 * lanes * cost)
+            .map(|(lanes, _)| lanes)
+            .expect("candidate list is non-empty")
+    }
+}
+
+impl fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LaneWidth {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LaneWidth::from_name(s)
+            .ok_or_else(|| format!("unknown lane width {s:?} (expected auto, 1, 4 or 8)"))
     }
 }
 
@@ -300,6 +403,7 @@ pub struct RunConfig {
     base_seed: Option<u64>,
     test_mode: TestMode,
     scan: Option<ScanPlan>,
+    lanes: LaneWidth,
 }
 
 impl RunConfig {
@@ -369,6 +473,11 @@ impl RunConfig {
                 )
             })?);
         }
+        if let Some(value) = read_var(LANES_VAR)? {
+            config.lanes = LaneWidth::from_name(&value).ok_or_else(|| {
+                ConfigError::new(LANES_VAR, value.clone(), "one of auto, 1, 4 or 8")
+            })?;
+        }
         Ok(config)
     }
 
@@ -404,6 +513,13 @@ impl RunConfig {
         self
     }
 
+    /// Selects the packed-simulation lane width ([`LaneWidth::Auto`] by
+    /// default — picked per run from the pattern count).
+    pub fn with_lanes(mut self, lanes: LaneWidth) -> RunConfig {
+        self.lanes = lanes;
+        self
+    }
+
     /// The configured fault-simulation engine.
     pub fn engine(self) -> EngineKind {
         self.engine
@@ -417,6 +533,11 @@ impl RunConfig {
     /// The full-scan plan, if the run targets a sequential device.
     pub fn scan(self) -> Option<ScanPlan> {
         self.scan
+    }
+
+    /// The configured packed-simulation lane width.
+    pub fn lanes(self) -> LaneWidth {
+        self.lanes
     }
 
     /// The explicit worker-count override, if any (`None` means "use the
@@ -465,6 +586,7 @@ impl fmt::Display for RunConfig {
         if let Some(scan) = self.scan {
             write!(f, ", scan = {scan}")?;
         }
+        write!(f, ", lanes = {}", self.lanes)?;
         Ok(())
     }
 }
@@ -515,14 +637,58 @@ mod tests {
     }
 
     #[test]
+    fn lane_width_parses_names_round_trip() {
+        for width in LaneWidth::ALL {
+            assert_eq!(LaneWidth::from_name(width.name()), Some(width));
+            assert_eq!(width.name().to_uppercase().parse::<LaneWidth>(), Ok(width));
+            assert_eq!(width.to_string(), width.name());
+        }
+        assert_eq!(LaneWidth::from_name("  Auto "), Some(LaneWidth::Auto));
+        assert!(LaneWidth::from_name("2").is_none());
+        assert!("16".parse::<LaneWidth>().is_err());
+        assert_eq!(LaneWidth::default(), LaneWidth::Auto);
+        assert_eq!(LaneWidth::Auto.lanes(), None);
+        assert_eq!(LaneWidth::X1.lanes(), Some(1));
+        assert_eq!(LaneWidth::X4.lanes(), Some(4));
+        assert_eq!(LaneWidth::X8.lanes(), Some(8));
+    }
+
+    #[test]
+    fn lane_width_resolution_scales_with_pattern_count() {
+        // Explicit widths resolve to themselves regardless of pattern count.
+        for width in LaneWidth::EXPLICIT {
+            let lanes = width.lanes().expect("explicit");
+            assert_eq!(width.resolve(0), lanes);
+            assert_eq!(width.resolve(64), lanes);
+            assert_eq!(width.resolve(100_000), lanes);
+        }
+        // Auto: short sets stay narrow (padding dominates), long sets go
+        // wide (amortization dominates).
+        assert_eq!(LaneWidth::Auto.resolve(0), 1);
+        assert_eq!(LaneWidth::Auto.resolve(1), 1);
+        assert_eq!(LaneWidth::Auto.resolve(64), 1);
+        assert_eq!(LaneWidth::Auto.resolve(192), 4);
+        assert_eq!(LaneWidth::Auto.resolve(256), 4);
+        assert_eq!(LaneWidth::Auto.resolve(512), 8);
+        assert_eq!(LaneWidth::Auto.resolve(100_000), 8);
+        // Whatever Auto picks is always a supported explicit width.
+        for patterns in (0..2048).step_by(37) {
+            let lanes = LaneWidth::Auto.resolve(patterns);
+            assert!([1, 4, 8].contains(&lanes), "patterns {patterns} -> {lanes}");
+        }
+    }
+
+    #[test]
     fn builder_and_accessors_round_trip() {
         let config = RunConfig::new()
             .with_engine(EngineKind::Serial)
             .with_workers(3)
             .with_base_seed(1981)
-            .with_test_mode(TestMode::Bist);
+            .with_test_mode(TestMode::Bist)
+            .with_lanes(LaneWidth::X4);
         assert_eq!(config.engine(), EngineKind::Serial);
         assert_eq!(config.test_mode(), TestMode::Bist);
+        assert_eq!(config.lanes(), LaneWidth::X4);
         assert_eq!(config.workers(), Some(3));
         assert_eq!(config.effective_workers(), 3);
         assert_eq!(config.base_seed(), 1981);
@@ -535,6 +701,7 @@ mod tests {
         assert!(default.effective_workers() >= 1);
         assert_eq!(default.base_seed(), DEFAULT_BASE_SEED);
         assert_eq!(default.seed_or(7), 7);
+        assert_eq!(default.lanes(), LaneWidth::Auto);
         // `with_workers(0)` means "back to automatic".
         assert_eq!(default.with_workers(0).workers(), None);
     }
@@ -547,7 +714,12 @@ mod tests {
         assert!(rendered.contains("workers = 2"), "{rendered}");
         assert!(rendered.contains("base seed = 42"), "{rendered}");
         assert!(rendered.contains("test mode = stored"), "{rendered}");
+        assert!(rendered.contains("lanes = auto"), "{rendered}");
         assert!(RunConfig::new().to_string().contains("auto("));
+        assert!(RunConfig::new()
+            .with_lanes(LaneWidth::X8)
+            .to_string()
+            .contains("lanes = 8"));
         assert!(RunConfig::new()
             .with_test_mode(TestMode::Bist)
             .to_string()
@@ -565,6 +737,7 @@ mod tests {
             env::remove_var(SEED_VAR);
             env::remove_var(TEST_MODE_VAR);
             env::remove_var(SCAN_CHAINS_VAR);
+            env::remove_var(LANES_VAR);
         };
         clear();
         assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
@@ -574,13 +747,21 @@ mod tests {
         env::set_var(SEED_VAR, "1981");
         env::set_var(TEST_MODE_VAR, "BIST");
         env::set_var(SCAN_CHAINS_VAR, "8");
+        env::set_var(LANES_VAR, " 4 ");
         let config = RunConfig::from_env().expect("valid environment");
         assert_eq!(config.engine(), EngineKind::Deductive);
         assert_eq!(config.workers(), Some(4));
         assert_eq!(config.base_seed(), 1981);
         assert_eq!(config.test_mode(), TestMode::Bist);
         assert_eq!(config.scan().map(ScanPlan::chains), Some(8));
+        assert_eq!(config.lanes(), LaneWidth::X4);
         env::remove_var(SCAN_CHAINS_VAR);
+        env::set_var(LANES_VAR, "AUTO");
+        assert_eq!(
+            RunConfig::from_env().expect("auto lanes").lanes(),
+            LaneWidth::Auto
+        );
+        env::remove_var(LANES_VAR);
 
         env::set_var(ENGINE_VAR, "warp");
         let error = RunConfig::from_env().expect_err("invalid engine");
@@ -626,6 +807,15 @@ mod tests {
             assert_eq!(error.variable(), SCAN_CHAINS_VAR);
             assert_eq!(error.value(), bad);
             assert!(error.to_string().contains("1 and 4096"), "{error}");
+        }
+        env::remove_var(SCAN_CHAINS_VAR);
+
+        for bad in ["2", "16", "wide", "-4"] {
+            env::set_var(LANES_VAR, bad);
+            let error = RunConfig::from_env().expect_err("bad lane width");
+            assert_eq!(error.variable(), LANES_VAR);
+            assert_eq!(error.value(), bad);
+            assert!(error.to_string().contains("auto, 1, 4 or 8"), "{error}");
         }
 
         clear();

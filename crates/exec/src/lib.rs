@@ -50,6 +50,7 @@ pub mod config;
 pub mod pool;
 
 pub use config::{
-    ConfigError, EngineKind, RunConfig, ScanPlan, TestMode, DEFAULT_BASE_SEED, SCAN_CHAINS_VAR,
+    ConfigError, EngineKind, LaneWidth, RunConfig, ScanPlan, TestMode, DEFAULT_BASE_SEED,
+    LANES_VAR, SCAN_CHAINS_VAR,
 };
 pub use pool::{ExecutionContext, Scope};

@@ -52,20 +52,24 @@ use crate::list::FaultList;
 use crate::model::{Fault, FaultSite};
 use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
-use lsiq_exec::ExecutionContext;
+use lsiq_exec::{ExecutionContext, LaneWidth};
 use lsiq_netlist::circuit::{Circuit, GateId};
 use lsiq_netlist::levelize::Levelization;
-use lsiq_sim::eval::eval_packed;
+use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
+use lsiq_sim::eval::eval_chunk;
 use lsiq_sim::levelized::CompiledCircuit;
-use lsiq_sim::packed::{valid_mask, PATTERNS_PER_WORD};
+use lsiq_sim::packed::PackedBlock;
 use lsiq_sim::pattern::PatternSet;
 use std::cell::OnceCell;
+use std::sync::Arc;
 
-/// One precomputed 64-pattern block: the good-machine word of every gate
-/// (indexed by gate id) and the valid-slot mask.
-struct Block {
-    words: Vec<u64>,
-    valid: u64,
+/// One precomputed lane-wide chunk: the good-machine chunk of every gate
+/// (indexed by gate id) and the valid-slot mask.  The per-gate image is
+/// behind an [`Arc`] so a shared [`GoodMachineCache`] entry can be used
+/// in place without a copy.
+struct Block<const L: usize> {
+    words: Arc<Vec<PackedBlock<L>>>,
+    valid: PackedBlock<L>,
 }
 
 /// One simulation class's seed: the representative fault and the level of
@@ -107,6 +111,8 @@ pub struct IncrementalSimulator<'c> {
     collapse: bool,
     threads: usize,
     context: Option<&'c ExecutionContext>,
+    lanes: LaneWidth,
+    cache: Option<&'c GoodMachineCache>,
     /// Lazily built on the first collapsing run and reused afterwards (see
     /// [`DeductiveSimulator`](crate::deductive::DeductiveSimulator)).
     collapse_cache: OnceCell<CollapseContext>,
@@ -126,8 +132,27 @@ impl<'c> IncrementalSimulator<'c> {
             collapse: true,
             threads: 0,
             context: None,
+            lanes: LaneWidth::Auto,
+            cache: None,
             collapse_cache: OnceCell::new(),
         }
+    }
+
+    /// Selects the packed lane width ([`LaneWidth::Auto`] by default).
+    /// Results are identical at every width.
+    pub fn with_lanes(mut self, lanes: LaneWidth) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Shares a [`GoodMachineCache`] for the per-chunk good-machine images
+    /// (see
+    /// [`PpsfpSimulator::with_cache`](crate::ppsfp::PpsfpSimulator::with_cache)).
+    /// The incremental engine benefits the most: it keeps the *full*
+    /// per-gate image per chunk, exactly what the cache stores.
+    pub fn with_cache(mut self, cache: &'c GoodMachineCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Binds the simulator to a persistent worker pool and shards the
@@ -179,24 +204,31 @@ impl<'c> IncrementalSimulator<'c> {
         requested.min(useful).max(1)
     }
 
-    /// Packs every 64-pattern block and evaluates its good machine once.
+    /// Packs every lane-wide chunk and evaluates its good machine once —
+    /// through the shared cache when one is bound.
     ///
-    /// The full per-gate word image of every block is kept (O(gates ×
-    /// blocks) words) so class shards can replay blocks independently
-    /// without re-simulating the good machine.
-    fn precompute_blocks(&self, patterns: &PatternSet) -> Vec<Block> {
-        let input_count = self.compiled.circuit().primary_inputs().len();
-        let mut blocks = Vec::with_capacity(patterns.block_count());
-        for block in 0..patterns.block_count() {
-            let (inputs, pattern_count) = patterns.pack_block(input_count, block);
+    /// The full per-gate chunk image of every chunk is kept (O(gates ×
+    /// chunks × lanes) words) so class shards can replay chunks
+    /// independently without re-simulating the good machine.
+    fn precompute_blocks<const L: usize>(&self, patterns: &PatternSet) -> Vec<Block<L>> {
+        let circuit = self.compiled.circuit();
+        let input_count = circuit.primary_inputs().len();
+        let fingerprint = self.cache.map(|_| circuit_fingerprint(circuit));
+        let mut blocks = Vec::with_capacity(patterns.chunk_count(L));
+        for chunk in 0..patterns.chunk_count(L) {
+            let (inputs, pattern_count) = patterns.pack_chunk::<L>(input_count, chunk);
             if pattern_count == 0 {
                 break;
             }
-            let mut words = Vec::new();
-            self.compiled.node_words_into(&inputs, &mut words);
+            let words = match (self.cache, fingerprint) {
+                (Some(cache), Some(fingerprint)) => {
+                    cache.node_chunks_keyed(fingerprint, &self.compiled, &inputs, pattern_count)
+                }
+                _ => Arc::new(self.compiled.node_chunks(&inputs)),
+            };
             blocks.push(Block {
                 words,
-                valid: valid_mask(pattern_count),
+                valid: PackedBlock::valid_mask(pattern_count),
             });
         }
         blocks
@@ -215,12 +247,13 @@ impl<'c> IncrementalSimulator<'c> {
     }
 }
 
-impl FaultSimulator for IncrementalSimulator<'_> {
-    fn name(&self) -> &'static str {
-        "incremental"
-    }
-
-    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+impl<'c> IncrementalSimulator<'c> {
+    /// One lane-monomorphized run (see [`FaultSimulator::run`]).
+    fn run_lanes<const L: usize>(
+        &self,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+    ) -> FaultList {
         let mut list = FaultList::new(universe);
         if universe.is_empty() || patterns.is_empty() {
             return list;
@@ -228,7 +261,7 @@ impl FaultSimulator for IncrementalSimulator<'_> {
         let classes = self.simulation_classes(universe);
         let circuit = self.compiled.circuit();
         let levelization = self.compiled.levelization();
-        let blocks = self.precompute_blocks(patterns);
+        let blocks = self.precompute_blocks::<L>(patterns);
         if blocks.is_empty() {
             return list;
         }
@@ -288,69 +321,88 @@ impl FaultSimulator for IncrementalSimulator<'_> {
     }
 }
 
-/// Simulates one contiguous shard of simulation classes over all blocks,
+impl FaultSimulator for IncrementalSimulator<'_> {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+        match self.lanes.resolve(patterns.len()) {
+            1 => self.run_lanes::<1>(universe, patterns),
+            4 => self.run_lanes::<4>(universe, patterns),
+            _ => self.run_lanes::<8>(universe, patterns),
+        }
+    }
+}
+
+/// Simulates one contiguous shard of simulation classes over all chunks,
 /// returning the first detecting pattern per class (shard-local order).
 ///
-/// All scratch state — faulty words, epoch stamps, per-level dirty buckets,
+/// All scratch state — faulty chunks, epoch stamps, per-level dirty buckets,
 /// the fanin gather buffer — is allocated once per shard and reused for
-/// every (class, block) pair.
-fn simulate_shard(
+/// every (class, chunk) pair.
+fn simulate_shard<const L: usize>(
     circuit: &Circuit,
     levelization: &Levelization,
     is_output: &[bool],
-    blocks: &[Block],
+    blocks: &[Block<L>],
     seeds: &[Seed],
     drop_detected: bool,
 ) -> Vec<Option<usize>> {
     let gate_count = circuit.gate_count();
-    // Faulty words and their validity stamp: `faulty[g]` is live iff
+    // Faulty chunks and their validity stamp: `faulty[g]` is live iff
     // `value_stamp[g] == epoch`, so advancing the epoch resets everything.
-    let mut faulty = vec![0u64; gate_count];
+    let mut faulty = vec![PackedBlock::<L>::ZERO; gate_count];
     let mut value_stamp = vec![0u64; gate_count];
     let mut sched_stamp = vec![0u64; gate_count];
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); levelization.depth() + 1];
-    let mut fanin_words: Vec<u64> = Vec::new();
+    let mut fanin_words: Vec<PackedBlock<L>> = Vec::new();
     let mut epoch = 0u64;
     let mut first_detection: Vec<Option<usize>> = vec![None; seeds.len()];
 
     for (local, seed) in seeds.iter().enumerate() {
         let site_id = seed.fault.site.affected_gate();
         let site = site_id.index();
+        let stuck = PackedBlock::<L>::splat(seed.fault.stuck.as_bool());
         for (block_index, block) in blocks.iter().enumerate() {
             if first_detection[local].is_some() && drop_detected {
                 break;
             }
             epoch += 1;
-            let good = &block.words;
-            // Seed the fault site: an output fault pins the gate's word to
+            let good: &[PackedBlock<L>] = &block.words;
+            // Seed the fault site: an output fault pins the gate's chunk to
             // the stuck value; a pin fault re-evaluates the loading gate
-            // with that one pin's word replaced.
+            // with that one pin's chunk replaced.
             let seeded = match seed.fault.site {
-                FaultSite::Output(_) => seed.fault.stuck.as_word(),
+                FaultSite::Output(_) => stuck,
                 FaultSite::InputPin { gate, pin } => {
                     let load = circuit.gate(gate);
                     fanin_words.clear();
                     for (position, &driver) in load.fanin().iter().enumerate() {
                         fanin_words.push(if position == pin {
-                            seed.fault.stuck.as_word()
+                            stuck
                         } else {
                             good[driver.index()]
                         });
                     }
-                    eval_packed(load.kind(), &fanin_words)
+                    eval_chunk(load.kind(), &fanin_words)
                 }
             };
             // Restricting the seeded difference to valid slots keeps every
-            // downstream word bitwise equal to the good machine outside the
-            // block, killing events earlier and masking nothing (packed
+            // downstream chunk bitwise equal to the good machine outside the
+            // chunk, killing events earlier and masking nothing (packed
             // evaluation is slot-independent).
             let diff = (seeded ^ good[site]) & block.valid;
-            if diff == 0 {
-                continue; // fault not excited by any pattern of this block
+            if diff.is_zero() {
+                continue; // fault not excited by any pattern of this chunk
             }
             faulty[site] = good[site] ^ diff;
             value_stamp[site] = epoch;
-            let mut detect = if is_output[site] { diff } else { 0 };
+            let mut detect = if is_output[site] {
+                diff
+            } else {
+                PackedBlock::ZERO
+            };
             let mut pending = 0usize;
             for &load in circuit.fanout(site_id) {
                 let index = load.index();
@@ -383,9 +435,9 @@ fn simulate_shard(
                             good[driver_index]
                         });
                     }
-                    let word = eval_packed(gate.kind(), &fanin_words);
+                    let word = eval_chunk(gate.kind(), &fanin_words);
                     let delta = word ^ good[dirty_index];
-                    if delta == 0 {
+                    if delta.is_zero() {
                         continue; // event died: cone re-converged here
                     }
                     faulty[dirty_index] = word;
@@ -405,9 +457,10 @@ fn simulate_shard(
                 bucket.clear();
                 buckets[level] = bucket;
             }
-            if detect != 0 && first_detection[local].is_none() {
-                let slot = detect.trailing_zeros() as usize;
-                first_detection[local] = Some(block_index * PATTERNS_PER_WORD + slot);
+            if first_detection[local].is_none() {
+                if let Some(slot) = detect.first_set_slot() {
+                    first_detection[local] = Some(block_index * PackedBlock::<L>::PATTERNS + slot);
+                }
             }
         }
     }
@@ -516,6 +569,40 @@ mod tests {
         let serial = SerialSimulator::new(&circuit).run(&universe, &patterns);
         let incremental = IncrementalSimulator::new(&circuit).run(&universe, &patterns);
         assert_eq!(serial, incremental);
+    }
+
+    #[test]
+    fn lane_widths_and_cache_do_not_change_results() {
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 10,
+            gates: 120,
+            seed: 101,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = random_patterns(10, 300, 41);
+        let reference = IncrementalSimulator::new(&circuit).run(&universe, &patterns);
+        let cache = GoodMachineCache::new();
+        for lanes in LaneWidth::EXPLICIT {
+            let plain = IncrementalSimulator::new(&circuit)
+                .with_lanes(lanes)
+                .run(&universe, &patterns);
+            assert_eq!(reference, plain, "lanes = {lanes}");
+            let cached = IncrementalSimulator::new(&circuit)
+                .with_lanes(lanes)
+                .with_cache(&cache)
+                .run(&universe, &patterns);
+            assert_eq!(reference, cached, "lanes = {lanes} (cached)");
+        }
+        assert!(cache.misses() > 0);
+        // Replaying a width already in the cache is a pure hit.
+        let before = cache.hits();
+        let replay = IncrementalSimulator::new(&circuit)
+            .with_lanes(LaneWidth::X4)
+            .with_cache(&cache)
+            .run(&universe, &patterns);
+        assert_eq!(reference, replay);
+        assert!(cache.hits() > before);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 
 use crate::model::{Fault, FaultSite};
 use lsiq_netlist::GateKind;
-use lsiq_sim::eval::{eval_bool, eval_packed};
+use lsiq_sim::eval::{eval_bool, eval_chunk, eval_packed};
 use lsiq_sim::levelized::CompiledCircuit;
+use lsiq_sim::packed::PackedBlock;
 
 /// Scalar simulation of one pattern with `fault` injected; returns the value
 /// of every gate indexed by gate id.
@@ -107,6 +108,66 @@ pub fn node_words_with_fault(
         words[id.index()] = output;
     }
     words
+}
+
+/// Lane-wide (`64 × L`-pattern) bit-parallel simulation with `fault`
+/// injected; returns one [`PackedBlock`] per gate indexed by gate id.
+/// The `L = 1` case is exactly [`node_words_with_fault`].
+pub fn node_chunks_with_fault<const L: usize>(
+    compiled: &CompiledCircuit<'_>,
+    input_chunks: &[PackedBlock<L>],
+    fault: &Fault,
+) -> Vec<PackedBlock<L>> {
+    let circuit = compiled.circuit();
+    let mut chunks = vec![PackedBlock::<L>::ZERO; circuit.gate_count()];
+    for (position, &input) in circuit.primary_inputs().iter().enumerate() {
+        chunks[input.index()] = input_chunks
+            .get(position)
+            .copied()
+            .unwrap_or(PackedBlock::ZERO);
+    }
+    let stuck = PackedBlock::<L>::splat(fault.stuck.as_bool());
+    if let FaultSite::Output(gate) = fault.site {
+        if circuit.gate(gate).kind() == GateKind::Input {
+            chunks[gate.index()] = stuck;
+        }
+    }
+    let mut fanin_chunks = Vec::new();
+    for &id in compiled.order() {
+        let gate = circuit.gate(id);
+        if gate.kind() == GateKind::Input {
+            continue;
+        }
+        fanin_chunks.clear();
+        for (pin, &driver) in gate.fanin().iter().enumerate() {
+            let mut chunk = chunks[driver.index()];
+            if fault.site == (FaultSite::InputPin { gate: id, pin }) {
+                chunk = stuck;
+            }
+            fanin_chunks.push(chunk);
+        }
+        let mut output = eval_chunk(gate.kind(), &fanin_chunks);
+        if fault.site == FaultSite::Output(id) {
+            output = stuck;
+        }
+        chunks[id.index()] = output;
+    }
+    chunks
+}
+
+/// Lane-wide bit-parallel primary-output response with `fault` injected.
+pub fn output_chunks_with_fault<const L: usize>(
+    compiled: &CompiledCircuit<'_>,
+    input_chunks: &[PackedBlock<L>],
+    fault: &Fault,
+) -> Vec<PackedBlock<L>> {
+    let chunks = node_chunks_with_fault(compiled, input_chunks, fault);
+    compiled
+        .circuit()
+        .primary_outputs()
+        .iter()
+        .map(|&out| chunks[out.index()])
+        .collect()
 }
 
 /// 64-pattern bit-parallel primary-output response with `fault` injected.
@@ -210,6 +271,34 @@ mod tests {
                         scalar[out],
                         "fault {fault} pattern {value} output {out}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_injection_matches_word_injection_lane_by_lane() {
+        let circuit = library::alu4();
+        let compiled = CompiledCircuit::new(&circuit);
+        let universe = crate::universe::FaultUniverse::checkpoint(&circuit);
+        let patterns: lsiq_sim::pattern::PatternSet =
+            (0..300u64).map(|v| Pattern::from_integer(v, 10)).collect();
+        let width = circuit.primary_inputs().len();
+        for fault in universe.faults().iter().take(12) {
+            for chunk in 0..patterns.chunk_count(4) {
+                let (input_chunks, _) = patterns.pack_chunk::<4>(width, chunk);
+                let chunks = node_chunks_with_fault(&compiled, &input_chunks, fault);
+                let output_chunks = output_chunks_with_fault(&compiled, &input_chunks, fault);
+                for lane in 0..4 {
+                    let (input_words, _) = patterns.pack_block(width, chunk * 4 + lane);
+                    let words = node_words_with_fault(&compiled, &input_words, fault);
+                    for (gate, &word) in words.iter().enumerate() {
+                        assert_eq!(chunks[gate].0[lane], word, "{fault} lane {lane}");
+                    }
+                    let output_words = output_words_with_fault(&compiled, &input_words, fault);
+                    for (out, &word) in output_words.iter().enumerate() {
+                        assert_eq!(output_chunks[out].0[lane], word);
+                    }
                 }
             }
         }

@@ -21,33 +21,36 @@
 //! suite builder's coverage loop, a lot sweep) reuse parked workers instead
 //! of spawning threads per call.
 
-use crate::inject::output_words_with_fault;
+use crate::inject::output_chunks_with_fault;
 use crate::list::FaultList;
 use crate::model::Fault;
 use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
-use lsiq_exec::ExecutionContext;
+use lsiq_exec::{ExecutionContext, LaneWidth};
 use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::levelized::CompiledCircuit;
-use lsiq_sim::packed::{first_differing_slot, valid_mask, PATTERNS_PER_WORD};
+use lsiq_sim::packed::PackedBlock;
 use lsiq_sim::pattern::PatternSet;
 
-/// One precomputed 64-pattern block: the packed primary-input words, the
-/// good-machine output words, and the valid-slot mask.
-struct Block {
-    inputs: Vec<u64>,
-    good_outputs: Vec<u64>,
-    valid: u64,
+/// One precomputed lane-wide chunk: the packed primary-input chunks, the
+/// good-machine output chunks, and the valid-slot mask.
+struct Block<const L: usize> {
+    inputs: Vec<PackedBlock<L>>,
+    good_outputs: Vec<PackedBlock<L>>,
+    valid: PackedBlock<L>,
 }
 
 /// A multi-threaded fault simulator sharding the fault universe across
-/// worker threads, each simulating 64-packed pattern words.
+/// worker threads, each simulating lane-wide packed pattern chunks.
 #[derive(Debug)]
 pub struct ParallelSimulator<'c> {
     compiled: CompiledCircuit<'c>,
     drop_detected: bool,
     threads: usize,
     context: Option<&'c ExecutionContext>,
+    lanes: LaneWidth,
+    cache: Option<&'c GoodMachineCache>,
 }
 
 impl<'c> ParallelSimulator<'c> {
@@ -63,7 +66,23 @@ impl<'c> ParallelSimulator<'c> {
             drop_detected: true,
             threads: 0,
             context: None,
+            lanes: LaneWidth::Auto,
+            cache: None,
         }
+    }
+
+    /// Selects the packed lane width ([`LaneWidth::Auto`] by default).
+    /// Results are identical at every width.
+    pub fn with_lanes(mut self, lanes: LaneWidth) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Shares a [`GoodMachineCache`] for the up-front good-machine pass (see
+    /// [`PpsfpSimulator::with_cache`](crate::ppsfp::PpsfpSimulator::with_cache)).
+    pub fn with_cache(mut self, cache: &'c GoodMachineCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Binds the simulator to a persistent worker pool; without this, runs
@@ -113,45 +132,65 @@ impl<'c> ParallelSimulator<'c> {
         requested.min(useful).max(1)
     }
 
-    /// Packs every 64-pattern block and computes its good-machine response.
-    fn precompute_blocks(&self, patterns: &PatternSet) -> Vec<Block> {
-        let input_count = self.compiled.circuit().primary_inputs().len();
-        let mut blocks = Vec::with_capacity(patterns.block_count());
-        for block in 0..patterns.block_count() {
-            let (inputs, pattern_count) = patterns.pack_block(input_count, block);
+    /// Packs every lane-wide chunk and computes its good-machine response —
+    /// through the shared cache when one is bound.
+    fn precompute_blocks<const L: usize>(&self, patterns: &PatternSet) -> Vec<Block<L>> {
+        let circuit = self.compiled.circuit();
+        let input_count = circuit.primary_inputs().len();
+        let fingerprint = self.cache.map(|_| circuit_fingerprint(circuit));
+        let mut blocks = Vec::with_capacity(patterns.chunk_count(L));
+        for chunk in 0..patterns.chunk_count(L) {
+            let (inputs, pattern_count) = patterns.pack_chunk::<L>(input_count, chunk);
             if pattern_count == 0 {
                 break;
             }
-            let good_outputs = self.compiled.output_words(&inputs);
+            let good_outputs = match (self.cache, fingerprint) {
+                (Some(cache), Some(fingerprint)) => {
+                    let nodes = cache.node_chunks_keyed(
+                        fingerprint,
+                        &self.compiled,
+                        &inputs,
+                        pattern_count,
+                    );
+                    circuit
+                        .primary_outputs()
+                        .iter()
+                        .map(|&out| nodes[out.index()])
+                        .collect()
+                }
+                _ => self.compiled.output_chunks(&inputs),
+            };
             blocks.push(Block {
                 inputs,
                 good_outputs,
-                valid: valid_mask(pattern_count),
+                valid: PackedBlock::valid_mask(pattern_count),
             });
         }
         blocks
     }
 
-    /// Simulates one contiguous shard of faults over all blocks, returning
+    /// Simulates one contiguous shard of faults over all chunks, returning
     /// the first detecting pattern per fault (shard-local order).
-    fn simulate_shard(&self, faults: &[Fault], blocks: &[Block]) -> Vec<Option<usize>> {
+    fn simulate_shard<const L: usize>(
+        &self,
+        faults: &[Fault],
+        blocks: &[Block<L>],
+    ) -> Vec<Option<usize>> {
         let mut first_detection = vec![None; faults.len()];
         for (local, fault) in faults.iter().enumerate() {
             for (block_index, block) in blocks.iter().enumerate() {
                 if first_detection[local].is_some() && self.drop_detected {
                     break;
                 }
-                let faulty = output_words_with_fault(&self.compiled, &block.inputs, fault);
-                let earliest = block
-                    .good_outputs
-                    .iter()
-                    .zip(faulty.iter())
-                    .filter_map(|(&good, &bad)| first_differing_slot(good, bad, block.valid))
-                    .min();
-                if let Some(slot) = earliest {
-                    let pattern = block_index * PATTERNS_PER_WORD + slot;
-                    // Blocks are scanned in application order, so the first
-                    // hit is the earliest pattern; later blocks cannot
+                let faulty = output_chunks_with_fault(&self.compiled, &block.inputs, fault);
+                let mut detect = PackedBlock::<L>::ZERO;
+                for (&good, &bad) in block.good_outputs.iter().zip(faulty.iter()) {
+                    detect |= (good ^ bad) & block.valid;
+                }
+                if let Some(slot) = detect.first_set_slot() {
+                    let pattern = block_index * PackedBlock::<L>::PATTERNS + slot;
+                    // Chunks are scanned in application order, so the first
+                    // hit is the earliest pattern; later chunks cannot
                     // improve it even when dropping is disabled.
                     if first_detection[local].is_none() {
                         first_detection[local] = Some(pattern);
@@ -161,19 +200,18 @@ impl<'c> ParallelSimulator<'c> {
         }
         first_detection
     }
-}
 
-impl FaultSimulator for ParallelSimulator<'_> {
-    fn name(&self) -> &'static str {
-        "parallel"
-    }
-
-    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+    /// One lane-monomorphized run (see [`FaultSimulator::run`]).
+    fn run_lanes<const L: usize>(
+        &self,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+    ) -> FaultList {
         let mut list = FaultList::new(universe);
         if universe.is_empty() || patterns.is_empty() {
             return list;
         }
-        let blocks = self.precompute_blocks(patterns);
+        let blocks = self.precompute_blocks::<L>(patterns);
         let faults = universe.faults();
         let shards = self.shard_count(faults.len());
         let chunk = faults.len().div_ceil(shards);
@@ -195,6 +233,20 @@ impl FaultSimulator for ParallelSimulator<'_> {
             }
         }
         list
+    }
+}
+
+impl FaultSimulator for ParallelSimulator<'_> {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
+        match self.lanes.resolve(patterns.len()) {
+            1 => self.run_lanes::<1>(universe, patterns),
+            4 => self.run_lanes::<4>(universe, patterns),
+            _ => self.run_lanes::<8>(universe, patterns),
+        }
     }
 }
 
@@ -271,6 +323,35 @@ mod tests {
                 assert_eq!(reference, bound, "workers = {workers}");
             }
         }
+    }
+
+    #[test]
+    fn lane_widths_and_cache_commute_with_sharding() {
+        let circuit = random_circuit(&RandomCircuitConfig {
+            inputs: 11,
+            gates: 130,
+            seed: 37,
+            ..RandomCircuitConfig::default()
+        });
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = exhaustive_patterns(9);
+        let reference = ParallelSimulator::new(&circuit)
+            .with_threads(1)
+            .run(&universe, &patterns);
+        let cache = GoodMachineCache::new();
+        for lanes in LaneWidth::EXPLICIT {
+            for threads in [1, 3] {
+                let list = ParallelSimulator::new(&circuit)
+                    .with_lanes(lanes)
+                    .with_threads(threads)
+                    .with_cache(&cache)
+                    .run(&universe, &patterns);
+                assert_eq!(reference, list, "lanes = {lanes}, threads = {threads}");
+            }
+        }
+        // Each lane width misses once per chunk, then the re-run at the same
+        // width hits.
+        assert!(cache.hits() > 0 && cache.misses() > 0);
     }
 
     #[test]

@@ -1,32 +1,41 @@
 //! Parallel-pattern single-fault-propagation (PPSFP) fault simulation.
 //!
-//! Sixty-four patterns are packed into machine words and simulated at once;
-//! each fault is then injected and re-simulated over the same block, and the
-//! word-level output mismatch yields the detecting patterns.  This is the
-//! workhorse simulator used by the production-line experiments.
+//! Up to `64 × lanes` patterns are packed into lane-wide chunks
+//! ([`PackedBlock`]) and simulated at once; each fault is then injected and
+//! re-simulated over the same chunk, and the chunk-level output mismatch
+//! yields the detecting patterns.  This is the workhorse simulator used by
+//! the production-line experiments.  Detection results are byte-identical
+//! at every lane width — lanes only change throughput.
 
-use crate::inject::output_words_with_fault;
+use crate::inject::output_chunks_with_fault;
 use crate::list::FaultList;
 use crate::simulator::FaultSimulator;
 use crate::universe::FaultUniverse;
+use lsiq_exec::LaneWidth;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::levelized::CompiledCircuit;
-use lsiq_sim::packed::{first_differing_slot, valid_mask};
+use lsiq_sim::packed::PackedBlock;
 use lsiq_sim::pattern::PatternSet;
 
-/// A 64-pattern-parallel single-fault-propagation simulator.
+/// A pattern-parallel single-fault-propagation simulator.
 #[derive(Debug)]
 pub struct PpsfpSimulator<'c> {
     compiled: CompiledCircuit<'c>,
     drop_detected: bool,
+    lanes: LaneWidth,
+    cache: Option<&'c GoodMachineCache>,
 }
 
 impl<'c> PpsfpSimulator<'c> {
-    /// Prepares a PPSFP simulator for `circuit` with fault dropping enabled.
+    /// Prepares a PPSFP simulator for `circuit` with fault dropping enabled
+    /// and the automatic lane width.
     pub fn new(circuit: &'c Circuit) -> Self {
         PpsfpSimulator {
             compiled: CompiledCircuit::new(circuit),
             drop_detected: true,
+            lanes: LaneWidth::Auto,
+            cache: None,
         }
     }
 
@@ -35,6 +44,84 @@ impl<'c> PpsfpSimulator<'c> {
     pub fn with_fault_dropping(mut self, enabled: bool) -> Self {
         self.drop_detected = enabled;
         self
+    }
+
+    /// Selects the packed lane width ([`LaneWidth::Auto`] by default).
+    /// Results are identical at every width.
+    pub fn with_lanes(mut self, lanes: LaneWidth) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Shares a [`GoodMachineCache`]: good-machine chunk images are looked
+    /// up (and on a miss deposited) there instead of being recomputed, so
+    /// repeated runs over the same patterns — a coverage loop, a signature
+    /// sweep — pay for the fault-free simulation once.
+    pub fn with_cache(mut self, cache: &'c GoodMachineCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// One lane-monomorphized run (see [`FaultSimulator::run`]).
+    fn run_lanes<const L: usize>(
+        &self,
+        universe: &FaultUniverse,
+        patterns: &PatternSet,
+    ) -> FaultList {
+        let mut list = FaultList::new(universe);
+        let circuit = self.compiled.circuit();
+        let input_count = circuit.primary_inputs().len();
+        let fingerprint = self.cache.map(|_| circuit_fingerprint(circuit));
+        for chunk in 0..patterns.chunk_count(L) {
+            let (input_chunks, pattern_count) = patterns.pack_chunk::<L>(input_count, chunk);
+            if pattern_count == 0 {
+                break;
+            }
+            let valid = PackedBlock::<L>::valid_mask(pattern_count);
+            let good = self.good_outputs(fingerprint, &input_chunks, pattern_count);
+            for fault_index in 0..list.len() {
+                if self.drop_detected && list.state(fault_index).is_detected() {
+                    continue;
+                }
+                let fault = *list.fault(fault_index);
+                let faulty = output_chunks_with_fault(&self.compiled, &input_chunks, &fault);
+                let mut detect = PackedBlock::<L>::ZERO;
+                for (good_chunk, faulty_chunk) in good.iter().zip(faulty.iter()) {
+                    detect |= (*good_chunk ^ *faulty_chunk) & valid;
+                }
+                if let Some(slot) = detect.first_set_slot() {
+                    list.mark_detected(fault_index, chunk * PackedBlock::<L>::PATTERNS + slot);
+                }
+            }
+        }
+        list
+    }
+
+    /// The good-machine primary-output chunks: through the shared cache when
+    /// one is bound, directly otherwise.
+    fn good_outputs<const L: usize>(
+        &self,
+        fingerprint: Option<u64>,
+        input_chunks: &[PackedBlock<L>],
+        pattern_count: usize,
+    ) -> Vec<PackedBlock<L>> {
+        match (self.cache, fingerprint) {
+            (Some(cache), Some(fingerprint)) => {
+                let nodes = cache.node_chunks_keyed(
+                    fingerprint,
+                    &self.compiled,
+                    input_chunks,
+                    pattern_count,
+                );
+                self.compiled
+                    .circuit()
+                    .primary_outputs()
+                    .iter()
+                    .map(|&out| nodes[out.index()])
+                    .collect()
+            }
+            _ => self.compiled.output_chunks(input_chunks),
+        }
     }
 }
 
@@ -47,37 +134,11 @@ impl FaultSimulator for PpsfpSimulator<'_> {
     /// per-fault detection states (first detecting pattern in application
     /// order, exactly as the serial simulator reports them).
     fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
-        let mut list = FaultList::new(universe);
-        let circuit = self.compiled.circuit();
-        let input_count = circuit.primary_inputs().len();
-        for block in 0..patterns.block_count() {
-            let (input_words, pattern_count) = patterns.pack_block(input_count, block);
-            if pattern_count == 0 {
-                break;
-            }
-            let valid = valid_mask(pattern_count);
-            let good = self.compiled.output_words(&input_words);
-            for fault_index in 0..list.len() {
-                if self.drop_detected && list.state(fault_index).is_detected() {
-                    continue;
-                }
-                let fault = *list.fault(fault_index);
-                let faulty = output_words_with_fault(&self.compiled, &input_words, &fault);
-                let mut earliest: Option<usize> = None;
-                for (good_word, faulty_word) in good.iter().zip(faulty.iter()) {
-                    if let Some(slot) = first_differing_slot(*good_word, *faulty_word, valid) {
-                        earliest = Some(match earliest {
-                            Some(existing) => existing.min(slot),
-                            None => slot,
-                        });
-                    }
-                }
-                if let Some(slot) = earliest {
-                    list.mark_detected(fault_index, block * 64 + slot);
-                }
-            }
+        match self.lanes.resolve(patterns.len()) {
+            1 => self.run_lanes::<1>(universe, patterns),
+            4 => self.run_lanes::<4>(universe, patterns),
+            _ => self.run_lanes::<8>(universe, patterns),
         }
-        list
     }
 }
 
@@ -161,6 +222,33 @@ mod tests {
             .coverage();
         assert!(coverage_many >= coverage_few);
         assert!(coverage_few > 0.0);
+    }
+
+    #[test]
+    fn explicit_lane_widths_and_cache_agree_with_the_default() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = random_patterns(10, 300, 7);
+        let reference = PpsfpSimulator::new(&circuit).run(&universe, &patterns);
+        for lanes in LaneWidth::EXPLICIT {
+            let list = PpsfpSimulator::new(&circuit)
+                .with_lanes(lanes)
+                .run(&universe, &patterns);
+            assert_eq!(reference, list, "lanes = {lanes}");
+        }
+        // A shared cache changes nothing about the result; the second run
+        // replays the good machine from the cache.
+        let cache = GoodMachineCache::new();
+        let cached = PpsfpSimulator::new(&circuit)
+            .with_cache(&cache)
+            .run(&universe, &patterns);
+        assert_eq!(reference, cached);
+        assert!(cache.misses() > 0 && cache.hits() == 0);
+        let again = PpsfpSimulator::new(&circuit)
+            .with_cache(&cache)
+            .run(&universe, &patterns);
+        assert_eq!(reference, again);
+        assert!(cache.hits() > 0);
     }
 
     #[test]

@@ -68,8 +68,9 @@ use crate::parallel::ParallelSimulator;
 use crate::ppsfp::PpsfpSimulator;
 use crate::serial::SerialSimulator;
 use crate::universe::FaultUniverse;
-use lsiq_exec::ExecutionContext;
+use lsiq_exec::{ExecutionContext, LaneWidth};
 use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::cache::GoodMachineCache;
 use lsiq_sim::pattern::PatternSet;
 
 /// The engine-selection knob, re-exported from the configuration crate so a
@@ -117,6 +118,36 @@ pub trait FaultSimulator {
 /// let engine = EngineKind::Deductive.build(&circuit);
 /// assert_eq!(engine.name(), "deductive");
 /// ```
+/// Everything an engine build can be configured with, in one bundle.
+///
+/// Each engine applies the options it understands and ignores the rest:
+/// the serial and deductive engines are word-oriented and single-threaded,
+/// so only `fault_dropping` reaches them; PPSFP adds `lanes` and `cache`;
+/// the parallel and incremental engines honour all four fields.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions<'c> {
+    /// Persistent worker pool for the sharding engines (`None` uses the
+    /// process-wide default pool).
+    pub context: Option<&'c ExecutionContext>,
+    /// Packed lane width for the chunked engines.
+    pub lanes: LaneWidth,
+    /// Shared good-machine cache for the chunked engines.
+    pub cache: Option<&'c GoodMachineCache>,
+    /// Whether detected faults are dropped from further simulation.
+    pub fault_dropping: bool,
+}
+
+impl Default for EngineOptions<'_> {
+    fn default() -> Self {
+        EngineOptions {
+            context: None,
+            lanes: LaneWidth::Auto,
+            cache: None,
+            fault_dropping: true,
+        }
+    }
+}
+
 pub trait BuildEngine {
     /// Instantiates the engine for `circuit` with its default settings
     /// (fault dropping on; collapsing on for the deductive engine).
@@ -140,11 +171,20 @@ pub trait BuildEngine {
         context: &'c ExecutionContext,
         circuit: &'c Circuit,
     ) -> Box<dyn FaultSimulator + 'c>;
+
+    /// Instantiates the engine with a full [`EngineOptions`] bundle.  The
+    /// other constructors are shorthands for this one; engines apply the
+    /// options they understand and ignore the rest.
+    fn build_configured<'c>(
+        self,
+        circuit: &'c Circuit,
+        options: &EngineOptions<'c>,
+    ) -> Box<dyn FaultSimulator + 'c>;
 }
 
 impl BuildEngine for EngineKind {
     fn build<'c>(self, circuit: &'c Circuit) -> Box<dyn FaultSimulator + 'c> {
-        self.build_with_fault_dropping(circuit, true)
+        self.build_configured(circuit, &EngineOptions::default())
     }
 
     fn build_with_fault_dropping<'c>(
@@ -152,23 +192,13 @@ impl BuildEngine for EngineKind {
         circuit: &'c Circuit,
         fault_dropping: bool,
     ) -> Box<dyn FaultSimulator + 'c> {
-        match self {
-            EngineKind::Serial => {
-                Box::new(SerialSimulator::new(circuit).with_fault_dropping(fault_dropping))
-            }
-            EngineKind::Ppsfp => {
-                Box::new(PpsfpSimulator::new(circuit).with_fault_dropping(fault_dropping))
-            }
-            EngineKind::Deductive => {
-                Box::new(DeductiveSimulator::new(circuit).with_fault_dropping(fault_dropping))
-            }
-            EngineKind::Parallel => {
-                Box::new(ParallelSimulator::new(circuit).with_fault_dropping(fault_dropping))
-            }
-            EngineKind::Incremental => {
-                Box::new(IncrementalSimulator::new(circuit).with_fault_dropping(fault_dropping))
-            }
-        }
+        self.build_configured(
+            circuit,
+            &EngineOptions {
+                fault_dropping,
+                ..EngineOptions::default()
+            },
+        )
     }
 
     fn build_in<'c>(
@@ -176,12 +206,60 @@ impl BuildEngine for EngineKind {
         context: &'c ExecutionContext,
         circuit: &'c Circuit,
     ) -> Box<dyn FaultSimulator + 'c> {
+        self.build_configured(
+            circuit,
+            &EngineOptions {
+                context: Some(context),
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    fn build_configured<'c>(
+        self,
+        circuit: &'c Circuit,
+        options: &EngineOptions<'c>,
+    ) -> Box<dyn FaultSimulator + 'c> {
         match self {
-            EngineKind::Parallel => Box::new(ParallelSimulator::new(circuit).with_context(context)),
-            EngineKind::Incremental => {
-                Box::new(IncrementalSimulator::new(circuit).with_context(context))
+            EngineKind::Serial => {
+                Box::new(SerialSimulator::new(circuit).with_fault_dropping(options.fault_dropping))
             }
-            other => other.build(circuit),
+            EngineKind::Ppsfp => {
+                let mut engine = PpsfpSimulator::new(circuit)
+                    .with_fault_dropping(options.fault_dropping)
+                    .with_lanes(options.lanes);
+                if let Some(cache) = options.cache {
+                    engine = engine.with_cache(cache);
+                }
+                Box::new(engine)
+            }
+            EngineKind::Deductive => Box::new(
+                DeductiveSimulator::new(circuit).with_fault_dropping(options.fault_dropping),
+            ),
+            EngineKind::Parallel => {
+                let mut engine = ParallelSimulator::new(circuit)
+                    .with_fault_dropping(options.fault_dropping)
+                    .with_lanes(options.lanes);
+                if let Some(context) = options.context {
+                    engine = engine.with_context(context);
+                }
+                if let Some(cache) = options.cache {
+                    engine = engine.with_cache(cache);
+                }
+                Box::new(engine)
+            }
+            EngineKind::Incremental => {
+                let mut engine = IncrementalSimulator::new(circuit)
+                    .with_fault_dropping(options.fault_dropping)
+                    .with_lanes(options.lanes);
+                if let Some(context) = options.context {
+                    engine = engine.with_context(context);
+                }
+                if let Some(cache) = options.cache {
+                    engine = engine.with_cache(cache);
+                }
+                Box::new(engine)
+            }
         }
     }
 }
@@ -255,6 +333,38 @@ mod tests {
                 universe.len()
             );
         }
+    }
+
+    #[test]
+    fn configured_builds_match_the_defaults_for_every_engine() {
+        let context = lsiq_exec::ExecutionContext::new(2);
+        let cache = GoodMachineCache::new();
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns: PatternSet = (0..200).map(|v| Pattern::from_integer(v, 10)).collect();
+        let reference = EngineKind::Serial.build(&circuit).run(&universe, &patterns);
+        for kind in EngineKind::ALL {
+            for lanes in [LaneWidth::Auto, LaneWidth::X1, LaneWidth::X8] {
+                let engine = kind.build_configured(
+                    &circuit,
+                    &EngineOptions {
+                        context: Some(&context),
+                        lanes,
+                        cache: Some(&cache),
+                        fault_dropping: true,
+                    },
+                );
+                assert_eq!(engine.name(), kind.name());
+                assert_eq!(
+                    engine.run(&universe, &patterns),
+                    reference,
+                    "{kind}/{lanes}"
+                );
+            }
+        }
+        // The chunked engines routed their good machines through the cache.
+        assert!(cache.misses() > 0);
+        assert!(cache.hits() > 0);
     }
 
     #[test]

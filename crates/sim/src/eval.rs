@@ -1,6 +1,7 @@
 //! Gate-function evaluation over scalar, three-valued and packed operands.
 
 use crate::logic::Value3;
+use crate::packed::PackedBlock;
 use lsiq_netlist::GateKind;
 
 /// Evaluates a gate over two-valued scalar inputs.
@@ -63,6 +64,30 @@ pub fn eval_packed(kind: GateKind, inputs: &[u64]) -> u64 {
         GateKind::Nor => !inputs.iter().fold(0, |acc, &v| acc | v),
         GateKind::Xor => inputs.iter().fold(0, |acc, &v| acc ^ v),
         GateKind::Xnor => !inputs.iter().fold(0, |acc, &v| acc ^ v),
+    }
+}
+
+/// Evaluates a gate over lane-wide packed chunks (`64 × L` patterns per
+/// operand; see [`PackedBlock`]).
+///
+/// Lane `l` of the result depends only on lane `l` of every input, so this
+/// is exactly [`eval_packed`] applied per lane — monomorphized over `L` so
+/// the folds compile to straight-line vectorizable loops.
+#[inline]
+pub fn eval_chunk<const L: usize>(kind: GateKind, inputs: &[PackedBlock<L>]) -> PackedBlock<L> {
+    match kind {
+        GateKind::Input => PackedBlock::ZERO,
+        GateKind::Dff => PackedBlock::ZERO,
+        GateKind::Const0 => PackedBlock::ZERO,
+        GateKind::Const1 => PackedBlock::ONES,
+        GateKind::Buf => inputs[0],
+        GateKind::Not => !inputs[0],
+        GateKind::And => inputs.iter().fold(PackedBlock::ONES, |acc, &v| acc & v),
+        GateKind::Nand => !inputs.iter().fold(PackedBlock::ONES, |acc, &v| acc & v),
+        GateKind::Or => inputs.iter().fold(PackedBlock::ZERO, |acc, &v| acc | v),
+        GateKind::Nor => !inputs.iter().fold(PackedBlock::ZERO, |acc, &v| acc | v),
+        GateKind::Xor => inputs.iter().fold(PackedBlock::ZERO, |acc, &v| acc ^ v),
+        GateKind::Xnor => !inputs.iter().fold(PackedBlock::ZERO, |acc, &v| acc ^ v),
     }
 }
 
@@ -151,6 +176,45 @@ mod tests {
         let b = 0b0011u64;
         assert_eq!(eval_packed(GateKind::And, &[a, b]) & 0xF, 0b0001);
         assert_eq!(eval_packed(GateKind::Xor, &[a, b]) & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn chunk_eval_matches_per_lane_packed_eval() {
+        const ALL_KINDS: [GateKind; 12] = [
+            GateKind::Input,
+            GateKind::Dff,
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        let a = PackedBlock::<4>([0x0123, 0x4567, 0x89AB, 0xCDEF]);
+        let b = PackedBlock::<4>([0xFFFF, 0x0F0F, 0x00FF, 0xAAAA]);
+        let c = PackedBlock::<4>([0x1111, 0x2222, 0x4444, 0x8888]);
+        for kind in ALL_KINDS {
+            let arity = match kind {
+                GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1 => 0,
+                GateKind::Buf | GateKind::Not => 1,
+                _ => 3,
+            };
+            let inputs = [a, b, c];
+            let chunk = eval_chunk(kind, &inputs[..arity]);
+            for lane in 0..4 {
+                let lane_inputs: Vec<u64> =
+                    inputs[..arity].iter().map(|block| block.0[lane]).collect();
+                assert_eq!(
+                    chunk.0[lane],
+                    eval_packed(kind, &lane_inputs),
+                    "{kind} lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Compiled, levelised full-circuit simulation.
 
-use crate::eval::{eval_bool, eval_packed, eval_value3};
+use crate::eval::{eval_bool, eval_chunk, eval_packed, eval_value3};
 use crate::logic::Value3;
+use crate::packed::PackedBlock;
 use crate::pattern::Pattern;
 use lsiq_netlist::circuit::{Circuit, GateId};
 use lsiq_netlist::levelize::{levelize, Levelization};
@@ -139,6 +140,62 @@ impl<'c> CompiledCircuit<'c> {
             .collect()
     }
 
+    /// Simulates one lane-wide chunk of up to `64 × L` patterns bit-parallel.
+    ///
+    /// `input_chunks` holds one [`PackedBlock`] per primary input
+    /// (positional); missing chunks default to all-zero.  Returns one chunk
+    /// per gate, indexed by gate id.
+    pub fn node_chunks<const L: usize>(
+        &self,
+        input_chunks: &[PackedBlock<L>],
+    ) -> Vec<PackedBlock<L>> {
+        let mut chunks = Vec::new();
+        self.node_chunks_into(input_chunks, &mut chunks);
+        chunks
+    }
+
+    /// Like [`node_chunks`](CompiledCircuit::node_chunks), but reuses a
+    /// caller-owned buffer so per-chunk sweeps allocate nothing after the
+    /// first call.
+    pub fn node_chunks_into<const L: usize>(
+        &self,
+        input_chunks: &[PackedBlock<L>],
+        chunks: &mut Vec<PackedBlock<L>>,
+    ) {
+        chunks.clear();
+        chunks.resize(self.circuit.gate_count(), PackedBlock::ZERO);
+        for (position, &input) in self.circuit.primary_inputs().iter().enumerate() {
+            chunks[input.index()] = input_chunks
+                .get(position)
+                .copied()
+                .unwrap_or(PackedBlock::ZERO);
+        }
+        let mut fanin_chunks = Vec::new();
+        for &id in self.levelization.order() {
+            let gate = self.circuit.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            fanin_chunks.clear();
+            fanin_chunks.extend(gate.fanin().iter().map(|&d| chunks[d.index()]));
+            chunks[id.index()] = eval_chunk(gate.kind(), &fanin_chunks);
+        }
+    }
+
+    /// Simulates one lane-wide chunk and returns only the primary output
+    /// chunks.
+    pub fn output_chunks<const L: usize>(
+        &self,
+        input_chunks: &[PackedBlock<L>],
+    ) -> Vec<PackedBlock<L>> {
+        let chunks = self.node_chunks(input_chunks);
+        self.circuit
+            .primary_outputs()
+            .iter()
+            .map(|&out| chunks[out.index()])
+            .collect()
+    }
+
     /// Simulates a (possibly partial) three-valued input assignment.
     ///
     /// `assignment` holds one value per primary input (positional); missing
@@ -242,6 +299,36 @@ mod tests {
                     scalar[out],
                     "pattern {value} output {out}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_simulation_matches_word_simulation_per_lane() {
+        use crate::pattern::PatternSet;
+        let circuit = library::adder4();
+        let sim = CompiledCircuit::new(&circuit);
+        let width = circuit.primary_inputs().len();
+        let patterns: PatternSet = (0..200u64)
+            .map(|i| Pattern::from_integer(i.wrapping_mul(0x2545_F491), width))
+            .collect();
+        for chunk in 0..patterns.chunk_count(4) {
+            let (input_chunks, _) = patterns.pack_chunk::<4>(width, chunk);
+            let node_chunks = sim.node_chunks(&input_chunks);
+            let output_chunks = sim.output_chunks(&input_chunks);
+            for lane in 0..4 {
+                let (input_words, _) = patterns.pack_block(width, chunk * 4 + lane);
+                let node_words = sim.node_words(&input_words);
+                for (gate, chunk_value) in node_chunks.iter().enumerate() {
+                    assert_eq!(
+                        chunk_value.0[lane], node_words[gate],
+                        "chunk {chunk} lane {lane} gate {gate}"
+                    );
+                }
+                let output_words = sim.output_words(&input_words);
+                for (out, chunk_value) in output_chunks.iter().enumerate() {
+                    assert_eq!(chunk_value.0[lane], output_words[out]);
+                }
             }
         }
     }

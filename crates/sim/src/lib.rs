@@ -6,10 +6,14 @@
 //!
 //! * [`logic`] — two-valued and three-valued (0/1/X) scalar values,
 //! * [`eval`] — evaluation of a [`GateKind`](lsiq_netlist::GateKind) over
-//!   scalar, three-valued and 64-way bit-packed operands,
+//!   scalar, three-valued, 64-way bit-packed and lane-wide chunk operands,
+//! * [`packed`] — packed-word helpers and the lane-generic
+//!   [`PackedBlock`] chunk (`u64 × 1/4/8`),
 //! * [`pattern`] — input pattern containers and packing,
-//! * [`levelized`] — a compiled, levelised full-circuit simulator (scalar and
-//!   64-pattern-parallel variants),
+//! * [`levelized`] — a compiled, levelised full-circuit simulator (scalar,
+//!   64-pattern-parallel and lane-wide chunk variants),
+//! * [`cache`] — the shared [`GoodMachineCache`]
+//!   memoizing fault-free chunk evaluations across passes,
 //! * [`event`] — an event-driven incremental simulator.
 //!
 //! # Quick example
@@ -25,6 +29,7 @@
 //! assert_eq!(response.len(), 2);
 //! ```
 
+pub mod cache;
 pub mod eval;
 pub mod event;
 pub mod levelized;
@@ -32,6 +37,8 @@ pub mod logic;
 pub mod packed;
 pub mod pattern;
 
+pub use cache::GoodMachineCache;
 pub use levelized::CompiledCircuit;
 pub use logic::Value3;
+pub use packed::PackedBlock;
 pub use pattern::{Pattern, PatternSet};

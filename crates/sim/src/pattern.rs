@@ -155,6 +155,41 @@ impl PatternSet {
     pub fn block_count(&self) -> usize {
         self.patterns.len().div_ceil(64)
     }
+
+    /// Packs patterns `chunk * 64 * L ..` into one lane-wide
+    /// [`PackedBlock`](crate::packed::PackedBlock) per primary input: pattern
+    /// slot `i` of the chunk (bit `i % 64` of lane `i / 64`) is the value
+    /// input `j` takes in pattern `chunk * 64 * L + i`.  The second element
+    /// of the returned pair is the number of valid patterns in the chunk
+    /// (1..=`64 * L`), or 0 when the chunk index is past the end.
+    pub fn pack_chunk<const L: usize>(
+        &self,
+        width: usize,
+        chunk: usize,
+    ) -> (Vec<crate::packed::PackedBlock<L>>, usize) {
+        use crate::packed::PackedBlock;
+        let start = chunk * PackedBlock::<L>::PATTERNS;
+        if start >= self.patterns.len() {
+            return (vec![PackedBlock::ZERO; width], 0);
+        }
+        let end = (start + PackedBlock::<L>::PATTERNS).min(self.patterns.len());
+        let mut words = vec![PackedBlock::<L>::ZERO; width];
+        for (slot, pattern) in self.patterns[start..end].iter().enumerate() {
+            let lane = slot / 64;
+            let bit = slot % 64;
+            for (input, word) in words.iter_mut().enumerate() {
+                if input < pattern.width() && pattern.bit(input) {
+                    word.0[lane] |= 1u64 << bit;
+                }
+            }
+        }
+        (words, end - start)
+    }
+
+    /// Number of `64 * lanes`-pattern chunks needed to cover the whole set.
+    pub fn chunk_count(&self, lanes: usize) -> usize {
+        self.patterns.len().div_ceil(64 * lanes)
+    }
 }
 
 impl FromIterator<Pattern> for PatternSet {
@@ -238,6 +273,36 @@ mod tests {
         assert_eq!(count0, 64);
         assert_eq!(count1, 6);
         assert_eq!(count2, 0);
+    }
+
+    #[test]
+    fn pack_chunk_agrees_with_pack_block_lane_by_lane() {
+        let set: PatternSet = (0..300u64)
+            .map(|i| Pattern::from_integer(i.wrapping_mul(0x9E37), 7))
+            .collect();
+        assert_eq!(set.chunk_count(4), 2);
+        assert_eq!(set.chunk_count(1), set.block_count());
+        for chunk in 0..3 {
+            let (words, count) = set.pack_chunk::<4>(7, chunk);
+            let mut expected_count = 0;
+            for lane in 0..4 {
+                let (block_words, block_count) = set.pack_block(7, chunk * 4 + lane);
+                expected_count += block_count;
+                for (input, word) in words.iter().enumerate() {
+                    assert_eq!(
+                        word.0[lane], block_words[input],
+                        "chunk {chunk} lane {lane}"
+                    );
+                }
+            }
+            assert_eq!(count, expected_count, "chunk {chunk}");
+        }
+        // The tail chunk is partial; past the end: zero words, zero count.
+        let (_, tail_count) = set.pack_chunk::<4>(7, 1);
+        assert_eq!(tail_count, 300 - 256);
+        let (past, past_count) = set.pack_chunk::<4>(7, 5);
+        assert_eq!(past_count, 0);
+        assert!(past.iter().all(|w| w.is_zero()));
     }
 
     #[test]

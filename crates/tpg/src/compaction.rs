@@ -17,7 +17,7 @@
 //! compaction results.
 
 use lsiq_exec::ExecutionContext;
-use lsiq_fault::simulator::{BuildEngine, EngineKind};
+use lsiq_fault::simulator::{BuildEngine, EngineKind, EngineOptions};
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_sim::pattern::PatternSet;
@@ -68,10 +68,32 @@ pub fn reverse_order_compaction_with(
     engine: EngineKind,
     context: Option<&ExecutionContext>,
 ) -> CompactionResult {
-    let simulator = match context {
-        Some(context) => engine.build_in(context, circuit),
-        None => engine.build(circuit),
-    };
+    reverse_order_compaction_configured(
+        circuit,
+        universe,
+        patterns,
+        engine,
+        &EngineOptions {
+            context,
+            ..EngineOptions::default()
+        },
+    )
+}
+
+/// Compacts `patterns` with a fully explicit [`EngineOptions`] bundle: a
+/// worker pool, a packed lane width, and optionally a shared
+/// [`GoodMachineCache`](lsiq_sim::cache::GoodMachineCache) so the full-set
+/// simulations at the start and end of the pass reuse good-machine chunks
+/// deposited by an earlier suite build or sweep over the same patterns.
+/// The kept patterns are identical for every option combination.
+pub fn reverse_order_compaction_configured(
+    circuit: &Circuit,
+    universe: &FaultUniverse,
+    patterns: &PatternSet,
+    engine: EngineKind,
+    options: &EngineOptions,
+) -> CompactionResult {
+    let simulator = engine.build_configured(circuit, options);
     let simulator = simulator.as_ref();
     let original_list = simulator.run(universe, patterns);
     let original_coverage = original_list.coverage();
@@ -213,6 +235,46 @@ mod tests {
             assert_eq!(result.original_coverage, reference.original_coverage);
             assert_eq!(result.compacted_coverage, reference.compacted_coverage);
         }
+    }
+
+    #[test]
+    fn configured_compaction_matches_at_every_lane_width_with_a_shared_cache() {
+        use lsiq_exec::LaneWidth;
+        use lsiq_sim::cache::GoodMachineCache;
+
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let patterns = RandomPatternGenerator::new(&circuit, 13).generate(120);
+        let reference = reverse_order_compaction(&circuit, &universe, &patterns);
+        let cache = GoodMachineCache::new();
+        for engine in [
+            EngineKind::Ppsfp,
+            EngineKind::Parallel,
+            EngineKind::Incremental,
+        ] {
+            for lanes in LaneWidth::EXPLICIT {
+                let result = reverse_order_compaction_configured(
+                    &circuit,
+                    &universe,
+                    &patterns,
+                    engine,
+                    &EngineOptions {
+                        lanes,
+                        cache: Some(&cache),
+                        ..EngineOptions::default()
+                    },
+                );
+                assert_eq!(
+                    result.compacted.as_slice(),
+                    reference.compacted.as_slice(),
+                    "{engine}/{lanes}"
+                );
+            }
+        }
+        // Nine engine×lane passes over the same full pattern set: after the
+        // first pass per lane width, the good machine replays from the cache.
+        assert!(cache.hits() > 0);
+        assert!(cache.misses() > 0);
     }
 
     #[test]

@@ -7,14 +7,15 @@
 
 use crate::podem::{Podem, TestOutcome};
 use crate::random::RandomPatternGenerator;
-use lsiq_exec::{ExecutionContext, RunConfig};
+use lsiq_exec::{ExecutionContext, LaneWidth, RunConfig};
 use lsiq_fault::collapse::collapse_equivalence;
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::list::FaultList;
-use lsiq_fault::simulator::{BuildEngine, EngineKind, FaultSimulator};
+use lsiq_fault::simulator::{BuildEngine, EngineKind, EngineOptions, FaultSimulator};
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_sim::cache::GoodMachineCache;
 use lsiq_sim::pattern::PatternSet;
 
 /// Configuration for building an ordered test suite: random patterns up to
@@ -68,6 +69,10 @@ pub struct TestSuiteBuilder {
     /// percent fewer faults.  Ignored for non-full universes, whose indices
     /// the circuit-level collapsing pass cannot map.
     pub collapse: bool,
+    /// Packed lane width for the chunked engines (see [`LaneWidth`]; the
+    /// suite is byte-identical at every width, lanes only change
+    /// throughput).  Ignored by the serial and deductive engines.
+    pub lanes: LaneWidth,
 }
 
 impl Default for TestSuiteBuilder {
@@ -81,6 +86,7 @@ impl Default for TestSuiteBuilder {
             podem_backtracks: 200,
             engine: EngineKind::Parallel,
             collapse: true,
+            lanes: LaneWidth::Auto,
         }
     }
 }
@@ -108,22 +114,23 @@ impl TestSuite {
 }
 
 impl TestSuiteBuilder {
-    /// Applies the engine choice of a typed [`RunConfig`].
+    /// Applies the engine and lane-width choices of a typed [`RunConfig`].
     ///
-    /// Only the engine is taken: the suite `seed` is a property of the test
-    /// *programme* (changing it changes which patterns are generated), not
-    /// of the run, so it is deliberately left untouched — the same builder
-    /// therefore produces byte-identical suites under every run
+    /// Only run-level knobs are taken: the suite `seed` is a property of the
+    /// test *programme* (changing it changes which patterns are generated),
+    /// not of the run, so it is deliberately left untouched — the same
+    /// builder therefore produces byte-identical suites under every run
     /// configuration.
     pub fn with_run_config(mut self, config: &RunConfig) -> Self {
         self.engine = config.engine();
+        self.lanes = config.lanes();
         self
     }
 
     /// Builds an ordered test suite for `circuit` against `universe`, fault
     /// simulating with the configured [`engine`](TestSuiteBuilder::engine).
     pub fn build(&self, circuit: &Circuit, universe: &FaultUniverse) -> TestSuite {
-        self.build_with(self.engine.build(circuit).as_ref(), circuit, universe)
+        self.build_cached(None, None, circuit, universe)
     }
 
     /// Builds the suite with the configured engine executing on `context`'s
@@ -136,8 +143,31 @@ impl TestSuiteBuilder {
         circuit: &Circuit,
         universe: &FaultUniverse,
     ) -> TestSuite {
+        self.build_cached(Some(context), None, circuit, universe)
+    }
+
+    /// Builds the suite with every run-level resource made explicit: an
+    /// optional persistent worker pool and an optional shared
+    /// [`GoodMachineCache`].  The suite build re-simulates a growing
+    /// pattern set — each iteration re-evaluates every chunk it has already
+    /// seen — so the chunked engines recover the fault-free simulation of
+    /// all previous chunks from the cache.  Results are byte-identical with
+    /// or without either resource.
+    pub fn build_cached(
+        &self,
+        context: Option<&ExecutionContext>,
+        cache: Option<&GoodMachineCache>,
+        circuit: &Circuit,
+        universe: &FaultUniverse,
+    ) -> TestSuite {
+        let options = EngineOptions {
+            context,
+            lanes: self.lanes,
+            cache,
+            ..EngineOptions::default()
+        };
         self.build_with(
-            self.engine.build_in(context, circuit).as_ref(),
+            self.engine.build_configured(circuit, &options).as_ref(),
             circuit,
             universe,
         )
@@ -281,9 +311,11 @@ mod tests {
         let universe = FaultUniverse::full(&circuit);
         let config = RunConfig::default()
             .with_engine(EngineKind::Deductive)
+            .with_lanes(LaneWidth::X8)
             .with_base_seed(999); // must NOT leak into the suite seed
         let builder = TestSuiteBuilder::default().with_run_config(&config);
         assert_eq!(builder.engine, EngineKind::Deductive);
+        assert_eq!(builder.lanes, LaneWidth::X8);
         assert_eq!(builder.seed, TestSuiteBuilder::default().seed);
 
         let reference = TestSuiteBuilder::default().build(&circuit, &universe);
@@ -340,6 +372,54 @@ mod tests {
         assert_eq!(collapsed.patterns.as_slice(), raw.patterns.as_slice());
         assert_eq!(collapsed.fault_list, raw.fault_list);
         assert_eq!(collapsed.deterministic_patterns, raw.deterministic_patterns);
+    }
+
+    #[test]
+    fn lane_widths_and_the_shared_cache_build_the_same_suite() {
+        let circuit = library::alu4();
+        let universe = FaultUniverse::full(&circuit);
+        let reference = TestSuiteBuilder::default().build(&circuit, &universe);
+        for engine in [
+            EngineKind::Ppsfp,
+            EngineKind::Parallel,
+            EngineKind::Incremental,
+        ] {
+            for lanes in LaneWidth::EXPLICIT {
+                let suite = TestSuiteBuilder {
+                    engine,
+                    lanes,
+                    ..TestSuiteBuilder::default()
+                }
+                .build(&circuit, &universe);
+                assert_eq!(
+                    suite.patterns.as_slice(),
+                    reference.patterns.as_slice(),
+                    "{engine}/{lanes}"
+                );
+                assert_eq!(suite.fault_list, reference.fault_list, "{engine}/{lanes}");
+            }
+        }
+
+        // The growing random phase re-simulates earlier chunks each
+        // iteration; with a shared cache the replays of completed chunks
+        // hit.  Force enough iterations past a full chunk (redundant faults
+        // keep the coverage below 1.0 until the pattern budget runs out).
+        let growing = TestSuiteBuilder {
+            chunk: 24,
+            max_random_patterns: 128,
+            target_coverage: 1.0,
+            podem_top_up: false,
+            lanes: LaneWidth::X1,
+            ..TestSuiteBuilder::default()
+        };
+        let plain = growing.build(&circuit, &universe);
+        let cache = GoodMachineCache::new();
+        let cached = growing.build_cached(None, Some(&cache), &circuit, &universe);
+        assert_eq!(cached.patterns.as_slice(), plain.patterns.as_slice());
+        assert_eq!(cached.fault_list, plain.fault_list);
+        assert_eq!(cached.coverage_curve, plain.coverage_curve);
+        assert!(cache.misses() > 0);
+        assert!(cache.hits() > 0, "replayed chunks should hit the cache");
     }
 
     #[test]

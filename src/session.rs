@@ -55,6 +55,7 @@ use lsiq_manufacturing::tester::TestRecord;
 use lsiq_netlist::circuit::Circuit;
 use lsiq_netlist::library::{lsi_class, sequential_lsi_class, LsiClassConfig};
 use lsiq_netlist::scan::{insert_scan, ScanCircuit};
+use lsiq_sim::cache::GoodMachineCache;
 use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
 
 /// The seed of the reference test programme (and, by default, of the
@@ -124,10 +125,14 @@ pub struct LineExperiment {
 }
 
 /// A configured run: the typed [`RunConfig`] plus the persistent
-/// [`ExecutionContext`] worker pool every parallel stage executes on.
+/// [`ExecutionContext`] worker pool every parallel stage executes on, and
+/// the session-wide [`GoodMachineCache`] those stages share — a suite
+/// build, a signature sweep and a compaction pass over the same patterns
+/// pay for the fault-free simulation once.
 pub struct Session {
     config: RunConfig,
     context: ExecutionContext,
+    cache: GoodMachineCache,
 }
 
 impl Session {
@@ -135,7 +140,11 @@ impl Session {
     /// it for the lifetime of the session.
     pub fn new(config: RunConfig) -> Session {
         let context = ExecutionContext::from_config(&config);
-        Session { config, context }
+        Session {
+            config,
+            context,
+            cache: GoodMachineCache::new(),
+        }
     }
 
     /// Opens a session from the `LSIQ_*` environment variables (through the
@@ -154,6 +163,16 @@ impl Session {
     /// The session's persistent worker pool.
     pub fn context(&self) -> &ExecutionContext {
         &self.context
+    }
+
+    /// The session's shared good-machine cache.  Every chunked
+    /// fault-simulation stage the session runs — suite builds, signature
+    /// sweeps — deposits and reuses fault-free chunk images here; hand it
+    /// to [`TestSuiteBuilder::build_cached`] or
+    /// [`reverse_order_compaction_configured`](lsiq_tpg::compaction::reverse_order_compaction_configured)
+    /// to join an external stage to the same pool.
+    pub fn good_machine_cache(&self) -> &GoodMachineCache {
+        &self.cache
     }
 
     /// A lot runner bound to the session's pool.
@@ -272,7 +291,7 @@ impl Session {
             ..TestSuiteBuilder::default()
         }
         .with_run_config(&self.config)
-        .build_in(&self.context, &circuit, &universe);
+        .build_cached(Some(&self.context), Some(&self.cache), &circuit, &universe);
         let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
         let runner = self.lot_runner();
         let lot = runner.generate_model_lot(&ModelLotConfig {
@@ -293,14 +312,22 @@ impl Session {
                 // readouts: build the per-fault signature dictionary over
                 // the same ordered pattern suite, test by signature
                 // compare, and coarsen each first failing *session* to the
-                // pattern index at which it is read out.
-                let signatures = SignatureDictionary::build_in(
+                // pattern index at which it is read out.  The suite build
+                // above already deposited the good machine of these very
+                // patterns in the session cache, so this pass replays it.
+                let signatures = SignatureDictionary::build_sweep_cached(
                     &self.context,
                     &circuit,
                     &universe,
                     &suite.patterns,
-                    &LINE_BIST_PLAN,
-                );
+                    LINE_BIST_PLAN.session_len,
+                    &[LINE_BIST_PLAN.signature_width],
+                    &[suite.patterns.len()],
+                    self.config.lanes(),
+                    Some(&self.cache),
+                )
+                .swap_remove(0)
+                .swap_remove(0);
                 runner
                     .test_lot_bist(&signatures, &lot)
                     .iter()
@@ -419,8 +446,10 @@ impl Session {
         // One fault-simulation pass at the maximum length serves the whole
         // grid: shorter lengths are derived from recorded first-failure
         // patterns and partial-session snapshots, byte-identical to a fresh
-        // per-length build.
-        let grid = SignatureDictionary::build_sweep_in(
+        // per-length build.  The session's lane width and good-machine
+        // cache apply; a repeated sweep over the same patterns replays the
+        // fault-free simulation from the cache.
+        let grid = SignatureDictionary::build_sweep_cached(
             &self.context,
             circuit,
             &universe,
@@ -428,6 +457,8 @@ impl Session {
             spec.session_len,
             &spec.signature_widths,
             &spec.test_lengths,
+            self.config.lanes(),
+            Some(&self.cache),
         );
         let mut rows = Vec::with_capacity(spec.test_lengths.len() * spec.signature_widths.len());
         for (dictionaries, &test_length) in grid.iter().zip(&spec.test_lengths) {
@@ -551,6 +582,42 @@ mod tests {
         assert_eq!(session.context().workers(), 2);
         assert_eq!(session.suite_builder().engine, EngineKind::Ppsfp);
         assert_eq!(session.lot_runner().threads_for(100_000), 2);
+    }
+
+    #[test]
+    fn session_cache_warms_across_stages_and_lanes_reach_the_builder() {
+        use lsiq_exec::LaneWidth;
+
+        let session = Session::new(
+            RunConfig::default()
+                .with_workers(2)
+                .with_lanes(LaneWidth::X4),
+        );
+        assert_eq!(session.suite_builder().lanes, LaneWidth::X4);
+
+        let circuit = library::alu4();
+        let spec = BistSweepSpec {
+            test_lengths: vec![64, 128],
+            signature_widths: vec![8, 16],
+            session_len: 32,
+            channels: 4,
+            ..BistSweepSpec::reference()
+        };
+        let first = session
+            .run_bist_sweep_on(&circuit, &spec)
+            .expect("valid spec");
+        let misses = session.good_machine_cache().misses();
+        let hits = session.good_machine_cache().hits();
+        assert!(misses > 0, "first sweep populates the cache");
+        // The second sweep runs the same patterns: the fault-free
+        // simulation replays from the session cache, the rows are
+        // byte-identical.
+        let second = session
+            .run_bist_sweep_on(&circuit, &spec)
+            .expect("valid spec");
+        assert_eq!(first, second);
+        assert!(session.good_machine_cache().hits() > hits);
+        assert_eq!(session.good_machine_cache().misses(), misses);
     }
 
     #[test]

@@ -140,6 +140,59 @@ fn suite_driven_bist_outcomes_are_engine_invariant() {
 }
 
 #[test]
+fn signature_sweep_is_lane_and_cache_invariant_across_the_worker_ladder() {
+    // The packed-lane layer under the BIST stack: the whole sweep grid —
+    // signatures, first-failure patterns, session snapshots — must be
+    // byte-identical at lanes 1, 4 and 8, at every worker count, and with
+    // a shared GoodMachineCache replaying the fault-free simulation.
+    use lsi_quality::exec::LaneWidth;
+    use lsi_quality::sim::cache::GoodMachineCache;
+
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    let patterns = StumpsGenerator::new(&StumpsConfig::with_width(
+        circuit.primary_inputs().len(),
+        1981,
+    ))
+    .generate(160);
+    let widths = [8u32, 16];
+    let lengths = [48usize, 100, 160];
+    let reference = SignatureDictionary::build_sweep_in(
+        &ExecutionContext::new(1),
+        &circuit,
+        &universe,
+        &patterns,
+        32,
+        &widths,
+        &lengths,
+    );
+    let cache = GoodMachineCache::new();
+    for lanes in LaneWidth::EXPLICIT {
+        for workers in worker_ladder() {
+            let context = ExecutionContext::new(workers);
+            let sweep = SignatureDictionary::build_sweep_cached(
+                &context,
+                &circuit,
+                &universe,
+                &patterns,
+                32,
+                &widths,
+                &lengths,
+                lanes,
+                Some(&cache),
+            );
+            assert_eq!(reference, sweep, "lanes = {lanes}, workers = {workers}");
+        }
+    }
+    assert!(
+        cache.misses() > 0 && cache.hits() > 0,
+        "the matrix must both populate and replay the cache (misses={}, hits={})",
+        cache.misses(),
+        cache.hits()
+    );
+}
+
+#[test]
 fn scan_bist_sweep_is_one_pass_and_worker_invariant() {
     // The full-scan BIST sweep on a sequential device: the 42-flip-flop
     // pipelined datapath is scan-inserted, its capture-mode test view swept
@@ -186,11 +239,19 @@ fn scan_bist_sweep_is_one_pass_and_worker_invariant() {
         );
     }
     for workers in worker_ladder() {
-        let sweep = Session::new(RunConfig::default().with_workers(workers))
-            .run_bist_sweep_on(&view, &spec)
-            .expect("valid sweep spec");
-        assert_eq!(reference.rows, sweep.rows, "workers = {workers}");
-        assert_eq!(reference.universe_size, sweep.universe_size);
+        for lanes in [
+            lsi_quality::exec::LaneWidth::X1,
+            lsi_quality::exec::LaneWidth::X8,
+        ] {
+            let sweep = Session::new(RunConfig::default().with_workers(workers).with_lanes(lanes))
+                .run_bist_sweep_on(&view, &spec)
+                .expect("valid sweep spec");
+            assert_eq!(
+                reference.rows, sweep.rows,
+                "workers = {workers}, lanes = {lanes}"
+            );
+            assert_eq!(reference.universe_size, sweep.universe_size);
+        }
     }
 }
 

@@ -89,6 +89,56 @@ fn empirical_aliasing_tracks_the_two_to_minus_k_estimate() {
 }
 
 #[test]
+fn aliasing_goldens_hold_at_every_lane_width() {
+    use lsi_quality::exec::LaneWidth;
+    use lsi_quality::sim::cache::GoodMachineCache;
+
+    // The same single-session programme as the golden test above, built at
+    // every explicit lane width through the cached sweep path.  Lane width
+    // is a throughput knob: the aliased counts must match the pinned
+    // goldens exactly, and the coverage fractions to 1e-9.
+    let (circuit, universe, patterns) = fixture();
+    let context = ExecutionContext::new(2);
+    let golden_aliased = [(4u32, 50usize), (8, 0), (16, 0)];
+    let cache = GoodMachineCache::new();
+    for lanes in LaneWidth::EXPLICIT {
+        let dictionaries = SignatureDictionary::build_sweep_cached(
+            &context,
+            &circuit,
+            &universe,
+            &patterns,
+            patterns.len(),
+            &[4, 8, 16],
+            &[patterns.len()],
+            lanes,
+            Some(&cache),
+        )
+        .pop()
+        .expect("one length row");
+        for (dictionary, (width, aliased)) in dictionaries.iter().zip(golden_aliased) {
+            let report = AliasingReport::from_dictionary(dictionary);
+            assert_eq!(dictionary.signature_width(), width, "lanes = {lanes}");
+            assert_eq!(report.raw_detected, 466, "lanes = {lanes}, k = {width}");
+            assert_eq!(report.aliased, aliased, "lanes = {lanes}, k = {width}");
+            assert!(
+                (report.raw_coverage() - 466.0 / 476.0).abs() < 1e-9,
+                "lanes = {lanes}, k = {width}: raw coverage {}",
+                report.raw_coverage()
+            );
+            assert!(
+                (report.effective_coverage() - (466 - aliased) as f64 / 476.0).abs() < 1e-9,
+                "lanes = {lanes}, k = {width}: effective coverage {}",
+                report.effective_coverage()
+            );
+        }
+    }
+    // Three lane widths over one shared cache: the first build fills it,
+    // the later ones still miss (a different lane width keys differently)
+    // but the per-width replays within each build hit.
+    assert!(cache.misses() > 0, "cache never filled");
+}
+
+#[test]
 fn signature_sessions_never_precede_response_differences() {
     // A signature can flag a fault no earlier than its first response
     // difference: the per-fault first failing session is bounded below by

@@ -316,6 +316,67 @@ fn incremental_engine_matches_deductive_everywhere() {
 }
 
 #[test]
+fn lane_widths_and_the_cache_are_invisible_at_every_worker_count() {
+    // The tentpole invariant of the packed-lane layer: every chunked engine
+    // (PPSFP, parallel, incremental) must report byte-identical FaultLists
+    // at lanes 1, 4 and 8, at 1, 2 and 2×cores workers, with a shared
+    // GoodMachineCache bound — all compared against the serial engine,
+    // which knows nothing about lanes or caches.  The cache is shared
+    // across the whole matrix, so later runs replay good-machine chunks
+    // deposited by earlier ones and must still agree.
+    use lsi_quality::exec::LaneWidth;
+    use lsi_quality::fault::simulator::EngineOptions;
+    use lsi_quality::sim::cache::GoodMachineCache;
+
+    let contexts: Vec<ExecutionContext> = [1, 2, 2 * cores()].map(ExecutionContext::new).into();
+    let case_count = CASES.min(8);
+    for index in 0..case_count {
+        let case = build_case(index);
+        let universe = FaultUniverse::full(&case.circuit);
+        let reference = EngineKind::Serial
+            .build(&case.circuit)
+            .run(&universe, &case.patterns);
+        let cache = GoodMachineCache::new();
+        for engine in [
+            EngineKind::Ppsfp,
+            EngineKind::Parallel,
+            EngineKind::Incremental,
+        ] {
+            for lanes in LaneWidth::EXPLICIT {
+                for context in &contexts {
+                    let list = engine
+                        .build_configured(
+                            &case.circuit,
+                            &EngineOptions {
+                                context: Some(context),
+                                lanes,
+                                cache: Some(&cache),
+                                ..EngineOptions::default()
+                            },
+                        )
+                        .run(&universe, &case.patterns);
+                    assert_eq!(
+                        reference,
+                        list,
+                        "{}, {engine}, lanes={lanes}, {} workers",
+                        case.label,
+                        context.workers()
+                    );
+                }
+            }
+        }
+        assert!(
+            cache.misses() > 0 && cache.hits() > 0,
+            "{}: the matrix must both populate and replay the cache \
+             (misses={}, hits={})",
+            case.label,
+            cache.misses(),
+            cache.hits()
+        );
+    }
+}
+
+#[test]
 fn coverage_curve_default_impl_is_engine_invariant() {
     // FaultSimulator::coverage_curve is a default trait method (run + fold);
     // every engine must produce the identical curve, including the parallel

@@ -268,6 +268,58 @@ fn golden_fault_simulation_pipeline_on_alu4() {
 }
 
 #[test]
+fn golden_fault_simulation_pipeline_is_lane_invariant() {
+    // The same end-to-end pin as above under the widest packed lane (and
+    // the narrowest, for symmetry): SIMD-wide chunks are a pure throughput
+    // change, so every pinned number — detection counts, curve points —
+    // must come out identical to the 64-bit baseline at the same 1e-9
+    // tolerance.
+    use lsi_quality::exec::LaneWidth;
+    use lsi_quality::fault::universe::FaultUniverse;
+    use lsi_quality::netlist::library;
+    use lsi_quality::tpg::suite::TestSuiteBuilder;
+    let circuit = library::alu4();
+    let universe = FaultUniverse::full(&circuit);
+    for lanes in [LaneWidth::X1, LaneWidth::X8] {
+        let suite = TestSuiteBuilder {
+            seed: 1981,
+            chunk: 32,
+            max_random_patterns: 128,
+            target_coverage: 0.95,
+            podem_top_up: false,
+            lanes,
+            ..TestSuiteBuilder::default()
+        }
+        .build(&circuit, &universe);
+        assert_eq!(suite.patterns.len(), 64, "lanes = {lanes}");
+        assert_eq!(suite.fault_list.detected_count(), 461, "lanes = {lanes}");
+        let curve_coverage_after = |patterns: usize| {
+            suite
+                .coverage_curve
+                .points()
+                .nth(patterns - 1)
+                .map(|(_, coverage)| coverage)
+                .expect("curve point exists")
+        };
+        assert_golden(
+            curve_coverage_after(8),
+            0.758403361345,
+            &format!("alu4 coverage after 8 patterns, lanes {lanes}"),
+        );
+        assert_golden(
+            curve_coverage_after(16),
+            0.911764705882,
+            &format!("alu4 coverage after 16 patterns, lanes {lanes}"),
+        );
+        assert_golden(
+            curve_coverage_after(32),
+            0.934873949580,
+            &format!("alu4 coverage after 32 patterns, lanes {lanes}"),
+        );
+    }
+}
+
+#[test]
 fn reject_rate_and_requirement_are_mutually_consistent() {
     // Whatever coverage the solver proposes must achieve the target when fed
     // back through eq. 8, across a sweep of parameters.
