@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the `lsiq-serve` query service: model-only
+//! queries per second, and the cold-versus-warm cost of a compiled query
+//! (warm = every artifact served from memo or disk, zero fault-simulation
+//! passes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsi_quality::Session;
+use lsiq_exec::RunConfig;
+use lsiq_serve::artifact::ArtifactStore;
+use lsiq_serve::json::JsonValue;
+use lsiq_serve::service::QueryService;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsiq-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn service(dir: Option<&PathBuf>) -> QueryService {
+    let artifacts = match dir {
+        None => ArtifactStore::disabled(),
+        Some(dir) => ArtifactStore::at(dir).expect("writable dir"),
+    };
+    QueryService::new(
+        Session::new(RunConfig::default().with_engine_auto()),
+        artifacts,
+    )
+}
+
+fn bench_model_queries(c: &mut Criterion) {
+    let service = service(None);
+    let forward =
+        JsonValue::parse(r#"{"op":"forward","yield":0.07,"n0":8,"coverage":0.95}"#).unwrap();
+    let inverse =
+        JsonValue::parse(r#"{"op":"inverse","yield":0.07,"n0":8,"target_reject":0.001}"#).unwrap();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.bench_function("forward_query", |b| {
+        b.iter(|| service.handle(black_box(&forward), None))
+    });
+    group.bench_function("inverse_query", |b| {
+        b.iter(|| service.handle(black_box(&inverse), None))
+    });
+    group.finish();
+}
+
+fn bench_cold_vs_warm_line(c: &mut Criterion) {
+    let dir = scratch_dir();
+    let line = JsonValue::parse(r#"{"op":"line","circuit":"c17","chips":500,"seed":7}"#).unwrap();
+    let mut group = c.benchmark_group("serve_line_c17");
+    // Cold: a fresh service and a fresh artifact directory every iteration —
+    // the full fault-simulation cost of compiling the suite.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let cold_dir = dir.join("cold");
+            std::fs::remove_dir_all(&cold_dir).ok();
+            let service = service(Some(&cold_dir));
+            black_box(service.handle(black_box(&line), None))
+        })
+    });
+    // Warm process: a fresh service per iteration over a persistent artifact
+    // directory — deserialization instead of fault simulation.
+    let warm_dir = dir.join("warm");
+    service(Some(&warm_dir)).handle(&line, None);
+    group.bench_function("warm_process", |b| {
+        b.iter(|| {
+            let service = service(Some(&warm_dir));
+            black_box(service.handle(black_box(&line), None))
+        })
+    });
+    // Warm memo: one persistent service, repeated queries — the in-process
+    // memo answers without touching disk.
+    let memo_service = service(Some(&warm_dir));
+    memo_service.handle(&line, None);
+    group.bench_function("warm_memo", |b| {
+        b.iter(|| black_box(memo_service.handle(black_box(&line), None)))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_model_queries, bench_cold_vs_warm_line);
+criterion_main!(benches);

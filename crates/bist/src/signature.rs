@@ -434,6 +434,59 @@ impl SignatureDictionary {
             .collect()
     }
 
+    /// Reassembles a dictionary from its recorded parts — the inverse of
+    /// the [`good_signatures`](Self::good_signatures) /
+    /// [`first_failing_sessions`](Self::first_failing_sessions) /
+    /// [`raw_detected_flags`](Self::raw_detected_flags) accessors, used by
+    /// artifact stores that persist dictionaries across processes.
+    ///
+    /// `good` carries one fault-free signature per session (a trailing
+    /// partial session included), so `sessions` is taken from its length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session_len` is 0 or the per-fault vectors disagree in
+    /// length.
+    pub fn from_parts(
+        session_len: usize,
+        signature_width: u32,
+        good: Vec<u64>,
+        first_fail: Vec<Option<usize>>,
+        raw_detected: Vec<bool>,
+    ) -> SignatureDictionary {
+        assert!(session_len >= 1, "a session must apply at least 1 pattern");
+        assert_eq!(
+            first_fail.len(),
+            raw_detected.len(),
+            "per-fault records must agree in length"
+        );
+        SignatureDictionary {
+            session_len,
+            sessions: good.len(),
+            signature_width,
+            good,
+            first_fail,
+            raw_detected,
+        }
+    }
+
+    /// The fault-free signature of every session, in session order.
+    pub fn good_signatures(&self) -> &[u64] {
+        &self.good
+    }
+
+    /// Per fault: the first session whose signature differs from the
+    /// fault-free one.
+    pub fn first_failing_sessions(&self) -> &[Option<usize>] {
+        &self.first_fail
+    }
+
+    /// Per fault: whether any output response differs at any applied
+    /// pattern (detection by the pattern set, before compaction).
+    pub fn raw_detected_flags(&self) -> &[bool] {
+        &self.raw_detected
+    }
+
     /// Number of faults covered by the dictionary.
     pub fn len(&self) -> usize {
         self.first_fail.len()

@@ -90,6 +90,27 @@ impl EngineKind {
             .into_iter()
             .find(|kind| kind.name().eq_ignore_ascii_case(name.trim()))
     }
+
+    /// The engine an `auto` selection (`LSIQ_ENGINE=auto`,
+    /// [`RunConfig::with_engine_auto`]) resolves to for a circuit of
+    /// `gate_count` gates.
+    ///
+    /// The thresholds follow the measured crossovers of the engine guide
+    /// (`docs/ENGINES.md`): the arena-based deductive engine is the fastest
+    /// single pass on small-to-medium circuits (~1 000-gate scale), the
+    /// fault-sharded parallel engine wins on the LSI-class production
+    /// devices, and event-driven incremental cone propagation pulls ahead
+    /// once circuits grow past tens of thousands of gates.  Every engine is
+    /// byte-identical, so the resolution only changes wall-clock time.
+    pub fn auto_for(gate_count: usize) -> EngineKind {
+        if gate_count >= 20_000 {
+            EngineKind::Incremental
+        } else if gate_count < 1_500 {
+            EngineKind::Deductive
+        } else {
+            EngineKind::Parallel
+        }
+    }
 }
 
 impl fmt::Display for EngineKind {
@@ -399,6 +420,7 @@ impl fmt::Display for ScanPlan {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunConfig {
     engine: EngineKind,
+    engine_auto: bool,
     workers: Option<usize>,
     base_seed: Option<u64>,
     test_mode: TestMode,
@@ -423,13 +445,17 @@ impl RunConfig {
     pub fn from_env() -> Result<RunConfig, ConfigError> {
         let mut config = RunConfig::default();
         if let Some(value) = read_var(ENGINE_VAR)? {
-            config.engine = EngineKind::from_name(&value).ok_or_else(|| {
-                ConfigError::new(
-                    ENGINE_VAR,
-                    value.clone(),
-                    "one of serial, ppsfp, deductive, parallel or incremental",
-                )
-            })?;
+            if value.trim().eq_ignore_ascii_case("auto") {
+                config.engine_auto = true;
+            } else {
+                config.engine = EngineKind::from_name(&value).ok_or_else(|| {
+                    ConfigError::new(
+                        ENGINE_VAR,
+                        value.clone(),
+                        "one of auto, serial, ppsfp, deductive, parallel or incremental",
+                    )
+                })?;
+            }
         }
         if let Some(value) = read_var(WORKERS_VAR)? {
             let workers = value
@@ -481,9 +507,19 @@ impl RunConfig {
         Ok(config)
     }
 
-    /// Selects the fault-simulation engine.
+    /// Selects the fault-simulation engine (and clears any `auto`
+    /// selection — an explicit choice wins).
     pub fn with_engine(mut self, engine: EngineKind) -> RunConfig {
         self.engine = engine;
+        self.engine_auto = false;
+        self
+    }
+
+    /// Selects adaptive engine resolution (the `LSIQ_ENGINE=auto` knob):
+    /// each run picks its engine from the circuit size through
+    /// [`RunConfig::engine_for_size`] instead of using one fixed kind.
+    pub fn with_engine_auto(mut self) -> RunConfig {
+        self.engine_auto = true;
         self
     }
 
@@ -520,9 +556,28 @@ impl RunConfig {
         self
     }
 
-    /// The configured fault-simulation engine.
+    /// The configured fault-simulation engine.  With an `auto` selection
+    /// this is the fallback default; run sites that know their circuit call
+    /// [`RunConfig::engine_for_size`] instead.
     pub fn engine(self) -> EngineKind {
         self.engine
+    }
+
+    /// Whether the engine is resolved adaptively per run
+    /// (`LSIQ_ENGINE=auto` / [`RunConfig::with_engine_auto`]).
+    pub fn engine_is_auto(self) -> bool {
+        self.engine_auto
+    }
+
+    /// The engine a run over a circuit of `gate_count` gates should use:
+    /// the explicitly configured kind, or — under an `auto` selection —
+    /// [`EngineKind::auto_for`]`(gate_count)`.
+    pub fn engine_for_size(self, gate_count: usize) -> EngineKind {
+        if self.engine_auto {
+            EngineKind::auto_for(gate_count)
+        } else {
+            self.engine
+        }
     }
 
     /// The configured wafer-test mode.
@@ -572,7 +627,11 @@ impl RunConfig {
 
 impl fmt::Display for RunConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "engine = {}, workers = ", self.engine)?;
+        if self.engine_auto {
+            write!(f, "engine = auto, workers = ")?;
+        } else {
+            write!(f, "engine = {}, workers = ", self.engine)?;
+        }
         match self.workers {
             Some(workers) => write!(f, "{workers}")?,
             None => write!(f, "auto({})", self.effective_workers())?,
@@ -621,6 +680,35 @@ mod tests {
         assert!(EngineKind::from_name("concurrent").is_none());
         assert!("concurrent".parse::<EngineKind>().is_err());
         assert_eq!(EngineKind::default(), EngineKind::Parallel);
+    }
+
+    #[test]
+    fn auto_engine_resolution_follows_circuit_size() {
+        // Small circuits: deductive (fastest single pass at ~1 000 gates).
+        assert_eq!(EngineKind::auto_for(0), EngineKind::Deductive);
+        assert_eq!(EngineKind::auto_for(1_200), EngineKind::Deductive);
+        // LSI-class production devices: the sharded parallel engine.
+        assert_eq!(EngineKind::auto_for(1_500), EngineKind::Parallel);
+        assert_eq!(EngineKind::auto_for(10_000), EngineKind::Parallel);
+        // Industrial scale: event-driven incremental cone propagation.
+        assert_eq!(EngineKind::auto_for(20_000), EngineKind::Incremental);
+        assert_eq!(EngineKind::auto_for(100_000), EngineKind::Incremental);
+
+        // Config plumbing: auto resolves per size, explicit choices win.
+        let auto = RunConfig::default().with_engine_auto();
+        assert!(auto.engine_is_auto());
+        assert_eq!(auto.engine_for_size(100), EngineKind::Deductive);
+        assert_eq!(auto.engine_for_size(10_000), EngineKind::Parallel);
+        assert_eq!(auto.engine_for_size(50_000), EngineKind::Incremental);
+        assert!(auto.to_string().contains("engine = auto"), "{auto}");
+        let explicit = auto.with_engine(EngineKind::Serial);
+        assert!(!explicit.engine_is_auto());
+        assert_eq!(explicit.engine_for_size(50_000), EngineKind::Serial);
+        assert!(!RunConfig::default().engine_is_auto());
+        assert_eq!(
+            RunConfig::default().engine_for_size(50_000),
+            EngineKind::Parallel
+        );
     }
 
     #[test]
@@ -763,6 +851,12 @@ mod tests {
         );
         env::remove_var(LANES_VAR);
 
+        env::set_var(ENGINE_VAR, " AUTO ");
+        let config = RunConfig::from_env().expect("auto engine");
+        assert!(config.engine_is_auto());
+        assert_eq!(config.engine_for_size(100), EngineKind::Deductive);
+        assert_eq!(config.engine_for_size(50_000), EngineKind::Incremental);
+
         env::set_var(ENGINE_VAR, "warp");
         let error = RunConfig::from_env().expect_err("invalid engine");
         assert_eq!(error.variable(), ENGINE_VAR);
@@ -773,6 +867,7 @@ mod tests {
             message.contains("serial, ppsfp, deductive, parallel or incremental"),
             "{message}"
         );
+        assert!(message.contains("auto"), "{message}");
         assert!(message.contains("unset the variable"), "{message}");
 
         env::set_var(ENGINE_VAR, "parallel");

@@ -51,6 +51,6 @@ pub mod pool;
 
 pub use config::{
     ConfigError, EngineKind, LaneWidth, RunConfig, ScanPlan, TestMode, DEFAULT_BASE_SEED,
-    LANES_VAR, SCAN_CHAINS_VAR,
+    ENGINE_VAR, LANES_VAR, SCAN_CHAINS_VAR,
 };
 pub use pool::{ExecutionContext, Scope};

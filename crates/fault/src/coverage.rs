@@ -46,6 +46,24 @@ impl CoverageCurve {
         }
     }
 
+    /// Reassembles a curve from its cumulative points — the inverse of
+    /// [`cumulative`](Self::cumulative), used by artifact stores that
+    /// persist suites across processes.
+    pub fn from_cumulative(cumulative: Vec<f64>, universe_size: usize) -> CoverageCurve {
+        CoverageCurve {
+            cumulative,
+            universe_size,
+        }
+    }
+
+    /// The raw cumulative points: `cumulative()[k]` is the coverage after
+    /// applying patterns `0..=k`.  Together with
+    /// [`from_cumulative`](Self::from_cumulative) this round-trips the
+    /// curve exactly.
+    pub fn cumulative(&self) -> &[f64] {
+        &self.cumulative
+    }
+
     /// Number of patterns the curve covers.
     pub fn pattern_count(&self) -> usize {
         self.cumulative.len()

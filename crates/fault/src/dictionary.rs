@@ -25,6 +25,21 @@ impl FaultDictionary {
         }
     }
 
+    /// Reassembles a dictionary from its per-fault first-failing-pattern
+    /// records — the inverse of [`first_patterns`](Self::first_patterns),
+    /// used by artifact stores that persist dictionaries across processes.
+    pub fn from_first_patterns(first_pattern: Vec<Option<usize>>) -> FaultDictionary {
+        FaultDictionary { first_pattern }
+    }
+
+    /// The raw per-fault records, in fault-universe order: the first
+    /// pattern detecting each fault, or `None` when no applied pattern
+    /// does.  Together with [`from_first_patterns`](Self::from_first_patterns)
+    /// this round-trips the dictionary exactly.
+    pub fn first_patterns(&self) -> &[Option<usize>] {
+        &self.first_pattern
+    }
+
     /// Number of faults covered by the dictionary.
     pub fn len(&self) -> usize {
         self.first_pattern.len()

@@ -30,7 +30,11 @@
 //!   [`ExecutionContext`](lsiq_exec::ExecutionContext) — a session's, or
 //!   the process-wide default — configured through the typed
 //!   [`RunConfig`](lsiq_exec::RunConfig) (the `LSIQ_LOT_THREADS` variable
-//!   survives as its compatibility layer).
+//!   survives as its compatibility layer), and
+//! * [`streaming`] — the memory-bounded counterpart:
+//!   [`StreamingLotExecutor`] folds fixed-size blocks of chips into running
+//!   integer statistics, so billion-chip lots run in `O(workers × patterns)`
+//!   memory with byte-identical results to the in-memory path.
 //!
 //! The chips of a lot are testable against any pattern suite summarised by a
 //! [`FaultDictionary`](lsiq_fault::dictionary::FaultDictionary) — typically
@@ -61,6 +65,7 @@ pub mod experiment;
 pub mod field;
 pub mod lot;
 pub mod pipeline;
+pub mod streaming;
 pub mod tester;
 pub mod wafer;
 
@@ -68,4 +73,5 @@ pub use bist_test::{SessionRecord, SignatureTester};
 pub use chip::Chip;
 pub use lot::{ChipLot, ModelLotConfig, PhysicalLotConfig};
 pub use pipeline::{LotOutcome, LotSweep, ParallelLotRunner, SweepPoint, SweepResult};
+pub use streaming::{StreamedLot, StreamingLotExecutor};
 pub use tester::{TestRecord, WaferTester};

@@ -85,7 +85,7 @@ impl Default for ParallelLotRunner<'_> {
 impl<'ctx> ParallelLotRunner<'ctx> {
     /// Minimum number of work items per shard; below this the scheduling
     /// overhead costs more than the parallelism recovers.
-    const MIN_ITEMS_PER_SHARD: usize = 128;
+    pub(crate) const MIN_ITEMS_PER_SHARD: usize = 128;
 
     /// Creates a runner honouring the `LSIQ_LOT_THREADS` environment
     /// variable; unset, it uses one worker per available hardware thread.
@@ -161,7 +161,7 @@ impl<'ctx> ParallelLotRunner<'ctx> {
     /// order.  The building block of both the concatenating
     /// [`sharded`](Self::sharded) map and the fold-style accumulator merges
     /// ([`experiment`](Self::experiment)).
-    fn sharded_chunks<T, F>(&self, count: usize, min_per_shard: usize, work: F) -> Vec<T>
+    pub(crate) fn sharded_chunks<T, F>(&self, count: usize, min_per_shard: usize, work: F) -> Vec<T>
     where
         T: Send,
         F: Fn(std::ops::Range<usize>) -> T + Sync,

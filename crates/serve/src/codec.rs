@@ -1,0 +1,262 @@
+//! A tiny deterministic binary codec for artifact payloads.
+//!
+//! Artifacts are written by one process and read by another (possibly on a
+//! later day), so the encoding must be explicit about every byte: all
+//! integers are little-endian, floats travel as their IEEE-754 bit
+//! patterns (exact round-trip), optional indices use a `u64::MAX` sentinel,
+//! and strings carry a length prefix.  The same module provides the
+//! FNV-1a hash the artifact layer uses both for content checksums and for
+//! cache-key derivation — chosen because it is trivially stable across
+//! compiler versions, unlike `std`'s `DefaultHasher`.
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = Fnv1a::new();
+    hash.update(bytes);
+    hash.finish()
+}
+
+/// An incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh hash at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one little-endian `u64` into the hash.
+    pub fn update_u64(&mut self, value: u64) {
+        self.update(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// A decoding failure: truncated input, a bad sentinel, malformed UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact payload corrupt: {}", self.0)
+    }
+}
+
+/// Appends fixed-width primitives to a byte vector.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    bytes: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.bytes.push(value);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, value: bool) {
+        self.put_u8(u8::from(value));
+    }
+
+    /// Appends an optional index; `None` travels as `u64::MAX`.
+    pub fn put_opt_index(&mut self, value: Option<usize>) {
+        match value {
+            None => self.put_u64(u64::MAX),
+            Some(index) => self.put_u64(index as u64),
+        }
+    }
+}
+
+/// Reads the primitives [`ByteWriter`] appends, validating length as it
+/// goes.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError(format!("{} trailing bytes", self.remaining())))
+        }
+    }
+
+    fn take(&mut self, count: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < count {
+            return Err(CodecError(format!(
+                "needed {count} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + count];
+        self.at += count;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u64` that must fit a `usize` count.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let value = self.get_u64()?;
+        usize::try_from(value).map_err(|_| CodecError(format!("length {value} out of range")))
+    }
+
+    /// Reads an exact `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a boolean byte, rejecting anything but 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError(format!("invalid boolean byte {other}"))),
+        }
+    }
+
+    /// Reads an optional index (`u64::MAX` sentinel for `None`).
+    pub fn get_opt_index(&mut self) -> Result<Option<usize>, CodecError> {
+        let value = self.get_u64()?;
+        if value == u64::MAX {
+            Ok(None)
+        } else {
+            usize::try_from(value)
+                .map(Some)
+                .map_err(|_| CodecError(format!("index {value} out of range")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut writer = ByteWriter::new();
+        writer.put_u8(7);
+        writer.put_u32(1981);
+        writer.put_u64(u64::MAX - 1);
+        writer.put_f64(0.07);
+        writer.put_bool(true);
+        writer.put_bool(false);
+        writer.put_opt_index(None);
+        writer.put_opt_index(Some(42));
+        let bytes = writer.into_bytes();
+        let mut reader = ByteReader::new(&bytes);
+        assert_eq!(reader.get_u8().unwrap(), 7);
+        assert_eq!(reader.get_u32().unwrap(), 1981);
+        assert_eq!(reader.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(reader.get_f64().unwrap().to_bits(), 0.07f64.to_bits());
+        assert!(reader.get_bool().unwrap());
+        assert!(!reader.get_bool().unwrap());
+        assert_eq!(reader.get_opt_index().unwrap(), None);
+        assert_eq!(reader.get_opt_index().unwrap(), Some(42));
+        reader.finish().expect("all consumed");
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let mut writer = ByteWriter::new();
+        writer.put_u64(5);
+        let bytes = writer.into_bytes();
+        let mut reader = ByteReader::new(&bytes[..4]);
+        assert!(reader.get_u64().is_err());
+        let mut reader = ByteReader::new(&[9]);
+        assert!(reader.get_bool().is_err());
+        let reader = ByteReader::new(&bytes);
+        assert!(reader.finish().is_err(), "unconsumed bytes must fail");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        let mut incremental = Fnv1a::new();
+        incremental.update(b"foo");
+        incremental.update(b"bar");
+        assert_eq!(incremental.finish(), fnv1a(b"foobar"));
+    }
+}

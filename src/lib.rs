@@ -67,7 +67,9 @@ pub use lsiq_sim as sim;
 pub use lsiq_stats as stats;
 pub use lsiq_tpg as tpg;
 
-pub use session::{BistSweep, BistSweepRow, BistSweepSpec, LineExperiment, LineSpec, Session};
+pub use session::{
+    BistSweep, BistSweepRow, BistSweepSpec, LineExperiment, LineSpec, Session, PROGRAMME_SEED,
+};
 
 #[cfg(test)]
 mod tests {

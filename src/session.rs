@@ -61,7 +61,7 @@ use lsiq_tpg::suite::{TestSuite, TestSuiteBuilder};
 /// The seed of the reference test programme (and, by default, of the
 /// Table 1 lot): the paper's publication year, as in every earlier
 /// reproduction binary.
-const PROGRAMME_SEED: u64 = 1981;
+pub const PROGRAMME_SEED: u64 = 1981;
 
 /// The self-test geometry of a BIST-mode production line: 64-pattern
 /// sessions (one packed simulation block per readout) into a 16-bit MISR —
@@ -187,6 +187,29 @@ impl Session {
         TestSuiteBuilder::default().with_run_config(&self.config)
     }
 
+    /// The exact suite builder of the production-line flow
+    /// ([`run_production_line`](Self::run_production_line)): the reference
+    /// programme seed, 64-pattern chunks, up to 192 random patterns, no
+    /// PODEM top-up — with the session's engine choice resolved for
+    /// `circuit` (an `auto` engine picks by gate count,
+    /// [`EngineKind::auto_for`](lsiq_exec::EngineKind::auto_for)).
+    ///
+    /// Exposed so out-of-process services (the `lsiq-serve` artifact store)
+    /// can rebuild byte-identical line suites.
+    pub fn line_suite_builder(&self, circuit: &Circuit) -> TestSuiteBuilder {
+        let mut builder = TestSuiteBuilder {
+            seed: PROGRAMME_SEED,
+            chunk: 64,
+            max_random_patterns: 192,
+            target_coverage: 0.95,
+            podem_top_up: false,
+            ..TestSuiteBuilder::default()
+        }
+        .with_run_config(&self.config);
+        builder.engine = self.config.engine_for_size(circuit.gate_count());
+        builder
+    }
+
     /// The circuit every production-line reproduction uses: an LSI-class
     /// composite.  The transistor target is reduced from the paper's 25 000
     /// to keep the harness runtime in seconds; pass `full = true` for the
@@ -282,16 +305,12 @@ impl Session {
     fn run_line(&self, spec: &LineSpec, lot_seed: u64) -> Result<LineExperiment, ConfigError> {
         let circuit = self.device_under_test(spec.full_size)?;
         let universe = FaultUniverse::full(&circuit);
-        let suite = TestSuiteBuilder {
-            seed: PROGRAMME_SEED,
-            chunk: 64,
-            max_random_patterns: 192,
-            target_coverage: 0.95,
-            podem_top_up: false,
-            ..TestSuiteBuilder::default()
-        }
-        .with_run_config(&self.config)
-        .build_cached(Some(&self.context), Some(&self.cache), &circuit, &universe);
+        let suite = self.line_suite_builder(&circuit).build_cached(
+            Some(&self.context),
+            Some(&self.cache),
+            &circuit,
+            &universe,
+        );
         let coverage = CoverageCurve::from_fault_list(&suite.fault_list, suite.patterns.len());
         let runner = self.lot_runner();
         let lot = runner.generate_model_lot(&ModelLotConfig {
