@@ -16,7 +16,7 @@
 //! validation like every binary; this sweep is BIST by definition).
 
 use lsi_quality::BistSweepSpec;
-use lsiq_bench::{session_from_env, unwrap_or_exit};
+use lsiq_bench::{print_metrics_report, session_from_env, unwrap_or_exit};
 
 fn main() {
     let session = session_from_env();
@@ -60,4 +60,8 @@ fn main() {
          levels converge as k grows -- the 2^-k aliasing estimate per cell is \
          printed by the library's AliasingReport)"
     );
+
+    // Under LSIQ_METRICS=tree the span/counter report goes to stderr; the
+    // sweep table above (stdout) is byte-identical in every metrics mode.
+    print_metrics_report(&session);
 }

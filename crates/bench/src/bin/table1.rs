@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p lsiq-bench --bin table1`
 
-use lsiq_bench::{session_from_env, unwrap_or_exit};
+use lsiq_bench::{print_metrics_report, session_from_env, unwrap_or_exit};
 use lsiq_core::chip_test::ChipTestTable;
 
 fn main() {
@@ -69,4 +69,8 @@ fn main() {
             );
         }
     }
+
+    // Under LSIQ_METRICS=tree the span/counter report goes to stderr; the
+    // table above (stdout) is byte-identical in every metrics mode.
+    print_metrics_report(&session);
 }

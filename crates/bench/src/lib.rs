@@ -19,7 +19,7 @@
 //!   shims over [`RunConfig::from_env`] and
 //!   [`Session::reproduction_circuit`].
 
-use lsiq_exec::{EngineKind, RunConfig};
+use lsiq_exec::{EngineKind, MetricsMode, RunConfig};
 use lsiq_netlist::circuit::Circuit;
 
 pub use lsi_quality::session::{LineExperiment, LineSpec, Session};
@@ -67,6 +67,17 @@ pub fn unwrap_or_exit<T>(result: Result<T, lsiq_exec::ConfigError>) -> T {
 /// with the same graceful exit on a bad knob.
 pub fn session_from_env() -> Session {
     Session::new(run_config_from_env())
+}
+
+/// Prints the session's metrics report ([`Session::metrics_report`]) to
+/// **stderr** when the session was opened under `LSIQ_METRICS=tree` — and
+/// does nothing otherwise, so every binary's *stdout* stays byte-identical
+/// in every metrics mode (the CI differential jobs diff it).  Call this at
+/// the end of `main`, after the reproduction work.
+pub fn print_metrics_report(session: &Session) {
+    if session.config().metrics() == MetricsMode::Tree {
+        eprintln!("{}", session.metrics_report());
+    }
 }
 
 /// The fault-simulation engine selected by the environment.

@@ -26,10 +26,22 @@ use lsiq_exec::{ExecutionContext, LaneWidth};
 use lsiq_fault::inject::output_chunks_with_fault;
 use lsiq_fault::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_obs::{Counter, Span};
 use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::packed::{gather_chunk_slot, PackedBlock};
 use lsiq_sim::pattern::PatternSet;
+
+/// One-pass sweeps started (every `build*` entry point funnels here).
+static SWEEPS: Counter = Counter::new("bist.sweep.runs");
+/// Faults entering a sweep; invariant at any worker count.
+static SWEEP_FAULTS: Counter = Counter::new("bist.sweep.faults");
+/// `(length, width)` grid cells the sweep resolves.
+static SWEEP_CELLS: Counter = Counter::new("bist.sweep.cells");
+/// Packing and folding the fault-free machine (once per sweep).
+static GOOD_SIGNATURES: Span = Span::new("bist.sweep.good_signatures");
+/// Per-shard fault simulation and error-stream folding.
+static PROPAGATE: Span = Span::new("bist.sweep.propagate");
 
 /// The readout schedule and signature geometry of one self-test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,6 +320,9 @@ impl SignatureDictionary {
             lengths.iter().all(|&length| length <= patterns.len()),
             "test lengths cannot exceed the pattern set"
         );
+        SWEEPS.incr();
+        SWEEP_CELLS.add((widths.len() * lengths.len()) as u64);
+        let good_timer = GOOD_SIGNATURES.start();
         let compiled = CompiledCircuit::new(circuit);
         let blocks = precompute_blocks::<L>(&compiled, patterns, cache);
         let mut boundaries: Vec<usize> = lengths.to_vec();
@@ -346,9 +361,12 @@ impl SignatureDictionary {
             }
         }
 
+        drop(good_timer);
+
         // Shard the fault universe across the pool, mirroring the parallel
         // fault engine's geometry.
         let faults = universe.faults();
+        SWEEP_FAULTS.add(faults.len() as u64);
         let shard_count = context
             .workers()
             .min(faults.len().div_ceil(MIN_FAULTS_PER_SHARD))
@@ -597,6 +615,7 @@ fn simulate_shard<const L: usize>(
     widths: &[u32],
     boundaries: &[usize],
 ) -> ShardResult {
+    let _timer = PROPAGATE.start();
     let mut result = ShardResult {
         first_fail: vec![Vec::with_capacity(faults.len()); widths.len()],
         partial_fail: vec![Vec::with_capacity(faults.len()); widths.len()],

@@ -2,15 +2,18 @@
 //! mode.
 //!
 //! [`RunConfig::from_env`] is the single place in the workspace that parses
-//! the `LSIQ_ENGINE`, `LSIQ_LOT_THREADS`, `LSIQ_SEED` and `LSIQ_TEST_MODE`
-//! environment variables; every older knob (`lsiq_bench::engine_from_env`,
-//! the `production_line` example) delegates here, so an invalid value always
+//! the `LSIQ_ENGINE`, `LSIQ_LOT_THREADS`, `LSIQ_SEED`, `LSIQ_TEST_MODE`,
+//! `LSIQ_SCAN_CHAINS`, `LSIQ_LANES` and `LSIQ_METRICS` environment
+//! variables; every older knob (`lsiq_bench::engine_from_env`, the
+//! `production_line` example) delegates here, so an invalid value always
 //! produces the same actionable [`ConfigError`] instead of divergent panics.
 
 use std::env;
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
+
+pub use lsiq_obs::MetricsMode;
 
 /// Environment variable selecting the fault-simulation engine.
 pub const ENGINE_VAR: &str = "LSIQ_ENGINE";
@@ -26,6 +29,9 @@ pub const SCAN_CHAINS_VAR: &str = "LSIQ_SCAN_CHAINS";
 /// Environment variable selecting the packed-simulation lane width
 /// (`auto`, `1`, `4` or `8` — the number of 64-pattern words per chunk).
 pub const LANES_VAR: &str = "LSIQ_LANES";
+/// Environment variable selecting the telemetry mode (`off`, `json` or
+/// `tree` — see [`MetricsMode`] and `docs/OBSERVABILITY.md`).
+pub const METRICS_VAR: &str = "LSIQ_METRICS";
 
 /// The base seed a [`RunConfig`] falls back to when none is given — the
 /// historical default of the `production_line` example.
@@ -426,6 +432,7 @@ pub struct RunConfig {
     test_mode: TestMode,
     scan: Option<ScanPlan>,
     lanes: LaneWidth,
+    metrics: MetricsMode,
 }
 
 impl RunConfig {
@@ -504,6 +511,11 @@ impl RunConfig {
                 ConfigError::new(LANES_VAR, value.clone(), "one of auto, 1, 4 or 8")
             })?;
         }
+        if let Some(value) = read_var(METRICS_VAR)? {
+            config.metrics = MetricsMode::from_name(value.trim()).ok_or_else(|| {
+                ConfigError::new(METRICS_VAR, value.clone(), "one of off, json or tree")
+            })?;
+        }
         Ok(config)
     }
 
@@ -556,6 +568,14 @@ impl RunConfig {
         self
     }
 
+    /// Selects the telemetry mode ([`MetricsMode::Off`] by default).
+    /// `Session::new` installs this on the process-global `lsiq-obs` flag,
+    /// so recording costs a single relaxed load when it stays off.
+    pub fn with_metrics(mut self, metrics: MetricsMode) -> RunConfig {
+        self.metrics = metrics;
+        self
+    }
+
     /// The configured fault-simulation engine.  With an `auto` selection
     /// this is the fallback default; run sites that know their circuit call
     /// [`RunConfig::engine_for_size`] instead.
@@ -593,6 +613,11 @@ impl RunConfig {
     /// The configured packed-simulation lane width.
     pub fn lanes(self) -> LaneWidth {
         self.lanes
+    }
+
+    /// The configured telemetry mode.
+    pub fn metrics(self) -> MetricsMode {
+        self.metrics
     }
 
     /// The explicit worker-count override, if any (`None` means "use the
@@ -645,6 +670,9 @@ impl fmt::Display for RunConfig {
         if let Some(scan) = self.scan {
             write!(f, ", scan = {scan}")?;
         }
+        // The telemetry mode is deliberately not rendered: config lines
+        // appear in transcripts that must stay byte-identical with metrics
+        // on or off.
         write!(f, ", lanes = {}", self.lanes)?;
         Ok(())
     }
@@ -773,10 +801,12 @@ mod tests {
             .with_workers(3)
             .with_base_seed(1981)
             .with_test_mode(TestMode::Bist)
-            .with_lanes(LaneWidth::X4);
+            .with_lanes(LaneWidth::X4)
+            .with_metrics(MetricsMode::Tree);
         assert_eq!(config.engine(), EngineKind::Serial);
         assert_eq!(config.test_mode(), TestMode::Bist);
         assert_eq!(config.lanes(), LaneWidth::X4);
+        assert_eq!(config.metrics(), MetricsMode::Tree);
         assert_eq!(config.workers(), Some(3));
         assert_eq!(config.effective_workers(), 3);
         assert_eq!(config.base_seed(), 1981);
@@ -790,6 +820,7 @@ mod tests {
         assert_eq!(default.base_seed(), DEFAULT_BASE_SEED);
         assert_eq!(default.seed_or(7), 7);
         assert_eq!(default.lanes(), LaneWidth::Auto);
+        assert_eq!(default.metrics(), MetricsMode::Off);
         // `with_workers(0)` means "back to automatic".
         assert_eq!(default.with_workers(0).workers(), None);
     }
@@ -826,6 +857,7 @@ mod tests {
             env::remove_var(TEST_MODE_VAR);
             env::remove_var(SCAN_CHAINS_VAR);
             env::remove_var(LANES_VAR);
+            env::remove_var(METRICS_VAR);
         };
         clear();
         assert_eq!(RunConfig::from_env(), Ok(RunConfig::default()));
@@ -911,6 +943,25 @@ mod tests {
             assert_eq!(error.variable(), LANES_VAR);
             assert_eq!(error.value(), bad);
             assert!(error.to_string().contains("auto, 1, 4 or 8"), "{error}");
+        }
+        env::remove_var(LANES_VAR);
+
+        env::set_var(METRICS_VAR, " Tree ");
+        assert_eq!(
+            RunConfig::from_env().expect("tree metrics").metrics(),
+            MetricsMode::Tree
+        );
+        env::set_var(METRICS_VAR, "JSON");
+        assert_eq!(
+            RunConfig::from_env().expect("json metrics").metrics(),
+            MetricsMode::Json
+        );
+        for bad in ["verbose", "1", "yes"] {
+            env::set_var(METRICS_VAR, bad);
+            let error = RunConfig::from_env().expect_err("bad metrics mode");
+            assert_eq!(error.variable(), METRICS_VAR);
+            assert_eq!(error.value(), bad);
+            assert!(error.to_string().contains("off, json or tree"), "{error}");
         }
 
         clear();

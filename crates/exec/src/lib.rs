@@ -50,7 +50,7 @@ pub mod config;
 pub mod pool;
 
 pub use config::{
-    ConfigError, EngineKind, LaneWidth, RunConfig, ScanPlan, TestMode, DEFAULT_BASE_SEED,
-    ENGINE_VAR, LANES_VAR, SCAN_CHAINS_VAR,
+    ConfigError, EngineKind, LaneWidth, MetricsMode, RunConfig, ScanPlan, TestMode,
+    DEFAULT_BASE_SEED, ENGINE_VAR, LANES_VAR, METRICS_VAR, SCAN_CHAINS_VAR,
 };
 pub use pool::{ExecutionContext, Scope};

@@ -33,8 +33,27 @@ use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
+use std::time::Instant;
 
 use crate::config::RunConfig;
+use lsiq_obs::{Counter, Gauge};
+
+/// Fork-join scopes opened on any context.
+static SCOPES: Counter = Counter::new("pool.scopes");
+/// Jobs spawned into scopes.  Spawn counts are a property of the workload,
+/// so this total is identical at every worker count (unlike the wait
+/// totals below, which describe the pool's actual schedule).
+static JOBS: Counter = Counter::new("pool.jobs");
+/// Times a pool worker parked on the job-ready condvar.
+static PARKS: Counter = Counter::new("pool.parks");
+/// Nanoseconds pool workers spent parked (includes idle time between
+/// scopes while telemetry is enabled).
+static PARK_NS: Counter = Counter::new("pool.park_ns");
+/// Nanoseconds scope callers spent waiting for in-flight jobs after the
+/// queue drained.
+static JOIN_WAIT_NS: Counter = Counter::new("pool.join_wait_ns");
+/// Total execution lanes of the most recently used context.
+static WORKERS: Gauge = Gauge::new("pool.workers");
 
 /// A queued unit of work.  Jobs are the wrappers built by [`Scope::spawn`];
 /// they catch panics internally and therefore never unwind into the pool.
@@ -68,7 +87,10 @@ impl PoolShared {
     }
 }
 
-fn worker_loop(shared: Arc<PoolShared>) {
+fn worker_loop(shared: Arc<PoolShared>, worker_index: usize) {
+    // Bind this worker to its own counter shard so concurrent recording
+    // never contends on one cache line (slot 0 is the participating caller).
+    lsiq_obs::set_worker_slot(worker_index);
     loop {
         let job = {
             let mut queue = lock(&shared.queue);
@@ -79,10 +101,15 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 if queue.shutdown {
                     return;
                 }
+                let parked = lsiq_obs::enabled().then(Instant::now);
                 queue = shared
                     .job_ready
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
+                if let Some(parked) = parked {
+                    PARKS.incr();
+                    PARK_NS.add(parked.elapsed().as_nanos() as u64);
+                }
             }
         };
         job();
@@ -170,7 +197,7 @@ impl ExecutionContext {
             let shared = Arc::clone(&shared);
             match thread::Builder::new()
                 .name(format!("lsiq-exec-{index}"))
-                .spawn(move || worker_loop(shared))
+                .spawn(move || worker_loop(shared, index))
             {
                 Ok(handle) => handles.push(handle),
                 // Out of threads: degrade to the lanes already running
@@ -223,6 +250,8 @@ impl ExecutionContext {
     where
         F: FnOnce(&Scope<'env>) -> R,
     {
+        SCOPES.incr();
+        WORKERS.set(self.workers as u64);
         let scope = Scope {
             shared: Arc::clone(&self.shared),
             state: Arc::new(ScopeState::new()),
@@ -285,12 +314,16 @@ impl ExecutionContext {
             }
             // The queue is empty, so all remaining jobs of this scope are
             // in flight on other threads; park until they signal completion.
+            let waited = lsiq_obs::enabled().then(Instant::now);
             let mut pending = lock(&state.pending);
             while *pending != 0 {
                 pending = state
                     .finished
                     .wait(pending)
                     .unwrap_or_else(PoisonError::into_inner);
+            }
+            if let Some(waited) = waited {
+                JOIN_WAIT_NS.add(waited.elapsed().as_nanos() as u64);
             }
             return;
         }
@@ -355,6 +388,7 @@ impl<'env> Scope<'env> {
         // The transmute erases only the `'env` bound so the job can sit in
         // the pool's `'static` queue.
         let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        JOBS.incr();
         *lock(&self.state.pending) += 1;
         self.shared.push(job);
     }
@@ -476,6 +510,32 @@ mod tests {
         assert_eq!(context.workers(), 2);
         assert!(ExecutionContext::global().workers() >= 1);
         assert!(format!("{context:?}").contains("workers"));
+    }
+
+    #[test]
+    fn telemetry_counts_scopes_and_spawned_jobs() {
+        // Other tests in this binary may run scopes concurrently (inflating
+        // the process-global totals), so assert on deltas being at least
+        // what this test contributed.
+        lsiq_obs::set_mode(lsiq_obs::MetricsMode::Json);
+        let scopes_before = SCOPES.value();
+        let jobs_before = JOBS.value();
+        let context = ExecutionContext::new(2);
+        let mut slots = vec![0u8; 5];
+        context.scope(|scope| {
+            for slot in slots.iter_mut() {
+                scope.spawn(move || *slot = 1);
+            }
+        });
+        assert!(SCOPES.value() > scopes_before);
+        assert!(JOBS.value() >= jobs_before + 5);
+        lsiq_obs::set_mode(lsiq_obs::MetricsMode::Off);
+        assert_eq!(slots, [1, 1, 1, 1, 1]);
+
+        // Disabled mode records nothing further.
+        let jobs_frozen = JOBS.value();
+        context.scope(|scope| scope.spawn(|| {}));
+        assert_eq!(JOBS.value(), jobs_frozen);
     }
 
     #[test]

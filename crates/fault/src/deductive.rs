@@ -37,13 +37,18 @@ use crate::classes::{simulation_classes, CollapseContext, SimulationClasses};
 use crate::list::{FaultList, ListArena, ListRef};
 use crate::model::{Fault, StuckValue};
 use crate::simulator::FaultSimulator;
+use crate::telemetry;
 use crate::universe::{FaultUniverse, SiteTable};
 use lsiq_netlist::circuit::{Circuit, GateId};
 use lsiq_netlist::GateKind;
+use lsiq_obs::Span;
 use lsiq_sim::eval::controlling_value;
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::packed::PATTERNS_PER_WORD;
 use lsiq_sim::pattern::PatternSet;
+
+static GOOD_MACHINE: Span = Span::new("engine.deductive.good_machine");
+static PROPAGATE: Span = Span::new("engine.deductive.propagate");
 
 /// A deductive fault simulator.
 #[derive(Debug)]
@@ -118,6 +123,9 @@ impl FaultSimulator for DeductiveSimulator<'_> {
             return list;
         }
         let classes = self.simulation_classes(universe);
+        telemetry::RUNS.incr();
+        telemetry::FAULTS.add(classes.count() as u64);
+        let mut drops = 0u64;
         let mut pass = Propagation::new(&self.compiled, universe, &classes);
         let circuit = self.compiled.circuit();
         let input_count = circuit.primary_inputs().len();
@@ -132,7 +140,12 @@ impl FaultSimulator for DeductiveSimulator<'_> {
             if pattern_count == 0 {
                 break;
             }
-            self.compiled.node_words_into(&input_words, &mut words);
+            telemetry::GOOD_EVALS.incr();
+            {
+                let _timer = GOOD_MACHINE.start();
+                self.compiled.node_words_into(&input_words, &mut words);
+            }
+            let _timer = PROPAGATE.start();
             for slot in 0..pattern_count {
                 for (value, &word) in values.iter_mut().zip(words.iter()) {
                     *value = (word >> slot) & 1 == 1;
@@ -145,10 +158,12 @@ impl FaultSimulator for DeductiveSimulator<'_> {
                     }
                     if self.drop_detected {
                         pass.deactivate(class);
+                        drops += 1;
                     }
                 }
             }
         }
+        telemetry::DROPS.add(drops);
         list
     }
 }

@@ -51,10 +51,12 @@ use crate::classes::{simulation_classes, CollapseContext, SimulationClasses};
 use crate::list::FaultList;
 use crate::model::{Fault, FaultSite};
 use crate::simulator::FaultSimulator;
+use crate::telemetry;
 use crate::universe::FaultUniverse;
 use lsiq_exec::{ExecutionContext, LaneWidth};
 use lsiq_netlist::circuit::{Circuit, GateId};
 use lsiq_netlist::levelize::Levelization;
+use lsiq_obs::Span;
 use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::eval::eval_chunk;
 use lsiq_sim::levelized::CompiledCircuit;
@@ -62,6 +64,9 @@ use lsiq_sim::packed::PackedBlock;
 use lsiq_sim::pattern::PatternSet;
 use std::cell::OnceCell;
 use std::sync::Arc;
+
+static GOOD_MACHINE: Span = Span::new("engine.incremental.good_machine");
+static PROPAGATE: Span = Span::new("engine.incremental.propagate");
 
 /// One precomputed lane-wide chunk: the good-machine chunk of every gate
 /// (indexed by gate id) and the valid-slot mask.  The per-gate image is
@@ -261,10 +266,16 @@ impl<'c> IncrementalSimulator<'c> {
         let classes = self.simulation_classes(universe);
         let circuit = self.compiled.circuit();
         let levelization = self.compiled.levelization();
-        let blocks = self.precompute_blocks::<L>(patterns);
+        let blocks = {
+            let _timer = GOOD_MACHINE.start();
+            self.precompute_blocks::<L>(patterns)
+        };
         if blocks.is_empty() {
             return list;
         }
+        telemetry::RUNS.incr();
+        telemetry::FAULTS.add(classes.count() as u64);
+        telemetry::GOOD_EVALS.add(blocks.len() as u64);
         let seeds: Vec<Seed> = (0..classes.count() as u32)
             .map(|class| {
                 let fault = *universe
@@ -307,16 +318,21 @@ impl<'c> IncrementalSimulator<'c> {
             })
         };
 
+        let mut drops = 0u64;
         for (shard, shard_detections) in detections.into_iter().enumerate() {
             let base = shard * chunk;
             for (local, detection) in shard_detections.into_iter().enumerate() {
                 if let Some(pattern) = detection {
+                    if drop_detected {
+                        drops += 1;
+                    }
                     for &member in classes.members_of((base + local) as u32) {
                         list.mark_detected(member as usize, pattern);
                     }
                 }
             }
         }
+        telemetry::DROPS.add(drops);
         list
     }
 }
@@ -349,6 +365,7 @@ fn simulate_shard<const L: usize>(
     seeds: &[Seed],
     drop_detected: bool,
 ) -> Vec<Option<usize>> {
+    let _timer = PROPAGATE.start();
     let gate_count = circuit.gate_count();
     // Faulty chunks and their validity stamp: `faulty[g]` is live iff
     // `value_stamp[g] == epoch`, so advancing the epoch resets everything.

@@ -36,6 +36,8 @@
 //! ```
 
 mod classes;
+mod telemetry;
+
 pub mod collapse;
 pub mod coverage;
 pub mod deductive;

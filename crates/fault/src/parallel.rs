@@ -25,13 +25,18 @@ use crate::inject::output_chunks_with_fault;
 use crate::list::FaultList;
 use crate::model::Fault;
 use crate::simulator::FaultSimulator;
+use crate::telemetry;
 use crate::universe::FaultUniverse;
 use lsiq_exec::{ExecutionContext, LaneWidth};
 use lsiq_netlist::circuit::Circuit;
+use lsiq_obs::Span;
 use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::packed::PackedBlock;
 use lsiq_sim::pattern::PatternSet;
+
+static GOOD_MACHINE: Span = Span::new("engine.parallel.good_machine");
+static PROPAGATE: Span = Span::new("engine.parallel.propagate");
 
 /// One precomputed lane-wide chunk: the packed primary-input chunks, the
 /// good-machine output chunks, and the valid-slot mask.
@@ -176,6 +181,7 @@ impl<'c> ParallelSimulator<'c> {
         faults: &[Fault],
         blocks: &[Block<L>],
     ) -> Vec<Option<usize>> {
+        let _timer = PROPAGATE.start();
         let mut first_detection = vec![None; faults.len()];
         for (local, fault) in faults.iter().enumerate() {
             for (block_index, block) in blocks.iter().enumerate() {
@@ -211,7 +217,13 @@ impl<'c> ParallelSimulator<'c> {
         if universe.is_empty() || patterns.is_empty() {
             return list;
         }
-        let blocks = self.precompute_blocks::<L>(patterns);
+        telemetry::RUNS.incr();
+        telemetry::FAULTS.add(universe.len() as u64);
+        let blocks = {
+            let _timer = GOOD_MACHINE.start();
+            self.precompute_blocks::<L>(patterns)
+        };
+        telemetry::GOOD_EVALS.add(blocks.len() as u64);
         let faults = universe.faults();
         let shards = self.shard_count(faults.len());
         let chunk = faults.len().div_ceil(shards);
@@ -224,14 +236,19 @@ impl<'c> ParallelSimulator<'c> {
                 .scope_map(shard_faults, |shard| self.simulate_shard(shard, &blocks))
         };
 
+        let mut drops = 0u64;
         for (shard, shard_detections) in detections.into_iter().enumerate() {
             let base = shard * chunk;
             for (local, detection) in shard_detections.into_iter().enumerate() {
                 if let Some(pattern) = detection {
                     list.mark_detected(base + local, pattern);
+                    if self.drop_detected {
+                        drops += 1;
+                    }
                 }
             }
         }
+        telemetry::DROPS.add(drops);
         list
     }
 }

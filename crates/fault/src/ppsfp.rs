@@ -10,13 +10,18 @@
 use crate::inject::output_chunks_with_fault;
 use crate::list::FaultList;
 use crate::simulator::FaultSimulator;
+use crate::telemetry;
 use crate::universe::FaultUniverse;
 use lsiq_exec::LaneWidth;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_obs::Span;
 use lsiq_sim::cache::{circuit_fingerprint, GoodMachineCache};
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::packed::PackedBlock;
 use lsiq_sim::pattern::PatternSet;
+
+static GOOD_MACHINE: Span = Span::new("engine.ppsfp.good_machine");
+static PROPAGATE: Span = Span::new("engine.ppsfp.propagate");
 
 /// A pattern-parallel single-fault-propagation simulator.
 #[derive(Debug)]
@@ -69,16 +74,24 @@ impl<'c> PpsfpSimulator<'c> {
         patterns: &PatternSet,
     ) -> FaultList {
         let mut list = FaultList::new(universe);
+        telemetry::RUNS.incr();
+        telemetry::FAULTS.add(list.len() as u64);
         let circuit = self.compiled.circuit();
         let input_count = circuit.primary_inputs().len();
         let fingerprint = self.cache.map(|_| circuit_fingerprint(circuit));
+        let mut drops = 0u64;
         for chunk in 0..patterns.chunk_count(L) {
             let (input_chunks, pattern_count) = patterns.pack_chunk::<L>(input_count, chunk);
             if pattern_count == 0 {
                 break;
             }
             let valid = PackedBlock::<L>::valid_mask(pattern_count);
-            let good = self.good_outputs(fingerprint, &input_chunks, pattern_count);
+            telemetry::GOOD_EVALS.incr();
+            let good = {
+                let _timer = GOOD_MACHINE.start();
+                self.good_outputs(fingerprint, &input_chunks, pattern_count)
+            };
+            let _timer = PROPAGATE.start();
             for fault_index in 0..list.len() {
                 if self.drop_detected && list.state(fault_index).is_detected() {
                     continue;
@@ -91,9 +104,13 @@ impl<'c> PpsfpSimulator<'c> {
                 }
                 if let Some(slot) = detect.first_set_slot() {
                     list.mark_detected(fault_index, chunk * PackedBlock::<L>::PATTERNS + slot);
+                    if self.drop_detected {
+                        drops += 1;
+                    }
                 }
             }
         }
+        telemetry::DROPS.add(drops);
         list
     }
 

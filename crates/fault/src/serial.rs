@@ -7,10 +7,15 @@
 use crate::inject::outputs_with_fault;
 use crate::list::FaultList;
 use crate::simulator::FaultSimulator;
+use crate::telemetry;
 use crate::universe::FaultUniverse;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_obs::Span;
 use lsiq_sim::levelized::CompiledCircuit;
 use lsiq_sim::pattern::PatternSet;
+
+static GOOD_MACHINE: Span = Span::new("engine.serial.good_machine");
+static PROPAGATE: Span = Span::new("engine.serial.propagate");
 
 /// A serial (one fault at a time, one pattern at a time) fault simulator.
 #[derive(Debug)]
@@ -45,8 +50,16 @@ impl FaultSimulator for SerialSimulator<'_> {
 
     fn run(&self, universe: &FaultUniverse, patterns: &PatternSet) -> FaultList {
         let mut list = FaultList::new(universe);
+        telemetry::RUNS.incr();
+        telemetry::FAULTS.add(list.len() as u64);
+        telemetry::GOOD_EVALS.add(patterns.len() as u64);
+        let mut drops = 0u64;
         for (pattern_index, pattern) in patterns.iter().enumerate() {
-            let good = self.compiled.outputs(pattern);
+            let good = {
+                let _timer = GOOD_MACHINE.start();
+                self.compiled.outputs(pattern)
+            };
+            let _timer = PROPAGATE.start();
             for fault_index in 0..list.len() {
                 if self.drop_detected && list.state(fault_index).is_detected() {
                     continue;
@@ -55,9 +68,13 @@ impl FaultSimulator for SerialSimulator<'_> {
                 let faulty = outputs_with_fault(&self.compiled, pattern.bits(), &fault);
                 if faulty != good {
                     list.mark_detected(fault_index, pattern_index);
+                    if self.drop_detected {
+                        drops += 1;
+                    }
                 }
             }
         }
+        telemetry::DROPS.add(drops);
         list
     }
 }

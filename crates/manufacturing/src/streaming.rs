@@ -26,6 +26,15 @@ use crate::pipeline::ParallelLotRunner;
 use lsiq_exec::ExecutionContext;
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
+use lsiq_obs::{Counter, Span};
+
+/// Fixed-size blocks dispatched (`⌈chips / block_len⌉` per lot — invariant
+/// at any worker count, though not across block lengths).
+static BLOCKS: Counter = Counter::new("streaming.blocks");
+/// Chips generated, tested and folded across all streamed lots.
+static CHIPS: Counter = Counter::new("streaming.chips");
+/// One block's generate-test-fold fork-join round.
+static BLOCK_SPAN: Span = Span::new("streaming.block");
 
 /// Everything a streamed lot yields: the observed ground truth, the field
 /// outcome of shipping the passers, and the cumulative-reject table — the
@@ -225,6 +234,9 @@ impl<'ctx> StreamingLotExecutor<'ctx> {
         let mut start = 0usize;
         while start < config.chips {
             let block = (config.chips - start).min(self.block_len);
+            BLOCKS.incr();
+            CHIPS.add(block as u64);
+            let _timer = BLOCK_SPAN.start();
             let shard_folds = self.runner.sharded_chunks(
                 block,
                 ParallelLotRunner::MIN_ITEMS_PER_SHARD,

@@ -1,0 +1,222 @@
+//! Human-readable rendering of a [`Snapshot`]: the self-time span tree
+//! printed by the bench binaries under `LSIQ_METRICS=tree`.
+
+use crate::registry::{Snapshot, SpanStat};
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// One resolved node of the span tree: the indices of its children in
+/// the snapshot's span list.
+struct Node {
+    children: Vec<usize>,
+}
+
+/// Builds the parent relation over dotted span names: `a.b.c` is a child
+/// of the longest *registered* proper dotted prefix (`a.b`, else `a`);
+/// names with no registered prefix are roots.  Input is name-sorted, so
+/// children come out name-sorted too.
+fn build_tree(spans: &[(String, SpanStat)]) -> (Vec<usize>, Vec<Node>) {
+    let mut nodes: Vec<Node> = (0..spans.len())
+        .map(|_| Node {
+            children: Vec::new(),
+        })
+        .collect();
+    let mut roots: Vec<usize> = Vec::new();
+    for index in 0..spans.len() {
+        let name = spans[index].0.as_str();
+        let mut parent: Option<usize> = None;
+        let mut boundary = name.len();
+        while let Some(dot) = name[..boundary].rfind('.') {
+            boundary = dot;
+            if let Some(found) = spans
+                .iter()
+                .position(|(candidate, _)| candidate.as_str() == &name[..boundary])
+            {
+                parent = Some(found);
+                break;
+            }
+        }
+        match parent {
+            Some(parent) => nodes[parent].children.push(index),
+            None => roots.push(index),
+        }
+    }
+    (roots, nodes)
+}
+
+fn render_span(
+    out: &mut String,
+    spans: &[(String, SpanStat)],
+    nodes: &[Node],
+    index: usize,
+    depth: usize,
+) {
+    let (name, stat) = &spans[index];
+    let node = &nodes[index];
+    let children_ns: u64 = node
+        .children
+        .iter()
+        .map(|&child| spans[child].1.total_ns)
+        .sum();
+    // A parallel child phase folds wall time from every worker, so the
+    // children's sum can exceed the parent's wall time; clamp at zero.
+    let self_ns = stat.total_ns.saturating_sub(children_ns);
+    let label = format!("{:indent$}{name}", "", indent = depth * 2);
+    out.push_str(&format!(
+        "  {label:<44} total {:>10}  self {:>10}  count {}\n",
+        format_ns(stat.total_ns),
+        format_ns(self_ns),
+        stat.count,
+    ));
+    for &child in &node.children {
+        render_span(out, spans, nodes, child, depth + 1);
+    }
+}
+
+/// Renders the snapshot as the human-readable report: the span self-time
+/// tree, then counters, gauges and histograms, all name-sorted.  Series
+/// that never recorded are omitted; an all-empty snapshot renders a
+/// one-line notice.
+pub fn render_tree(snapshot: &Snapshot) -> String {
+    let mut out = String::from("== lsiq metrics ==\n");
+    let spans: Vec<(String, SpanStat)> = snapshot
+        .spans
+        .iter()
+        .filter(|(_, stat)| stat.count != 0)
+        .cloned()
+        .collect();
+    if !spans.is_empty() {
+        out.push_str("spans (total across threads; self = total - children):\n");
+        let (roots, nodes) = build_tree(&spans);
+        for root in roots {
+            render_span(&mut out, &spans, &nodes, root, 0);
+        }
+    }
+    let counters: Vec<&(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(_, value)| *value != 0)
+        .collect();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<44} {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<44} {value}\n"));
+        }
+    }
+    let histograms: Vec<&(String, Vec<(u32, u64)>)> = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, buckets)| !buckets.is_empty())
+        .collect();
+    if !histograms.is_empty() {
+        out.push_str("histograms (bucket i counts values in [2^(i-1), 2^i)):\n");
+        for (name, buckets) in histograms {
+            let total: u64 = buckets.iter().map(|(_, count)| count).sum();
+            let cells: Vec<String> = buckets
+                .iter()
+                .map(|(bucket, count)| format!("2^{bucket}:{count}"))
+                .collect();
+            out.push_str(&format!(
+                "  {name:<44} count {total}  {}\n",
+                cells.join(" ")
+            ));
+        }
+    }
+    if out.lines().count() == 1 {
+        out.push_str("  (nothing recorded — is LSIQ_METRICS enabled?)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_adaptive_units() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(1_500), "1.500µs");
+        assert_eq!(format_ns(2_000_000), "2.000ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn renders_nested_spans_with_self_time() {
+        let snapshot = Snapshot {
+            counters: vec![("cache.hits".to_string(), 5)],
+            gauges: vec![("pool.workers".to_string(), 4)],
+            histograms: vec![("serve.query_us".to_string(), vec![(3, 2)])],
+            spans: vec![
+                (
+                    "suite.build".to_string(),
+                    SpanStat {
+                        count: 1,
+                        total_ns: 1_000,
+                    },
+                ),
+                (
+                    "suite.build.good_machine".to_string(),
+                    SpanStat {
+                        count: 2,
+                        total_ns: 400,
+                    },
+                ),
+                (
+                    "suite.build.propagate".to_string(),
+                    SpanStat {
+                        count: 2,
+                        total_ns: 900,
+                    },
+                ),
+            ],
+        };
+        let report = render_tree(&snapshot);
+        assert!(report.contains("suite.build"));
+        assert!(report.contains("  suite.build.good_machine"));
+        // 1000 - (400 + 900) clamps to zero, not underflow.
+        assert!(report.contains(&format!("self {:>10}", "0ns")));
+        assert!(report.contains("cache.hits"));
+        assert!(report.contains("pool.workers"));
+        assert!(report.contains("2^3:2"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_a_notice() {
+        let report = render_tree(&Snapshot::default());
+        assert!(report.contains("nothing recorded"));
+    }
+
+    #[test]
+    fn grandchild_attaches_to_nearest_registered_prefix() {
+        let stat = SpanStat {
+            count: 1,
+            total_ns: 10,
+        };
+        let spans = vec![
+            ("a".to_string(), stat),
+            ("a.b.c".to_string(), stat),
+            ("z.q".to_string(), stat),
+        ];
+        let (roots, nodes) = build_tree(&spans);
+        // "a.b" is unregistered, so "a.b.c" hangs off "a"; "z.q" is a root.
+        assert_eq!(roots, vec![0, 2]);
+        assert_eq!(nodes[0].children, vec![1]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Hierarchical phase timers.
+//!
+//! A [`Span`] is a named timer declared as a `static`; [`Span::start`]
+//! returns a guard whose drop folds the elapsed wall time into the
+//! registry.  Spans aggregate **by name**, not by runtime call stack:
+//! every run of `engine.parallel.good_machine` lands in the same
+//! `(count, total_ns)` stat regardless of which thread or shard ran it.
+//! The *tree* comes from the dotted names — `a.b.c` is a child of the
+//! longest registered proper prefix (`a.b`, else `a`) — which keeps the
+//! report structure identical at every worker count even though per-shard
+//! timings are folded from many threads.  A consequence worth knowing:
+//! a parallel child phase's `total_ns` sums across workers, so it can
+//! exceed its parent's wall time; the renderer clamps self time at zero.
+
+use crate::registry::{span_cell, SpanCell};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A named phase timer.  Declare as a `static` and [`start`](Span::start)
+/// it around the phase body; same-name spans (across threads and crates)
+/// merge into one stat.
+pub struct Span {
+    name: &'static str,
+    cell: OnceLock<&'static SpanCell>,
+}
+
+impl Span {
+    /// A handle on the span called `name` (dotted path, e.g.
+    /// `engine.parallel.good_machine`).
+    pub const fn new(name: &'static str) -> Span {
+        Span {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The span's dotted name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Starts timing the phase when telemetry is enabled; a single
+    /// relaxed load otherwise.  Drop the guard to record.
+    #[inline]
+    pub fn start(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            active: crate::enabled().then(|| (self, Instant::now())),
+        }
+    }
+}
+
+/// Live timing of one span run; records on drop.
+#[must_use = "a span guard must be held for the duration of the phase"]
+pub struct SpanGuard<'a> {
+    active: Option<(&'a Span, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((span, started)) = self.active.take() {
+            span.cell
+                .get_or_init(|| span_cell(span.name))
+                .record(started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::recording;
+
+    #[test]
+    fn spans_fold_count_and_time_by_name() {
+        static PHASE: Span = Span::new("test.span.phase");
+        recording(|| {
+            for _ in 0..3 {
+                let _guard = PHASE.start();
+                std::hint::black_box(0u64);
+            }
+            let stat = crate::snapshot().span("test.span.phase");
+            assert_eq!(stat.count, 3);
+        });
+        assert_eq!(PHASE.name(), "test.span.phase");
+    }
+
+    #[test]
+    fn disabled_spans_do_not_register_runs() {
+        static PHASE: Span = Span::new("test.span.disabled");
+        let _guard = crate::registry::tests::MODE_LOCK
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        crate::set_mode(crate::MetricsMode::Off);
+        drop(PHASE.start());
+        assert_eq!(crate::snapshot().span("test.span.disabled").count, 0);
+    }
+}

@@ -42,11 +42,17 @@ use lsiq_exec::ConfigError;
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_obs::Counter;
 use lsiq_sim::pattern::{Pattern, PatternSet};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Registry mirrors of the per-store hit/miss counters: process-wide
+/// totals across every [`ArtifactStore`] in the process.
+static HITS: Counter = Counter::new("serve.artifact.hits");
+static MISSES: Counter = Counter::new("serve.artifact.misses");
 
 /// The environment variable naming the artifact cache directory.
 pub const ARTIFACT_DIR_VAR: &str = "LSIQ_ARTIFACT_DIR";
@@ -184,10 +190,12 @@ impl ArtifactStore {
     /// means the same thing whether the copy came from memory or disk.
     pub fn record_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        HITS.incr();
     }
 
     fn record_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        MISSES.incr();
     }
 
     fn path_for(&self, kind: &str, key: u64) -> Option<PathBuf> {

@@ -18,7 +18,12 @@
 //!   in-process memoization over the artifact layer;
 //! * [`artifact`] — keyed, checksummed, versioned on-disk persistence
 //!   (`LSIQ_ARTIFACT_DIR`), so a *second process* replays a grid with zero
-//!   fault-simulation passes — proven by hit counters in every response;
+//!   fault-simulation passes — proven by the per-query counter deltas,
+//!   which are atomics mirrored into the `lsiq_obs` metrics registry
+//!   (`serve.*` names; `docs/OBSERVABILITY.md` has the catalogue).  Under
+//!   `LSIQ_METRICS=json` each response is followed by a `metrics` record
+//!   carrying the registry delta, and the final summary embeds the full
+//!   registry dump;
 //! * [`json`] / [`codec`] — a dependency-free strict JSON layer with
 //!   canonical (round-trip exact) number formatting, and the binary codec
 //!   plus FNV-1a hashing under the artifact files.

@@ -28,7 +28,7 @@ use lsiq_bist::stumps::{StumpsConfig, StumpsGenerator};
 use lsiq_core::coverage_requirement::required_fault_coverage;
 use lsiq_core::params::{FaultCoverage, ModelParams, RejectRate, Yield};
 use lsiq_core::reject::field_reject_rate;
-use lsiq_exec::{ConfigError, RunConfig, ENGINE_VAR};
+use lsiq_exec::{ConfigError, MetricsMode, RunConfig, ENGINE_VAR};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::universe::FaultUniverse;
@@ -36,11 +36,26 @@ use lsiq_manufacturing::lot::ModelLotConfig;
 use lsiq_manufacturing::streaming::{StreamedLot, StreamingLotExecutor};
 use lsiq_netlist::circuit::Circuit;
 use lsiq_netlist::library;
-use std::cell::{Cell, RefCell};
+use lsiq_obs::{Counter, Histogram, Snapshot, Span};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Registry mirrors of the per-service [`Counters`]: process-wide totals
+/// across every `QueryService` in the process.  The per-service atomics
+/// stay authoritative for per-query deltas and the summary record, so
+/// concurrently running services never bleed into each other's responses.
+static QUERIES: Counter = Counter::new("serve.queries");
+static ERRORS: Counter = Counter::new("serve.errors");
+static FAULT_SIM_PASSES: Counter = Counter::new("serve.fault_sim_passes");
+static CHIPS_SIMULATED: Counter = Counter::new("serve.chips_simulated");
+/// Wall time spent inside [`QueryService::handle`].
+static QUERY_SPAN: Span = Span::new("serve.query");
+/// Per-query latency distribution (microseconds, power-of-two buckets).
+static QUERY_US: Histogram = Histogram::new("serve.query_us");
 
 /// The device names a query may reference.
 pub const CIRCUITS: [&str; 4] = ["c17", "alu4", "reduced", "full"];
@@ -104,12 +119,23 @@ struct LineSuite {
 }
 
 /// Monotonic service counters, also reported as per-query deltas.
+///
+/// Atomics rather than `Cell<u64>` so `QueryService` stays `Sync`-safe to
+/// share behind a reference; every bump is mirrored into the process-wide
+/// metrics registry (`serve.*`).
 #[derive(Debug, Default)]
 struct Counters {
-    queries: Cell<u64>,
-    errors: Cell<u64>,
-    fault_sim_passes: Cell<u64>,
-    chips_simulated: Cell<u64>,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    fault_sim_passes: AtomicU64,
+    chips_simulated: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64, mirror: &Counter, amount: u64) -> u64 {
+        mirror.add(amount);
+        field.fetch_add(amount, Ordering::Relaxed) + amount
+    }
 }
 
 /// The batch planning query service.
@@ -169,12 +195,18 @@ impl QueryService {
     /// Fault-simulation passes performed so far — the number that must
     /// stay at zero on a fully warm artifact cache.
     pub fn fault_sim_passes(&self) -> u64 {
-        self.counters.fault_sim_passes.get()
+        self.counters.fault_sim_passes.load(Ordering::Relaxed)
     }
 
     /// Chips generated and tested by lot queries so far.
     pub fn chips_simulated(&self) -> u64 {
-        self.counters.chips_simulated.get()
+        self.counters.chips_simulated.load(Ordering::Relaxed)
+    }
+
+    /// Whether this session emits `metrics` records and the summary's
+    /// registry dump (`LSIQ_METRICS=json`).
+    fn emit_metrics(&self) -> bool {
+        self.session.config().metrics() == MetricsMode::Json
     }
 
     /// Runs the JSON-lines protocol: one request per input line, one
@@ -216,8 +248,14 @@ impl QueryService {
                     });
                 }
             };
+            let before = self.emit_metrics().then(lsiq_obs::snapshot);
             let response = self.handle(&parsed, Some(line_number));
             writeln!(writer, "{}", response.to_line())?;
+            if let Some(before) = before {
+                let delta = lsiq_obs::snapshot().delta_since(&before);
+                let record = metrics_record(line_number, &delta);
+                writeln!(writer, "{}", record.to_line())?;
+            }
             writer.flush()?;
         }
         let summary = self.summary(started.elapsed().as_millis() as u64);
@@ -229,11 +267,12 @@ impl QueryService {
     /// Answers one request object, returning the response record.
     /// Never panics on any well-formed JSON input.
     pub fn handle(&self, request: &JsonValue, line: Option<usize>) -> JsonValue {
-        self.counters.queries.set(self.counters.queries.get() + 1);
+        let _timer = QUERY_SPAN.start();
+        Counters::bump(&self.counters.queries, &QUERIES, 1);
         let hits_before = self.artifacts.hits();
         let misses_before = self.artifacts.misses();
-        let passes_before = self.counters.fault_sim_passes.get();
-        let chips_before = self.counters.chips_simulated.get();
+        let passes_before = self.fault_sim_passes();
+        let chips_before = self.chips_simulated();
         let started = Instant::now();
         let (op, id, outcome) = match Request::parse(request) {
             Err(message) => (None, request.get("id").cloned(), Err(message)),
@@ -254,7 +293,7 @@ impl QueryService {
                 }
             }
             Err(message) => {
-                self.counters.errors.set(self.counters.errors.get() + 1);
+                Counters::bump(&self.counters.errors, &ERRORS, 1);
                 pairs.push(("status".to_string(), string("error")));
                 if let Some(op) = op {
                     pairs.push(("op".to_string(), string(op)));
@@ -278,39 +317,47 @@ impl QueryService {
                 ),
                 (
                     "fault_sim_passes",
-                    number(self.counters.fault_sim_passes.get() - passes_before),
+                    number(self.fault_sim_passes() - passes_before),
                 ),
                 (
                     "chips_simulated",
-                    number(self.counters.chips_simulated.get() - chips_before),
+                    number(self.chips_simulated() - chips_before),
                 ),
                 ("elapsed_us", number(started.elapsed().as_micros() as u64)),
             ]),
         ));
+        QUERY_US.observe(started.elapsed().as_micros() as u64);
         JsonValue::Object(pairs)
     }
 
-    /// The end-of-stream summary record.
+    /// The end-of-stream summary record.  Under `LSIQ_METRICS=json` it
+    /// carries a `registry` object: the full metrics-registry dump.
     fn summary(&self, wall_ms: u64) -> JsonValue {
         let cache = self.session.good_machine_cache();
-        object(vec![
+        let mut summary = object(vec![
             ("status", string("summary")),
-            ("queries", number(self.counters.queries.get())),
-            ("errors", number(self.counters.errors.get())),
+            (
+                "queries",
+                number(self.counters.queries.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors",
+                number(self.counters.errors.load(Ordering::Relaxed)),
+            ),
             ("artifact_hits", number(self.artifacts.hits())),
             ("artifact_misses", number(self.artifacts.misses())),
             ("good_machine_hits", number(cache.hits())),
             ("good_machine_misses", number(cache.misses())),
-            (
-                "fault_sim_passes",
-                number(self.counters.fault_sim_passes.get()),
-            ),
-            (
-                "chips_simulated",
-                number(self.counters.chips_simulated.get()),
-            ),
+            ("fault_sim_passes", number(self.fault_sim_passes())),
+            ("chips_simulated", number(self.chips_simulated())),
             ("wall_ms", number(wall_ms)),
-        ])
+        ]);
+        if self.emit_metrics() {
+            if let JsonValue::Object(pairs) = &mut summary {
+                pairs.push(("registry".to_string(), snapshot_json(&lsiq_obs::snapshot())));
+            }
+        }
+        summary
     }
 
     fn dispatch(&self, request: &Request) -> Result<JsonValue, String> {
@@ -415,9 +462,7 @@ impl QueryService {
                 return suite;
             }
         }
-        self.counters
-            .fault_sim_passes
-            .set(self.counters.fault_sim_passes.get() + 1);
+        Counters::bump(&self.counters.fault_sim_passes, &FAULT_SIM_PASSES, 1);
         let built = self
             .session
             .line_suite_builder(&compiled.circuit)
@@ -488,9 +533,7 @@ impl QueryService {
             })
             .map_err(|error| format!("\"channels\": {error}"))?;
             let patterns = generator.generate(params.test_length);
-            self.counters
-                .fault_sim_passes
-                .set(self.counters.fault_sim_passes.get() + 1);
+            Counters::bump(&self.counters.fault_sim_passes, &FAULT_SIM_PASSES, 1);
             let built = SignatureDictionary::build_sweep_cached(
                 self.session.context(),
                 &compiled.circuit,
@@ -586,9 +629,11 @@ impl QueryService {
             &suite.coverage,
             &checkpoints,
         );
-        self.counters
-            .chips_simulated
-            .set(self.counters.chips_simulated.get() + params.chips as u64);
+        Counters::bump(
+            &self.counters.chips_simulated,
+            &CHIPS_SIMULATED,
+            params.chips as u64,
+        );
         let rows = streamed
             .experiment
             .rows()
@@ -630,4 +675,77 @@ impl QueryService {
             ("rows", JsonValue::Array(rows)),
         ]))
     }
+}
+
+/// One `metrics` record: the registry delta attributable to the query on
+/// `line`.  Emitted after the query's response under `LSIQ_METRICS=json`;
+/// replay tooling strips `"status":"metrics"` records before transcript
+/// comparison, exactly like summary records.
+fn metrics_record(line: usize, delta: &Snapshot) -> JsonValue {
+    JsonValue::Object(vec![
+        ("status".to_string(), string("metrics")),
+        ("line".to_string(), number(line as u64)),
+        ("counters".to_string(), names_json(&delta.counters)),
+        ("gauges".to_string(), names_json(&delta.gauges)),
+        ("spans".to_string(), spans_json(&delta.spans)),
+        ("histograms".to_string(), histograms_json(&delta.histograms)),
+    ])
+}
+
+/// A full registry dump as one JSON object (the summary's `registry`).
+fn snapshot_json(snapshot: &Snapshot) -> JsonValue {
+    JsonValue::Object(vec![
+        ("counters".to_string(), names_json(&snapshot.counters)),
+        ("gauges".to_string(), names_json(&snapshot.gauges)),
+        ("spans".to_string(), spans_json(&snapshot.spans)),
+        (
+            "histograms".to_string(),
+            histograms_json(&snapshot.histograms),
+        ),
+    ])
+}
+
+fn names_json(entries: &[(String, u64)]) -> JsonValue {
+    JsonValue::Object(
+        entries
+            .iter()
+            .map(|(name, value)| (name.clone(), number(*value)))
+            .collect(),
+    )
+}
+
+fn spans_json(entries: &[(String, lsiq_obs::SpanStat)]) -> JsonValue {
+    JsonValue::Object(
+        entries
+            .iter()
+            .map(|(name, stat)| {
+                (
+                    name.clone(),
+                    object(vec![
+                        ("count", number(stat.count)),
+                        ("total_ns", number(stat.total_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn histograms_json(entries: &[(String, Vec<(u32, u64)>)]) -> JsonValue {
+    JsonValue::Object(
+        entries
+            .iter()
+            .map(|(name, buckets)| {
+                (
+                    name.clone(),
+                    JsonValue::Object(
+                        buckets
+                            .iter()
+                            .map(|(bucket, count)| (format!("2^{bucket}"), number(*count)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    )
 }

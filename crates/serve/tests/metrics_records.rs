@@ -1,0 +1,148 @@
+//! The `LSIQ_METRICS` surface of the serve protocol: under `json` every
+//! response is followed by a `metrics` record carrying the registry delta
+//! for that query, and the final `summary` embeds the full registry dump —
+//! while the *responses themselves* stay byte-identical to a `LSIQ_METRICS`-
+//! less run (the differential half).  `docs/OBSERVABILITY.md` documents the
+//! record schema; `docs/SERVICE.md` shows the sed strip.
+
+use lsiq_serve::json::JsonValue;
+use std::process::{Command, Output, Stdio};
+
+const BINARY: &str = env!("CARGO_BIN_EXE_lsiq-serve");
+
+/// Runs the binary over `input`, isolated from ambient `LSIQ_*` knobs.
+fn serve(input: &str, envs: &[(&str, &str)]) -> Output {
+    let mut command = Command::new(BINARY);
+    for (key, _) in std::env::vars() {
+        if key.starts_with("LSIQ_") {
+            command.env_remove(&key);
+        }
+    }
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    command
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = command.spawn().expect("binary spawns");
+    use std::io::Write as _;
+    let _ = child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes());
+    child.wait_with_output().expect("binary exits")
+}
+
+const INPUT: &str = concat!(
+    r#"{"op":"forward","id":0,"yield":0.07,"n0":8,"coverage":0.95}"#,
+    "\n",
+    r#"{"op":"line","id":1,"circuit":"c17","chips":300,"seed":5,"checkpoints":[4,8]}"#,
+    "\n",
+    r#"{"op":"bist","id":2,"circuit":"c17","test_length":32,"signature_width":8,"session_len":8,"channels":2}"#,
+    "\n",
+);
+
+/// Strips the trailing `"counters"` object (the only per-query response
+/// field with a nondeterministic member, `elapsed_us`).
+fn strip_counters(line: &str) -> String {
+    match line.find(",\"counters\":") {
+        Some(at) => format!("{}}}", &line[..at]),
+        None => line.to_string(),
+    }
+}
+
+/// The canonical comparable form: metrics records and the summary dropped
+/// (the `sed` strip in `docs/SERVICE.md`), per-query timing stripped.
+fn comparable(transcript: &str) -> Vec<String> {
+    transcript
+        .lines()
+        .filter(|line| !line.contains("\"status\":\"metrics\""))
+        .filter(|line| !line.contains("\"status\":\"summary\""))
+        .map(strip_counters)
+        .collect()
+}
+
+#[test]
+fn json_mode_transcript_is_byte_identical_to_off_after_stripping_metrics() {
+    let off = serve(INPUT, &[]);
+    let json = serve(INPUT, &[("LSIQ_METRICS", "json")]);
+    assert!(off.status.success(), "{off:?}");
+    assert!(json.status.success(), "{json:?}");
+    let off = String::from_utf8(off.stdout).unwrap();
+    let json = String::from_utf8(json.stdout).unwrap();
+    assert_eq!(comparable(&off), comparable(&json));
+    // And the off transcript carries no metrics records at all.
+    assert!(!off.contains("\"status\":\"metrics\""), "{off}");
+}
+
+#[test]
+fn json_mode_emits_a_metrics_record_per_query_and_a_registry_dump() {
+    let output = serve(INPUT, &[("LSIQ_METRICS", "json")]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<JsonValue> = stdout
+        .lines()
+        .map(|line| JsonValue::parse(line).expect("every record parses"))
+        .collect();
+
+    // Interleaving: response, metrics, response, metrics, ..., summary.
+    let queries = INPUT.lines().count();
+    assert_eq!(lines.len(), 2 * queries + 1, "{stdout}");
+    for index in 0..queries {
+        let response = &lines[2 * index];
+        let metrics = &lines[2 * index + 1];
+        assert_eq!(
+            response.get("status").and_then(JsonValue::as_str),
+            Some("ok")
+        );
+        assert_eq!(
+            metrics.get("status").and_then(JsonValue::as_str),
+            Some("metrics")
+        );
+        assert_eq!(
+            metrics.get("line").and_then(JsonValue::as_usize),
+            Some(index + 1)
+        );
+        let counters = metrics.get("counters").expect("counters object");
+        // Every query bumps the query counter by exactly one (a delta).
+        assert_eq!(
+            counters.get("serve.queries").and_then(JsonValue::as_usize),
+            Some(1),
+            "{metrics:?}"
+        );
+        // The delta carries span and histogram sections too.
+        assert!(metrics.get("spans").is_some(), "{metrics:?}");
+        assert!(metrics.get("histograms").is_some(), "{metrics:?}");
+    }
+
+    // The line query fault simulates; its delta proves the engine counters
+    // flow through the same registry.
+    let line_metrics = &lines[3];
+    let counters = line_metrics.get("counters").expect("counters object");
+    assert!(
+        counters
+            .get("engine.runs")
+            .and_then(JsonValue::as_usize)
+            .unwrap_or(0)
+            >= 1,
+        "{line_metrics:?}"
+    );
+
+    // The summary embeds the full registry dump.
+    let summary = lines.last().unwrap();
+    assert_eq!(
+        summary.get("status").and_then(JsonValue::as_str),
+        Some("summary")
+    );
+    let registry = summary.get("registry").expect("registry dump");
+    assert_eq!(
+        registry
+            .get("counters")
+            .and_then(|c| c.get("serve.queries"))
+            .and_then(JsonValue::as_usize),
+        Some(queries),
+        "{summary:?}"
+    );
+}

@@ -31,6 +31,15 @@ use std::sync::{Arc, Mutex, PoisonError};
 use crate::levelized::CompiledCircuit;
 use crate::packed::PackedBlock;
 use lsiq_netlist::circuit::Circuit;
+use lsiq_obs::Counter;
+
+/// Registry mirrors of the per-cache accessor counters below: lookups
+/// answered from a resident image, and lookups that evaluated the circuit.
+/// Both are invariant across worker counts and lane schedules (the lookup
+/// sequence is a property of the workload), which the determinism suite
+/// relies on.
+static CACHE_HITS: Counter = Counter::new("cache.good_machine.hits");
+static CACHE_MISSES: Counter = Counter::new("cache.good_machine.misses");
 
 /// A structural fingerprint of a circuit: gate kinds and fanins in id order,
 /// plus the primary input/output lists.  Two circuits with the same
@@ -191,10 +200,12 @@ impl GoodMachineCache {
                 .filter(|cached| cached.count == count && cached.inputs == inputs)
             {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                CACHE_HITS.incr();
                 return Arc::new(cached.words.clone());
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISSES.incr();
         let words = compiled.node_chunks(inputs);
         let entry = Arc::new(CachedChunk {
             inputs: inputs.to_vec(),

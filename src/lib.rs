@@ -17,6 +17,9 @@
 //! pool and drives the Section 7 experiment in one call
 //! ([`Session::run_production_line`] / [`Session::reproduce_table1`]).
 //!
+//! * [`obs`] — the zero-dependency telemetry layer: the process-global
+//!   metrics registry and span timers behind the `LSIQ_METRICS` knob
+//!   (see `docs/OBSERVABILITY.md`),
 //! * [`exec`] — typed run configuration and the persistent fork-join pool,
 //! * [`stats`] — PRNGs, distributions, fitting, root finding,
 //! * [`netlist`] — circuits (combinational and sequential), `.bench` / BLIF
@@ -63,6 +66,7 @@ pub use lsiq_exec as exec;
 pub use lsiq_fault as fault;
 pub use lsiq_manufacturing as manufacturing;
 pub use lsiq_netlist as netlist;
+pub use lsiq_obs as obs;
 pub use lsiq_sim as sim;
 pub use lsiq_stats as stats;
 pub use lsiq_tpg as tpg;

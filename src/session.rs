@@ -44,7 +44,9 @@ use lsiq_bist::signature::{BistPlan, SignatureDictionary};
 use lsiq_bist::stumps::{StumpsConfig, StumpsGenerator};
 use lsiq_core::params::{FaultCoverage, ModelParams, Yield};
 use lsiq_core::reject::field_reject_rate;
-use lsiq_exec::{ConfigError, ExecutionContext, RunConfig, ScanPlan, TestMode, SCAN_CHAINS_VAR};
+use lsiq_exec::{
+    ConfigError, ExecutionContext, MetricsMode, RunConfig, ScanPlan, TestMode, SCAN_CHAINS_VAR,
+};
 use lsiq_fault::coverage::CoverageCurve;
 use lsiq_fault::dictionary::FaultDictionary;
 use lsiq_fault::universe::FaultUniverse;
@@ -138,7 +140,18 @@ pub struct Session {
 impl Session {
     /// Opens a session: spawns the worker pool sized by `config` and parks
     /// it for the lifetime of the session.
+    ///
+    /// When the configuration asks for telemetry (`LSIQ_METRICS=json|tree`),
+    /// the process-global [`lsiq_obs`] recording mode is raised to match.
+    /// The wiring is *raise-only*: a default `Off` session never lowers a
+    /// mode another session enabled, so concurrently constructed sessions
+    /// (as in the test suites) cannot clobber an enabled recorder.  Emission
+    /// remains per-consumer — recording alone never changes any output
+    /// stream.
     pub fn new(config: RunConfig) -> Session {
+        if config.metrics() != MetricsMode::Off {
+            lsiq_obs::set_mode(config.metrics());
+        }
         let context = ExecutionContext::from_config(&config);
         Session {
             config,
@@ -173,6 +186,17 @@ impl Session {
     /// to join an external stage to the same pool.
     pub fn good_machine_cache(&self) -> &GoodMachineCache {
         &self.cache
+    }
+
+    /// A human-readable report of everything the metrics registry has
+    /// recorded so far: counters, gauges, histograms, and the hierarchical
+    /// span tree with per-node self time.  Empty (headers only) unless a
+    /// recording mode was enabled (`LSIQ_METRICS=json|tree`, or
+    /// [`lsiq_obs::set_mode`]).  The bench binaries print this to stderr
+    /// under `LSIQ_METRICS=tree`; `docs/OBSERVABILITY.md` documents the
+    /// metric catalogue and the span-tree semantics.
+    pub fn metrics_report(&self) -> String {
+        lsiq_obs::report::render_tree(&lsiq_obs::snapshot())
     }
 
     /// A lot runner bound to the session's pool.
